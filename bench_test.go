@@ -1,0 +1,168 @@
+package tapas
+
+import (
+	"io"
+	"testing"
+
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/experiments"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/sim"
+	"tapas/internal/strategy"
+)
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper table/figure: each regenerates the experiment in
+// quick fidelity. Run `go run ./cmd/tapas-bench -exp all` for the full
+// sweeps with printed rows.
+// ---------------------------------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	g, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s missing", id)
+	}
+	cfg := experiments.Config{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1SearchVsThroughput(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkTable1Complexity(b *testing.B)          { benchExperiment(b, "tab1") }
+func BenchmarkFigure5TimeBreakdown(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFigure6SearchTime(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFigure7Throughput(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFigure8WeakScaling(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFigure9Visualization(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFigure10SubgraphPruning(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkTable2CostModelAblation(b *testing.B)   { benchExperiment(b, "tab2") }
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks: the stages whose complexity Table 1 compares.
+// ---------------------------------------------------------------------------
+
+func groupedBench(b *testing.B, name string) *ir.GNGraph {
+	b.Helper()
+	src, err := models.Build(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkGroupT5Large(b *testing.B) {
+	src, err := models.Build("t5-770M")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Group(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineT5Large(b *testing.B) {
+	g := groupedBench(b, "t5-770M")
+	opt := mining.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Mine(g, opt)
+	}
+}
+
+func BenchmarkMineResNet152(b *testing.B) {
+	g := groupedBench(b, "resnet152-100K")
+	opt := mining.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.Mine(g, opt)
+	}
+}
+
+func BenchmarkSearchFoldedT5Large(b *testing.B) {
+	g := groupedBench(b, "t5-770M")
+	cl := cluster.V100x8()
+	model := cost.Default(cl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+		if _, _, err := strategy.SearchFolded(g, classes, model, strategy.DefaultEnumOptions(8), cl.MemoryPerGP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateTransformerLayer(b *testing.B) {
+	g := groupedBench(b, "t5-100M")
+	cl := cluster.V100x8()
+	model := cost.Default(cl)
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	var layer *mining.Class
+	for _, c := range classes {
+		if layer == nil || c.Size() > layer.Size() {
+			layer = c
+		}
+	}
+	opt := strategy.DefaultEnumOptions(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strategy.EnumerateInstance(g, layer.Representative(), model, opt)
+	}
+}
+
+func BenchmarkSimulateIteration(b *testing.B) {
+	res, err := Search("t5-770M", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(cluster.V100x8())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(res.Strategy, cfg)
+	}
+}
+
+func BenchmarkCostModelStrategy(b *testing.B) {
+	res, err := Search("t5-770M", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := cost.Default(cluster.V100x8())
+	ps := res.Strategy.Patterns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StrategyCost(ps, res.Strategy.Reshard)
+	}
+}
+
+func BenchmarkEndToEndSearchT5_100M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Search("t5-100M", 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndSearchT5_1_4B(b *testing.B) {
+	// The headline scalability point: search time stays sub-second even
+	// on the deepest model because the folded search space is constant.
+	for i := 0; i < b.N; i++ {
+		if _, err := Search("t5-1.4B", 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command tapas-bench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	tapas-bench -exp all          # every experiment, full fidelity
+//	tapas-bench -exp fig6 -quick  # one experiment, trimmed sweeps
+//	tapas-bench -list             # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tapas/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1, tab1, fig5, fig6, fig7, fig8, fig9, fig10, tab2) or 'all'")
+	quick := flag.Bool("quick", false, "trim sweeps and budgets for a fast run")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.All() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick}
+	run := func(g experiments.Generator) {
+		fmt.Printf("==== %s ====\n", g.Title)
+		start := time.Now()
+		if err := g.Run(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, g := range experiments.All() {
+			run(g)
+		}
+		return
+	}
+	g, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(g)
+}

@@ -1,0 +1,56 @@
+// Command tapas-export derives a strategy and writes it as JSON or as a
+// Graphviz DOT drawing of the annotated GraphNode graph.
+//
+// Usage:
+//
+//	tapas-export -model t5-770M -gpus 8 -format json > plan.json
+//	tapas-export -model resnet-228M -format dot | dot -Tsvg > plan.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapas"
+	"tapas/internal/export"
+	"tapas/internal/sim"
+)
+
+func main() {
+	model := flag.String("model", "t5-770M", "model name")
+	gpus := flag.Int("gpus", 8, "total GPU count")
+	format := flag.String("format", "json", "output format: json, dot, or trace (Chrome tracing timeline)")
+	baseline := flag.String("baseline", "", "export a baseline plan instead of the TAPAS result")
+	flag.Parse()
+
+	var (
+		res *tapas.Result
+		err error
+	)
+	if *baseline != "" {
+		res, err = tapas.Baseline(*baseline, *model, *gpus)
+	} else {
+		res, err = tapas.Search(*model, *gpus)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "json":
+		err = export.WriteStrategyJSON(os.Stdout, res.Strategy)
+	case "dot":
+		err = export.WriteDOT(os.Stdout, res.Strategy.Graph, res.Strategy)
+	case "trace":
+		tl := sim.BuildTimeline(res.Strategy, sim.DefaultConfig(tapas.NewCluster(*gpus)))
+		err = tl.WriteChromeTrace(os.Stdout)
+	default:
+		err = fmt.Errorf("unknown format %q (json, dot, or trace)", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command tapas-search derives a tensor-parallel strategy for one of the
+// registered models and reports the plan, its predicted cost and the
+// simulated training performance.
+//
+// Usage:
+//
+//	tapas-search -model t5-770M -gpus 8
+//	tapas-search -model resnet-228M -gpus 16 -baseline megatron
+//	tapas-search -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tapas"
+	"tapas/internal/graphio"
+)
+
+func main() {
+	model := flag.String("model", "t5-770M", "model name (see -list)")
+	spec := flag.String("spec", "", "load a custom model from a graphio spec file instead of -model")
+	gpus := flag.Int("gpus", 8, "total GPU count (V100 nodes of 8)")
+	baseline := flag.String("baseline", "", "derive with a baseline planner instead of TAPAS (dp, deepspeed, megatron, ffn-only, mha-only, gshard, alpa, flexflow)")
+	exhaustive := flag.Bool("es", false, "use exhaustive search (TAPAS-ES) instead of subgraph pruning")
+	list := flag.Bool("list", false, "list registered models and exit")
+	verbose := flag.Bool("v", false, "print the per-GraphNode pattern assignment")
+	flag.Parse()
+
+	if *list {
+		for _, m := range tapas.Models() {
+			fmt.Println(m)
+		}
+		return
+	}
+
+	var (
+		res *tapas.Result
+		err error
+	)
+	switch {
+	case *spec != "":
+		f, ferr := os.Open(*spec)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		g, perr := graphio.Parse(f)
+		f.Close()
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		if *baseline != "" {
+			res, err = tapas.BaselineGraph(*baseline, g, *gpus)
+		} else {
+			res, err = tapas.SearchGraph(g, *gpus, tapas.Options{Exhaustive: *exhaustive})
+		}
+	case *baseline != "":
+		res, err = tapas.Baseline(*baseline, *model, *gpus)
+	default:
+		res, err = tapas.Search(*model, *gpus, tapas.Options{Exhaustive: *exhaustive})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	system := "TAPAS"
+	if *baseline != "" {
+		system = *baseline
+	} else if *exhaustive {
+		system = "TAPAS-ES"
+	}
+	fmt.Printf("model:        %s on %d GPUs (%s)\n", res.ModelName, res.GPUs, system)
+	fmt.Printf("plan:         %s\n", res.Strategy.Describe())
+	fmt.Printf("search time:  total=%v (group=%v mine=%v search=%v)\n",
+		res.TotalTime.Round(1e6), res.GroupTime.Round(1e6), res.MineTime.Round(1e6), res.SearchTime.Round(1e6))
+	fmt.Printf("search space: %d unique subgraphs, %d strategies examined, %d pruned\n",
+		res.UniqueGraphs, res.Examined, res.Pruned)
+	fmt.Printf("cost model:   %.4fs/iter predicted\n", res.Strategy.Cost.Total())
+	fmt.Printf("simulated:    %s\n", res.Report)
+	fmt.Printf("memory:       %.2f GiB/device (limit 32 GiB)\n", float64(res.Strategy.MemPerDev)/(1<<30))
+
+	if *verbose {
+		fmt.Println("\nassignment:")
+		for _, gn := range res.Strategy.Graph.TopoOrder() {
+			p := res.Strategy.Assign[gn]
+			fmt.Printf("  %-40s %-20s in=%-3s out=%-3s  %s\n",
+				gn.String(), p.Name, p.In, p.Out, p.SRC)
+		}
+	}
+}

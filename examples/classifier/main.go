@@ -1,0 +1,44 @@
+// Classifier example: the wide-classification scenario from the paper's
+// introduction — an e-commerce ResNet whose 100K-class fully-connected
+// head (205M parameters) dwarfs its 24M-parameter convolutional backbone.
+// The right plan duplicates the backbone and shards only the head, and
+// TAPAS finds it automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tapas"
+)
+
+func main() {
+	fmt.Println("== wide-classifier ResNet ==")
+
+	for _, model := range []string{"resnet-26M", "resnet-228M", "resnet-843M"} {
+		res, err := tapas.Search(model, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s:\n  plan: %s\n  perf: %s\n", model, res.Strategy.Describe(), res.Report)
+
+		// Show where the classifier head landed.
+		for gn, p := range res.Strategy.Assign {
+			if gn.Anchor != nil && strings.HasPrefix(gn.Anchor.Name, "fc_matmul") {
+				fmt.Printf("  FC head (%s params): %s — %s\n",
+					gn.Weights[0].Shape, p.Name, p.SRC)
+			}
+		}
+
+		dp, err := tapas.Baseline("dp", model, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := tapas.Baseline("deepspeed", model, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  DP: %s | DeepSpeed: %s\n", dp.Report, ds.Report)
+	}
+}

@@ -1,0 +1,52 @@
+// Cost-model example: a walkthrough of the communication-based cost model
+// (§4.6) on a single dense layer — the paper's Figure-3 running example —
+// and on whole-model plans, showing how the α–β terms, the backward
+// overlap discount γ and the per-collective ε shape the ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapas"
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+)
+
+func main() {
+	fmt.Println("== cost model walkthrough ==")
+
+	// Figure 3: one dense layer MatMul+BiasAdd+ReLU.
+	b := graph.NewBuilder("dense")
+	x := b.Input("x", graph.F32, graph.NewShape(32, 1024))
+	b.Dense("dense", x, 4096, graph.OpReLU)
+	gg, err := ir.Group(b.G)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl := cluster.V100Nodes(2) // 16 GPUs over Ethernet
+	model := cost.Default(cl)
+	naive := cost.Baseline(cl)
+
+	fmt.Printf("\ndense layer %v→%v on %d GPUs:\n", x.Shape, graph.NewShape(32, 4096), cl.TotalGPUs())
+	fmt.Printf("%-18s %-28s %10s %10s\n", "pattern", "SRC", "full-model", "naive α–β")
+	for _, p := range ir.PatternsFor(gg.Nodes[0], cl.TotalGPUs()) {
+		fmt.Printf("%-18s %-28s %9.2fms %9.2fms\n",
+			p.Name, p.SRC, model.PatternCost(p).Total()*1e3, naive.PatternCost(p).Total()*1e3)
+	}
+
+	// Whole-model plans: predicted cost vs simulated time.
+	fmt.Println("\nT5-770M plans on 16 GPUs (cost model prediction vs simulator):")
+	opts := tapas.Options{Cluster: cl}
+	for _, plan := range []string{"dp", "deepspeed", "megatron", "ffn-only", "mha-only"} {
+		r, err := tapas.Baseline(plan, "t5-770M", 16, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s predicted=%7.3fs simulated=%7.3fs\n",
+			plan, r.Strategy.Cost.Total(), r.Report.IterationTime)
+	}
+}

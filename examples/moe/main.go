@@ -1,0 +1,37 @@
+// MoE example: the mixture-of-experts scenario from the paper's
+// evaluation. TAPAS must discover expert-level parallelism (all-to-all
+// token routing into sharded experts) without being told the model is an
+// MoE, and on clusters with more devices than experts it can nest tensor
+// parallelism inside the expert split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapas"
+)
+
+func main() {
+	fmt.Println("== GShard-MoE strategy derivation ==")
+
+	for _, gpus := range []int{8, 32} {
+		res, err := tapas.Search("moe-1.3B", gpus) // 16 experts
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%d GPUs (experts=16):\n", gpus)
+		fmt.Printf("  plan: %s\n", res.Strategy.Describe())
+		fmt.Printf("  perf: %s\n", res.Report)
+	}
+
+	// Compare with the expert-engineered plans on one node.
+	fmt.Println("\nbaselines on 8 GPUs:")
+	for _, b := range []string{"gshard", "dp", "deepspeed"} {
+		r, err := tapas.Baseline(b, "moe-1.3B", 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %s\n", b, r.Report)
+	}
+}

@@ -1,0 +1,61 @@
+// Pipeline example: the paper's §5.6 extension — pipeline-parallel stage
+// selection aligned to the mined subgraphs, with GPipe-style bubble
+// accounting, combined with the simulated testbed's multi-node topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tapas/internal/cluster"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/pipeline"
+)
+
+func main() {
+	fmt.Println("== pipeline-parallel stage selection (paper §5.6) ==")
+
+	src, err := models.Build("t5-770M")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+
+	cl := cluster.V100Nodes(4)
+	opt := pipeline.DefaultSimOptions(cl)
+
+	fmt.Printf("\n%s on %s:\n", src.Name, cl)
+	fmt.Printf("%6s %12s %10s %10s %12s\n", "stages", "iter-time", "bubble", "imbalance", "mem/stage")
+	for _, k := range []int{1, 2, 4, 8} {
+		p, err := pipeline.Partition(g, classes, k)
+		if err != nil {
+			fmt.Printf("%6d %12s\n", k, "infeasible")
+			continue
+		}
+		r := pipeline.Simulate(p, opt)
+		fmt.Printf("%6d %11.3fs %9.1f%% %10.2f %9.1fGiB\n",
+			k, r.IterationTime, 100*r.BubbleFrac, p.Imbalance(),
+			float64(r.MaxStageMem)/(1<<30))
+	}
+
+	best, rep, err := pipeline.SearchStages(g, classes, opt, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest: %d stages, %.3fs/iter (bubble %.1f%%)\n",
+		best.NumStages(), rep.IterationTime, 100*rep.BubbleFrac)
+
+	fmt.Println("\nmicro-batch sweep at the best stage count:")
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		o := opt
+		o.MicroBatches = m
+		r := pipeline.Simulate(best, o)
+		fmt.Printf("  M=%-3d iter=%.3fs bubble=%.1f%%\n", m, r.IterationTime, 100*r.BubbleFrac)
+	}
+}

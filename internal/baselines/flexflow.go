@@ -1,0 +1,139 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+	"tapas/internal/strategy"
+)
+
+// FlexFlowOptions bound the MCMC search.
+type FlexFlowOptions struct {
+	// Budget is the number of MCMC proposals (B in Table 1); zero picks
+	// 40·V like FlexFlow's default trial multiplier.
+	Budget int
+	// Temperature scales the Metropolis acceptance of cost increases.
+	Temperature float64
+	// Seed makes the chain deterministic.
+	Seed int64
+}
+
+// DefaultFlexFlowOptions returns the evaluation knobs.
+func DefaultFlexFlowOptions() FlexFlowOptions {
+	return FlexFlowOptions{Temperature: 0.05, Seed: 1}
+}
+
+// FlexFlowStats reports the chain's behaviour.
+type FlexFlowStats struct {
+	Proposals int
+	Accepted  int
+	Elapsed   time.Duration
+}
+
+// FlexFlowSearch emulates FlexFlow's Markov-Chain Monte-Carlo strategy
+// search: starting from pure data parallelism, it proposes random
+// single-node pattern changes and accepts them with Metropolis odds on the
+// cost-model score, evaluating every proposal by a full O(V+E) validation
+// — the O(BV+BE) behaviour of Table 1.
+func FlexFlowSearch(g *ir.GNGraph, w int, model *cost.Model, opt FlexFlowOptions) (*strategy.Strategy, *FlexFlowStats, error) {
+	start := time.Now()
+	stats := &FlexFlowStats{}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	nodes := g.TopoOrder()
+	if opt.Budget <= 0 {
+		opt.Budget = 40 * len(nodes)
+	}
+	if opt.Temperature <= 0 {
+		opt.Temperature = 0.05
+	}
+
+	// Start from the DP plan (FlexFlow's default initialization).
+	cur, err := DataParallel(g, w, model)
+	if err != nil {
+		return nil, stats, err
+	}
+	curAssign := make(map[*ir.GraphNode]*ir.Pattern, len(cur.Assign))
+	for gn, p := range cur.Assign {
+		curAssign[gn] = p
+	}
+	curCost := cur.Cost.Total()
+	bestAssign := make(map[*ir.GraphNode]*ir.Pattern, len(curAssign))
+	for gn, p := range curAssign {
+		bestAssign[gn] = p
+	}
+	bestCost := curCost
+
+	menus := make([][]*ir.Pattern, len(nodes))
+	for i, gn := range nodes {
+		menus[i] = ir.PatternsFor(gn, w)
+	}
+
+	score := func(assign map[*ir.GraphNode]*ir.Pattern) (float64, bool) {
+		events, err := strategy.Validate(g, assign, w, true)
+		if err != nil {
+			return 0, false
+		}
+		ps := make([]*ir.Pattern, 0, len(nodes))
+		for _, gn := range nodes {
+			ps = append(ps, assign[gn])
+		}
+		return model.StrategyCost(ps, events).Total(), true
+	}
+
+	for it := 0; it < opt.Budget; it++ {
+		stats.Proposals++
+		i := rng.Intn(len(nodes))
+		menu := menus[i]
+		if len(menu) < 2 {
+			continue
+		}
+		prop := menu[rng.Intn(len(menu))]
+		gn := nodes[i]
+		old := curAssign[gn]
+		if prop == old {
+			continue
+		}
+		curAssign[gn] = prop
+		c, valid := score(curAssign)
+		accept := false
+		if valid {
+			if c <= curCost {
+				accept = true
+			} else {
+				rel := (c - curCost) / curCost
+				accept = rng.Float64() < math.Exp(-rel/opt.Temperature)
+			}
+		}
+		if accept {
+			stats.Accepted++
+			curCost = c
+			if c < bestCost {
+				bestCost = c
+				bestAssign = make(map[*ir.GraphNode]*ir.Pattern, len(curAssign))
+				for k, v := range curAssign {
+					bestAssign[k] = v
+				}
+			}
+		} else {
+			curAssign[gn] = old
+		}
+	}
+
+	events, err := strategy.Validate(g, bestAssign, w, true)
+	if err != nil {
+		return nil, stats, err
+	}
+	s := &strategy.Strategy{
+		Graph:     g,
+		W:         w,
+		Assign:    bestAssign,
+		Reshard:   events,
+		MemPerDev: strategy.MemoryPerDevice(bestAssign),
+	}
+	s.Cost = model.StrategyCost(s.Patterns(), events)
+	stats.Elapsed = time.Since(start)
+	return s, stats, nil
+}

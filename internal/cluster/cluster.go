@@ -1,0 +1,147 @@
+// Package cluster models the training system S(m,n) from the paper's
+// problem formulation: m worker nodes with n accelerators each, a fast
+// intra-node interconnect (NVLink/PCIe) and a slower inter-node fabric
+// (Ethernet). The presets reproduce the paper's testbed: 8× V100 SXM2
+// 32 GB per node, nodes joined by 100 Gbps Ethernet.
+package cluster
+
+import (
+	"fmt"
+
+	"tapas/internal/comm"
+)
+
+// Link characterizes one interconnect tier with the α–β model parameters:
+// Latency is α (seconds per message) and Bandwidth is 1/β (bytes/second).
+type Link struct {
+	Name      string
+	Latency   float64 // seconds per hop
+	Bandwidth float64 // bytes per second
+}
+
+// Transfer returns the time to move n bytes over the link once.
+func (l Link) Transfer(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return l.Latency + float64(n)/l.Bandwidth
+}
+
+// Cluster is the training system S(m,n).
+type Cluster struct {
+	Name        string
+	NumNodes    int   // m
+	GPUsPerNode int   // n
+	MemoryPerGP int64 // device memory per accelerator in bytes
+	PeakFLOPS   float64
+	Intra       Link
+	Inter       Link
+}
+
+// TotalGPUs returns m·n.
+func (c *Cluster) TotalGPUs() int { return c.NumNodes * c.GPUsPerNode }
+
+// LinkFor returns the bottleneck link for a collective among w workers: if
+// the group fits inside one node it runs on the intra-node interconnect,
+// otherwise the inter-node fabric bounds it. Groups are always packed
+// densely onto nodes (the placement Megatron and the paper both use).
+func (c *Cluster) LinkFor(w int) Link {
+	if w <= c.GPUsPerNode {
+		return c.Intra
+	}
+	return c.Inter
+}
+
+// CollectiveTime returns the time for one collective event on the cluster
+// with ring algorithms: steps·α + wireBytes/bandwidth of the bottleneck
+// link.
+func (c *Cluster) CollectiveTime(e comm.Event) float64 {
+	if e.W <= 1 || e.Kind == comm.None {
+		return 0
+	}
+	l := c.LinkFor(e.W)
+	steps := float64(comm.Steps(e.Kind, e.W))
+	return steps*l.Latency + float64(e.WireBytes())/l.Bandwidth
+}
+
+// ComputeTime returns the time to execute fl floating-point operations on
+// one accelerator at the given utilization (0..1].
+func (c *Cluster) ComputeTime(fl int64, utilization float64) float64 {
+	if fl <= 0 {
+		return 0
+	}
+	if utilization <= 0 || utilization > 1 {
+		utilization = 1
+	}
+	return float64(fl) / (c.PeakFLOPS * utilization)
+}
+
+// Validate checks the cluster description for sanity.
+func (c *Cluster) Validate() error {
+	if c.NumNodes < 1 || c.GPUsPerNode < 1 {
+		return fmt.Errorf("cluster %q: need at least one node and one GPU, got %d×%d", c.Name, c.NumNodes, c.GPUsPerNode)
+	}
+	if c.MemoryPerGP <= 0 {
+		return fmt.Errorf("cluster %q: non-positive device memory", c.Name)
+	}
+	if c.PeakFLOPS <= 0 {
+		return fmt.Errorf("cluster %q: non-positive peak FLOPS", c.Name)
+	}
+	if c.Intra.Bandwidth <= 0 || c.Inter.Bandwidth <= 0 {
+		return fmt.Errorf("cluster %q: non-positive link bandwidth", c.Name)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("%s: S(%d,%d), %d GPUs", c.Name, c.NumNodes, c.GPUsPerNode, c.TotalGPUs())
+}
+
+const (
+	gb = int64(1) << 30
+
+	// v100PeakFP32 is the FP32 peak of a V100 SXM2 (15.7 TFLOPS).
+	v100PeakFP32 = 15.7e12
+	// nvlinkBW approximates NVLink-2 effective per-GPU bandwidth.
+	nvlinkBW = 130e9
+	// ethernetBW is 100 Gbps Ethernet in bytes/second (~12.5 GB/s).
+	ethernetBW = 12.5e9
+)
+
+// NVLink returns the intra-node interconnect preset used by the paper's
+// testbed (V100 SXM2 nodes).
+func NVLink() Link { return Link{Name: "NVLink", Latency: 3e-6, Bandwidth: nvlinkBW} }
+
+// Ethernet100G returns the 100 Gbps inter-node fabric preset.
+func Ethernet100G() Link { return Link{Name: "100GbE", Latency: 25e-6, Bandwidth: ethernetBW} }
+
+// V100x8 returns one paper-testbed node: 8× V100 SXM2 32 GB.
+func V100x8() *Cluster { return V100Nodes(1) }
+
+// V100Nodes returns m paper-testbed nodes joined by 100 Gbps Ethernet.
+func V100Nodes(m int) *Cluster {
+	return &Cluster{
+		Name:        fmt.Sprintf("v100-%dx8", m),
+		NumNodes:    m,
+		GPUsPerNode: 8,
+		MemoryPerGP: 32 * gb,
+		PeakFLOPS:   v100PeakFP32,
+		Intra:       NVLink(),
+		Inter:       Ethernet100G(),
+	}
+}
+
+// V100GPUs returns the smallest paper-testbed cluster with at least g GPUs:
+// a single node holding g GPUs when g ≤ 8, otherwise ⌈g/8⌉ full nodes.
+// This matches the paper's weak-scaling sweep over 1–32 GPUs.
+func V100GPUs(g int) *Cluster {
+	if g <= 8 {
+		c := V100Nodes(1)
+		c.GPUsPerNode = g
+		c.Name = fmt.Sprintf("v100-1x%d", g)
+		return c
+	}
+	nodes := (g + 7) / 8
+	return V100Nodes(nodes)
+}

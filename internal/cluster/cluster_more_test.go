@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tapas/internal/comm"
+)
+
+func TestCollectiveTimeMonotoneInBytes(t *testing.T) {
+	c := V100Nodes(2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		kinds := []comm.Kind{comm.AllReduce, comm.AllGather, comm.ReduceScatter, comm.AllToAll}
+		k := kinds[r.Intn(len(kinds))]
+		w := []int{2, 4, 8, 16}[r.Intn(4)]
+		a := int64(r.Intn(1 << 24))
+		b := a + int64(r.Intn(1<<24))
+		ta := c.CollectiveTime(comm.Event{Kind: k, Bytes: a, W: w})
+		tb := c.CollectiveTime(comm.Event{Kind: k, Bytes: b, W: w})
+		return ta <= tb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectiveTimeAllReduceDoublesAllGather(t *testing.T) {
+	// With equal latency terms removed, the ring all-reduce transmits
+	// twice the all-gather volume.
+	c := V100x8()
+	c.Intra.Latency = 0
+	n := int64(1 << 26)
+	ar := c.CollectiveTime(comm.Event{Kind: comm.AllReduce, Bytes: n, W: 8})
+	ag := c.CollectiveTime(comm.Event{Kind: comm.AllGather, Bytes: n, W: 8})
+	if ar < 1.99*ag || ar > 2.01*ag {
+		t.Errorf("AR (%v) should be ~2× AG (%v) at zero latency", ar, ag)
+	}
+}
+
+func TestComputeTimeClampsUtilization(t *testing.T) {
+	c := V100x8()
+	// Out-of-range utilizations fall back to 1.0.
+	if c.ComputeTime(1e12, 0) != c.ComputeTime(1e12, 1) {
+		t.Error("zero utilization should clamp to 1")
+	}
+	if c.ComputeTime(1e12, 1.5) != c.ComputeTime(1e12, 1) {
+		t.Error("over-unity utilization should clamp to 1")
+	}
+	if c.ComputeTime(-5, 1) != 0 {
+		t.Error("negative flops should cost nothing")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if V100x8().String() == "" {
+		t.Error("empty cluster string")
+	}
+	if NVLink().Name != "NVLink" || Ethernet100G().Name != "100GbE" {
+		t.Error("preset link names changed")
+	}
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+
+	"tapas/internal/comm"
+)
+
+func TestV100Presets(t *testing.T) {
+	c := V100x8()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if c.TotalGPUs() != 8 {
+		t.Errorf("TotalGPUs = %d, want 8", c.TotalGPUs())
+	}
+	if c.MemoryPerGP != 32<<30 {
+		t.Errorf("MemoryPerGP = %d, want 32 GiB", c.MemoryPerGP)
+	}
+
+	c4 := V100Nodes(4)
+	if c4.TotalGPUs() != 32 {
+		t.Errorf("V100Nodes(4).TotalGPUs = %d, want 32", c4.TotalGPUs())
+	}
+}
+
+func TestV100GPUs(t *testing.T) {
+	cases := []struct {
+		g, nodes, perNode int
+	}{
+		{1, 1, 1}, {4, 1, 4}, {8, 1, 8}, {16, 2, 8}, {24, 3, 8}, {32, 4, 8},
+	}
+	for _, c := range cases {
+		cl := V100GPUs(c.g)
+		if cl.NumNodes != c.nodes || cl.GPUsPerNode != c.perNode {
+			t.Errorf("V100GPUs(%d) = S(%d,%d), want S(%d,%d)",
+				c.g, cl.NumNodes, cl.GPUsPerNode, c.nodes, c.perNode)
+		}
+		if err := cl.Validate(); err != nil {
+			t.Errorf("V100GPUs(%d).Validate: %v", c.g, err)
+		}
+	}
+}
+
+func TestLinkFor(t *testing.T) {
+	c := V100Nodes(2)
+	if l := c.LinkFor(8); l.Name != "NVLink" {
+		t.Errorf("LinkFor(8) = %s, want NVLink", l.Name)
+	}
+	if l := c.LinkFor(16); l.Name != "100GbE" {
+		t.Errorf("LinkFor(16) = %s, want 100GbE", l.Name)
+	}
+}
+
+func TestCollectiveTimeInterVsIntra(t *testing.T) {
+	c := V100Nodes(4)
+	e8 := comm.Event{Kind: comm.AllReduce, Bytes: 1 << 26, W: 8}
+	e16 := comm.Event{Kind: comm.AllReduce, Bytes: 1 << 26, W: 16}
+	t8, t16 := c.CollectiveTime(e8), c.CollectiveTime(e16)
+	if t8 <= 0 || t16 <= 0 {
+		t.Fatalf("times must be positive: %v %v", t8, t16)
+	}
+	// Crossing the node boundary must be much slower: the paper observes
+	// inter-node Ethernet is an order of magnitude slower than NVLink.
+	if t16 < 5*t8 {
+		t.Errorf("inter-node allreduce %.6fs should dwarf intra-node %.6fs", t16, t8)
+	}
+}
+
+func TestCollectiveTimeSingleWorker(t *testing.T) {
+	c := V100x8()
+	if ct := c.CollectiveTime(comm.Event{Kind: comm.AllReduce, Bytes: 1 << 20, W: 1}); ct != 0 {
+		t.Errorf("single-worker collective should be free, got %v", ct)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	c := V100x8()
+	t1 := c.ComputeTime(int64(c.PeakFLOPS), 1)
+	if t1 < 0.999 || t1 > 1.001 {
+		t.Errorf("peak flops should take ~1s, got %v", t1)
+	}
+	t2 := c.ComputeTime(int64(c.PeakFLOPS), 0.5)
+	if t2 < 1.999 || t2 > 2.001 {
+		t.Errorf("at 50%% utilization should take ~2s, got %v", t2)
+	}
+	if c.ComputeTime(0, 1) != 0 {
+		t.Error("zero flops should take zero time")
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{Name: "test", Latency: 1e-6, Bandwidth: 1e9}
+	got := l.Transfer(1e9)
+	if got < 1.0 || got > 1.001 {
+		t.Errorf("Transfer(1GB @ 1GB/s) = %v, want ~1s", got)
+	}
+	if l.Transfer(0) != 0 {
+		t.Error("zero bytes should be free")
+	}
+}
+
+func TestValidateRejectsBadClusters(t *testing.T) {
+	bad := []*Cluster{
+		{Name: "no-nodes", NumNodes: 0, GPUsPerNode: 8, MemoryPerGP: 1, PeakFLOPS: 1, Intra: NVLink(), Inter: Ethernet100G()},
+		{Name: "no-mem", NumNodes: 1, GPUsPerNode: 8, MemoryPerGP: 0, PeakFLOPS: 1, Intra: NVLink(), Inter: Ethernet100G()},
+		{Name: "no-flops", NumNodes: 1, GPUsPerNode: 8, MemoryPerGP: 1, PeakFLOPS: 0, Intra: NVLink(), Inter: Ethernet100G()},
+		{Name: "no-bw", NumNodes: 1, GPUsPerNode: 8, MemoryPerGP: 1, PeakFLOPS: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("cluster %q should fail validation", c.Name)
+		}
+	}
+}

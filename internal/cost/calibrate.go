@@ -1,0 +1,166 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tapas/internal/cluster"
+	"tapas/internal/comm"
+)
+
+// Sample is one profiled collective operation: the paper collects the ε
+// coefficients "through offline profiling"; this is the measurement record
+// that profiling produces.
+type Sample struct {
+	Kind    comm.Kind
+	Bytes   int64 // logical tensor size
+	Workers int
+	Seconds float64 // measured wall-clock time
+}
+
+// Calibration is the fitted parameter set.
+type Calibration struct {
+	// AlphaIntra and AlphaInter are the fitted per-step latencies of the
+	// two interconnect tiers.
+	AlphaIntra, AlphaInter float64
+	// Epsilon is the fitted per-collective efficiency, normalized so the
+	// best-overlapping collective has the smallest coefficient (as in the
+	// paper's cost model, where ε discounts overlap-friendly
+	// collectives).
+	Epsilon map[comm.Kind]float64
+	// Residual is the root-mean-square relative error of the fit.
+	Residual float64
+}
+
+// Calibrate fits the cost model's α and ε parameters from profiled
+// collective timings on the given cluster (whose nominal bandwidths
+// provide the β=1/BW scale). For every (tier, kind) group it solves the
+// ordinary-least-squares problem
+//
+//	t = α·steps + (ε/BW)·wireBytes
+//
+// and returns per-kind ε plus per-tier α. At least two samples of
+// different sizes are required per group.
+func Calibrate(samples []Sample, c *cluster.Cluster) (*Calibration, error) {
+	if len(samples) < 4 {
+		return nil, fmt.Errorf("cost: need at least 4 samples, got %d", len(samples))
+	}
+
+	type key struct {
+		inter bool
+		kind  comm.Kind
+	}
+	groups := map[key][]Sample{}
+	for _, s := range samples {
+		if s.Workers < 2 || s.Bytes <= 0 || s.Seconds <= 0 {
+			continue
+		}
+		groups[key{s.Workers > c.GPUsPerNode, s.Kind}] = append(groups[key{s.Workers > c.GPUsPerNode, s.Kind}], s)
+	}
+
+	cal := &Calibration{Epsilon: map[comm.Kind]float64{}}
+	var alphaIntra, alphaInter []float64
+	epsByKind := map[comm.Kind][]float64{}
+
+	var sqErr float64
+	var n int
+	for k, ss := range groups {
+		if len(ss) < 2 {
+			continue
+		}
+		link := c.Intra
+		if k.inter {
+			link = c.Inter
+		}
+		// OLS over t = a·x1 + b·x2 with x1 = steps, x2 = wire bytes.
+		var s11, s12, s22, sy1, sy2 float64
+		for _, s := range ss {
+			x1 := float64(comm.Steps(s.Kind, s.Workers))
+			x2 := float64(comm.WireBytes(s.Kind, s.Bytes, s.Workers))
+			s11 += x1 * x1
+			s12 += x1 * x2
+			s22 += x2 * x2
+			sy1 += x1 * s.Seconds
+			sy2 += x2 * s.Seconds
+		}
+		det := s11*s22 - s12*s12
+		if math.Abs(det) < 1e-30 {
+			continue
+		}
+		a := (sy1*s22 - sy2*s12) / det
+		b := (sy2*s11 - sy1*s12) / det
+		if a < 0 {
+			a = 0
+		}
+		if b <= 0 {
+			continue
+		}
+		eps := b * link.Bandwidth
+		epsByKind[k.kind] = append(epsByKind[k.kind], eps)
+		if k.inter {
+			alphaInter = append(alphaInter, a)
+		} else {
+			alphaIntra = append(alphaIntra, a)
+		}
+		for _, s := range ss {
+			pred := a*float64(comm.Steps(s.Kind, s.Workers)) +
+				b*float64(comm.WireBytes(s.Kind, s.Bytes, s.Workers))
+			rel := (pred - s.Seconds) / s.Seconds
+			sqErr += rel * rel
+			n++
+		}
+	}
+	if len(epsByKind) == 0 {
+		return nil, fmt.Errorf("cost: no group had enough well-conditioned samples")
+	}
+	for kind, vals := range epsByKind {
+		cal.Epsilon[kind] = mean(vals)
+	}
+	cal.AlphaIntra = mean(alphaIntra)
+	cal.AlphaInter = mean(alphaInter)
+	if n > 0 {
+		cal.Residual = math.Sqrt(sqErr / float64(n))
+	}
+	return cal, nil
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Apply builds a cost model using the calibrated ε coefficients on the
+// cluster, keeping the remaining defaults.
+func (cal *Calibration) Apply(c *cluster.Cluster) *Model {
+	m := Default(c)
+	eps := make(map[comm.Kind]float64, len(cal.Epsilon))
+	for k, v := range cal.Epsilon {
+		eps[k] = v
+	}
+	m.Epsilon = eps
+	return m
+}
+
+// Ranking returns the collectives ordered by fitted efficiency, most
+// overlap-friendly (cheapest per wire byte) first — the qualitative result
+// offline profiling is meant to establish.
+func (cal *Calibration) Ranking() []comm.Kind {
+	kinds := make([]comm.Kind, 0, len(cal.Epsilon))
+	for k := range cal.Epsilon {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if cal.Epsilon[kinds[i]] != cal.Epsilon[kinds[j]] {
+			return cal.Epsilon[kinds[i]] < cal.Epsilon[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"tapas/internal/cluster"
+	"tapas/internal/comm"
+)
+
+// syntheticSamples generates measurements from a known ground-truth model
+// t = α·steps + (ε/BW)·wire.
+func syntheticSamples(c *cluster.Cluster, alpha float64, eps map[comm.Kind]float64) []Sample {
+	var out []Sample
+	for kind, e := range eps {
+		for _, n := range []int64{1 << 20, 1 << 24, 1 << 26} {
+			for _, w := range []int{4, 8, 16} {
+				link := c.Intra
+				if w > c.GPUsPerNode {
+					link = c.Inter
+				}
+				t := alpha*float64(comm.Steps(kind, w)) +
+					e*float64(comm.WireBytes(kind, n, w))/link.Bandwidth
+				out = append(out, Sample{Kind: kind, Bytes: n, Workers: w, Seconds: t})
+			}
+		}
+	}
+	return out
+}
+
+func TestCalibrateRecoversEpsilon(t *testing.T) {
+	c := cluster.V100Nodes(2)
+	truth := map[comm.Kind]float64{
+		comm.AllReduce: 0.6,
+		comm.AllGather: 0.9,
+		comm.AllToAll:  1.0,
+	}
+	cal, err := Calibrate(syntheticSamples(c, 3e-6, truth), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, want := range truth {
+		got := cal.Epsilon[kind]
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("ε[%v] = %.3f, want %.3f", kind, got, want)
+		}
+	}
+	if cal.Residual > 1e-6 {
+		t.Errorf("noise-free fit should be exact, residual %v", cal.Residual)
+	}
+}
+
+func TestCalibrateRanking(t *testing.T) {
+	c := cluster.V100Nodes(2)
+	truth := map[comm.Kind]float64{
+		comm.AllReduce: 0.5,
+		comm.AllGather: 0.8,
+		comm.AllToAll:  1.0,
+	}
+	cal, err := Calibrate(syntheticSamples(c, 1e-6, truth), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cal.Ranking()
+	if len(r) != 3 || r[0] != comm.AllReduce || r[2] != comm.AllToAll {
+		t.Errorf("ranking = %v, want AllReduce first, AllToAll last", r)
+	}
+}
+
+func TestCalibrateApply(t *testing.T) {
+	c := cluster.V100Nodes(2)
+	truth := map[comm.Kind]float64{comm.AllReduce: 0.7, comm.AllGather: 0.9}
+	cal, err := Calibrate(syntheticSamples(c, 1e-6, truth), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cal.Apply(c)
+	if math.Abs(m.epsilonFor(comm.AllReduce)-0.7) > 0.05 {
+		t.Errorf("applied model ε = %v", m.epsilonFor(comm.AllReduce))
+	}
+}
+
+func TestCalibrateRejectsTooFewSamples(t *testing.T) {
+	c := cluster.V100x8()
+	if _, err := Calibrate([]Sample{{Kind: comm.AllReduce, Bytes: 1, Workers: 2, Seconds: 1}}, c); err == nil {
+		t.Error("too few samples must error")
+	}
+	// Degenerate samples (same size everywhere) are ill-conditioned but a
+	// second worker count keeps the system solvable; all-invalid samples
+	// must fail.
+	bad := []Sample{
+		{Kind: comm.AllReduce, Bytes: 0, Workers: 8, Seconds: 1},
+		{Kind: comm.AllReduce, Bytes: 0, Workers: 8, Seconds: 1},
+		{Kind: comm.AllReduce, Bytes: 0, Workers: 8, Seconds: 1},
+		{Kind: comm.AllReduce, Bytes: 0, Workers: 8, Seconds: 1},
+	}
+	if _, err := Calibrate(bad, c); err == nil {
+		t.Error("all-degenerate samples must error")
+	}
+}
+
+func TestCalibrateAlphaRecovered(t *testing.T) {
+	c := cluster.V100Nodes(2)
+	truth := map[comm.Kind]float64{comm.AllReduce: 0.6, comm.AllGather: 0.9}
+	const alpha = 5e-6
+	cal, err := Calibrate(syntheticSamples(c, alpha, truth), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.AlphaIntra-alpha) > 0.2*alpha {
+		t.Errorf("α_intra = %v, want ≈ %v", cal.AlphaIntra, alpha)
+	}
+	if math.Abs(cal.AlphaInter-alpha) > 0.2*alpha {
+		t.Errorf("α_inter = %v, want ≈ %v", cal.AlphaInter, alpha)
+	}
+}

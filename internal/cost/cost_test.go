@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"testing"
+
+	"tapas/internal/cluster"
+	"tapas/internal/comm"
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+)
+
+func densePatterns(t *testing.T, w int) (*ir.GraphNode, []*ir.Pattern) {
+	t.Helper()
+	b := graph.NewBuilder("dense")
+	x := b.Input("x", graph.F32, graph.NewShape(32, 1024))
+	b.Dense("dense", x, 4096, graph.OpReLU)
+	g, err := ir.Group(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := g.Nodes[0]
+	return gn, ir.PatternsFor(gn, w)
+}
+
+func byName(ps []*ir.Pattern, name string) *ir.Pattern {
+	for _, p := range ps {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestPatternCostPositive(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	m := Default(cluster.V100x8())
+	for _, p := range ps {
+		b := m.PatternCost(p)
+		if b.Total() <= 0 {
+			t.Errorf("%s: non-positive cost %v", p.Name, b)
+		}
+		if b.Latency < 0 || b.Trans < 0 || b.Compute < 0 {
+			t.Errorf("%s: negative component %+v", p.Name, b)
+		}
+	}
+}
+
+func TestReplicateCostsNoComm(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	m := Default(cluster.V100x8())
+	b := m.PatternCost(byName(ps, "replicate"))
+	if b.Latency != 0 || b.Trans != 0 {
+		t.Errorf("replicate should have zero comm cost, got %+v", b)
+	}
+	if b.Compute <= 0 {
+		t.Error("replicate must still pay compute")
+	}
+}
+
+func TestShardingReducesCompute(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	m := Default(cluster.V100x8())
+	full := m.PatternCost(byName(ps, "replicate")).Compute
+	dp := m.PatternCost(byName(ps, "data-parallel")).Compute
+	if dp >= full {
+		t.Errorf("data-parallel compute %v should be below replicate %v", dp, full)
+	}
+}
+
+func TestGammaDiscountsBackwardOnly(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	dp := byName(ps, "data-parallel") // backward-only comm
+	row := byName(ps, "row-parallel") // forward-only comm
+	c := cluster.V100x8()
+
+	noGO := WithCF(c)     // γ = 1
+	withGO := WithCFGO(c) // γ = 0.25
+
+	if a, b := noGO.PatternCost(dp).Trans, withGO.PatternCost(dp).Trans; b >= a {
+		t.Errorf("gradient overlap should cut backward comm: %v → %v", a, b)
+	}
+	if a, b := noGO.PatternCost(row).Trans, withGO.PatternCost(row).Trans; a != b {
+		t.Errorf("gradient overlap must not touch forward comm: %v vs %v", a, b)
+	}
+}
+
+func TestEpsilonScalesTransmission(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	row := byName(ps, "row-parallel")
+	c := cluster.V100x8()
+	plain := WithCFGO(c) // ε = 1
+	full := Default(c)   // ε < 1 for AllReduce
+	a, b := plain.PatternCost(row).Trans, full.PatternCost(row).Trans
+	if b >= a {
+		t.Errorf("collective efficiency should reduce modeled time: %v vs %v", a, b)
+	}
+}
+
+func TestConstantFilterRemovesNoise(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	rep := byName(ps, "replicate")
+	c := cluster.V100x8()
+	naive := Baseline(c)
+	if naive.PatternCost(rep).Noise <= 0 {
+		t.Error("baseline should price non-moving bias vectors")
+	}
+	if Default(c).PatternCost(rep).Noise != 0 {
+		t.Error("CF should zero the noise term")
+	}
+}
+
+func TestStrategyCostSumsPatternsAndReshard(t *testing.T) {
+	_, ps := densePatterns(t, 8)
+	m := Default(cluster.V100x8())
+	col := byName(ps, "column-parallel")
+	single := m.PatternCost(col)
+	ev := []comm.Event{{Kind: comm.AllGather, Bytes: 1 << 20, W: 8}}
+	total := m.StrategyCost([]*ir.Pattern{col, col}, ev)
+	if total.Total() <= 2*single.Total() {
+		t.Errorf("strategy cost %v should exceed 2 patterns %v by the reshard cost", total.Total(), 2*single.Total())
+	}
+}
+
+func TestInterNodeCommCostsMore(t *testing.T) {
+	// The motivating observation: inter-node Ethernet dominates.
+	gn8, _ := densePatterns(t, 8)
+	_ = gn8
+	c1 := cluster.V100x8()
+	c2 := cluster.V100Nodes(2)
+	e8 := comm.Event{Kind: comm.AllReduce, Bytes: 1 << 26, W: 8}
+	e16 := comm.Event{Kind: comm.AllReduce, Bytes: 1 << 26, W: 16}
+	m8, m16 := Default(c1), Default(c2)
+	t8 := m8.EventsCost([]comm.Event{e8}).Total()
+	t16 := m16.EventsCost([]comm.Event{e16}).Total()
+	if t16 < 5*t8 {
+		t.Errorf("16-way inter-node AR (%v) should dwarf 8-way intra-node (%v)", t16, t8)
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{Latency: 1, Trans: 2, Compute: 3, Noise: 4}
+	if b.Total() != 10 {
+		t.Errorf("Total = %v, want 10", b.Total())
+	}
+}
+
+func TestEventCostZeroCases(t *testing.T) {
+	m := Default(cluster.V100x8())
+	zero := m.EventsCost([]comm.Event{
+		{Kind: comm.None, Bytes: 100, W: 8},
+		{Kind: comm.AllReduce, Bytes: 100, W: 1},
+		{Kind: comm.AllReduce, Bytes: 0, W: 8},
+	})
+	if zero.Total() != 0 {
+		t.Errorf("degenerate events should be free, got %v", zero)
+	}
+}

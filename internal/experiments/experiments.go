@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate. Each generator prints the
+// same rows/series the paper reports; EXPERIMENTS.md records how the
+// measured shapes compare with the published ones.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tapas/internal/baselines"
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/sim"
+	"tapas/internal/strategy"
+)
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Quick trims sweep sizes and search budgets so the whole suite runs
+	// in tens of seconds (used by the benchmark harness); the full mode
+	// reproduces the complete sweeps.
+	Quick bool
+}
+
+// Generator is one experiment regenerator.
+type Generator struct {
+	ID    string // e.g. "fig6"
+	Title string
+	Run   func(w io.Writer, cfg Config) error
+}
+
+// All returns the generators in paper order.
+func All() []Generator {
+	return []Generator{
+		{"fig1", "Figure 1: search-time budget vs training throughput", Figure1},
+		{"tab1", "Table 1: complexities of auto-parallel frameworks", Table1},
+		{"fig5", "Figure 5: time breakdown for TP plans of T5-large", Figure5},
+		{"fig6", "Figure 6: end-to-end search time across model sizes", Figure6},
+		{"fig7", "Figure 7: training throughput across frameworks (8 GPUs)", Figure7},
+		{"fig8", "Figure 8: weak scaling 1–32 GPUs", Figure8},
+		{"fig9", "Figure 9: visualization of discovered strategies", Figure9},
+		{"fig10", "Figure 10: subgraph pruning micro-benchmark", Figure10},
+		{"tab2", "Table 2: cost-model ablation (Acc@K, MRR)", Table2},
+	}
+}
+
+// Find returns the generator with the given ID.
+func Find(id string) (Generator, bool) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, true
+		}
+	}
+	return Generator{}, false
+}
+
+// groupedModel builds and groups a registered model.
+func groupedModel(name string) (*ir.GNGraph, error) {
+	g, err := models.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Group(g)
+}
+
+// groupGraph groups an already-built graph.
+func groupGraph(g *graph.Graph) (*ir.GNGraph, error) { return ir.Group(g) }
+
+// tapasSearch runs mining + folded search and reports elapsed search time
+// (mining + enumeration + assembly, matching the paper's definition of
+// search time).
+func tapasSearch(gg *ir.GNGraph, cl *cluster.Cluster) (*strategy.Strategy, time.Duration, error) {
+	model := cost.Default(cl)
+	start := time.Now()
+	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+	s, _, err := strategy.SearchFolded(gg, classes, model, strategy.DefaultEnumOptions(cl.TotalGPUs()), cl.MemoryPerGP)
+	return s, time.Since(start), err
+}
+
+// alpaSearch runs the Alpa-like baseline with budgets scaled by fidelity.
+func alpaSearch(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, *baselines.AlpaStats, error) {
+	model := cost.Default(cl)
+	opt := baselines.DefaultAlpaOptions()
+	if cfg.Quick {
+		opt.MaxSegment = 10
+		opt.InnerBudget = 16
+		opt.TimeBudget = 5 * time.Second
+	}
+	return baselines.AlpaSearch(gg, cl.TotalGPUs(), model, opt)
+}
+
+// simulate runs the training-step simulator.
+func simulate(s *strategy.Strategy, cl *cluster.Cluster) sim.Report {
+	return sim.Run(s, sim.DefaultConfig(cl))
+}
+
+// planBy derives a named baseline plan.
+func planBy(name string, gg *ir.GNGraph, cl *cluster.Cluster) (*strategy.Strategy, error) {
+	model := cost.Default(cl)
+	w := cl.TotalGPUs()
+	switch name {
+	case "DataParallel":
+		return baselines.DataParallel(gg, w, model)
+	case "DeepSpeed":
+		return baselines.DeepSpeed(gg, w, model)
+	case "Megatron":
+		return baselines.Megatron(gg, w, model)
+	case "FFN-only":
+		return baselines.FFNOnly(gg, w, model)
+	case "MHA-only":
+		return baselines.MHAOnly(gg, w, model)
+	case "GShard":
+		return baselines.GShardExpert(gg, w, model)
+	default:
+		return nil, fmt.Errorf("experiments: unknown plan %q", name)
+	}
+}
+
+// fmtDuration prints durations in the paper's "minutes" axis when large
+// and sub-second precision when small.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fmin", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// throughputCell renders a TFLOPS value or the paper's "×" OOM mark.
+func throughputCell(r sim.Report) string {
+	if r.OOM {
+		return "×(OOM)"
+	}
+	return fmt.Sprintf("%6.2f", r.TFLOPSPerGPU)
+}
+
+// iterCell renders an iteration time or the OOM mark.
+func iterCell(r sim.Report) string {
+	if r.OOM {
+		return "×(OOM)"
+	}
+	return fmt.Sprintf("%6.3fs", r.IterationTime)
+}
+
+// rankOf returns the 1-based position of target in a score-ascending
+// ranking of items (lower score = better).
+func rankOf(scores map[string]float64, target string) int {
+	type kv struct {
+		k string
+		v float64
+	}
+	all := make([]kv, 0, len(scores))
+	for k, v := range scores {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v < all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	for i, e := range all {
+		if e.k == target {
+			return i + 1
+		}
+	}
+	return len(all)
+}

@@ -1,0 +1,195 @@
+// Package export serializes search artifacts: strategies to JSON (for
+// downstream training launchers or inspection) and graphs to Graphviz DOT
+// (for visual debugging of the GraphNode IR and the discovered plans).
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"tapas/internal/comm"
+	"tapas/internal/ir"
+	"tapas/internal/strategy"
+)
+
+// StrategyJSON is the on-disk form of a parallel strategy.
+type StrategyJSON struct {
+	Model       string           `json:"model"`
+	Workers     int              `json:"workers"`
+	CostSeconds float64          `json:"cost_seconds"`
+	MemBytes    int64            `json:"mem_bytes_per_device"`
+	Assignments []AssignmentJSON `json:"assignments"`
+	Reshard     []EventJSON      `json:"reshard"`
+}
+
+// AssignmentJSON is one GraphNode's pattern choice.
+type AssignmentJSON struct {
+	Node    int         `json:"node"`
+	Name    string      `json:"node_name"`
+	Kind    string      `json:"kind"`
+	Layer   string      `json:"layer,omitempty"`
+	Pattern string      `json:"pattern"`
+	In      string      `json:"in"`
+	Out     string      `json:"out"`
+	SRC     string      `json:"src,omitempty"`
+	Weights []string    `json:"weight_specs,omitempty"`
+	Fwd     []EventJSON `json:"fwd_comm,omitempty"`
+	Bwd     []EventJSON `json:"bwd_comm,omitempty"`
+}
+
+// EventJSON is one collective event.
+type EventJSON struct {
+	Kind    string `json:"kind"`
+	Bytes   int64  `json:"bytes"`
+	Workers int    `json:"workers"`
+}
+
+func eventJSON(e comm.Event) EventJSON {
+	return EventJSON{Kind: e.Kind.String(), Bytes: e.Bytes, Workers: e.W}
+}
+
+// WriteStrategyJSON serializes a strategy.
+func WriteStrategyJSON(w io.Writer, s *strategy.Strategy) error {
+	out := StrategyJSON{
+		Model:       s.Graph.Src.Name,
+		Workers:     s.W,
+		CostSeconds: s.Cost.Total(),
+		MemBytes:    s.MemPerDev,
+	}
+	for _, gn := range s.Graph.TopoOrder() {
+		p, ok := s.Assign[gn]
+		if !ok {
+			return fmt.Errorf("export: node %v unassigned", gn)
+		}
+		a := AssignmentJSON{
+			Node:    gn.ID,
+			Name:    gn.String(),
+			Kind:    gn.Kind.String(),
+			Layer:   gn.Layer,
+			Pattern: p.Name,
+			In:      p.In.String(),
+			Out:     p.Out.String(),
+			SRC:     p.SRC,
+		}
+		for _, ws := range p.WeightSpecs {
+			a.Weights = append(a.Weights, ws.String())
+		}
+		for _, e := range p.FwdComm {
+			a.Fwd = append(a.Fwd, eventJSON(e))
+		}
+		for _, e := range p.BwdComm {
+			a.Bwd = append(a.Bwd, eventJSON(e))
+		}
+		out.Assignments = append(out.Assignments, a)
+	}
+	for _, e := range s.Reshard {
+		out.Reshard = append(out.Reshard, eventJSON(e))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadStrategyJSON parses a serialized strategy (metadata only — the
+// original graph is needed to rehydrate pattern pointers).
+func ReadStrategyJSON(r io.Reader) (*StrategyJSON, error) {
+	var out StrategyJSON
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("export: decode strategy: %w", err)
+	}
+	return &out, nil
+}
+
+// Rehydrate re-attaches a serialized strategy to its GraphNode graph,
+// reconstructing the full in-memory Strategy. The graph must be the same
+// model the strategy was searched on (checked via node count and pattern
+// availability).
+func Rehydrate(g *ir.GNGraph, sj *StrategyJSON) (*strategy.Strategy, error) {
+	if len(sj.Assignments) != len(g.Nodes) {
+		return nil, fmt.Errorf("export: strategy has %d assignments, graph has %d nodes",
+			len(sj.Assignments), len(g.Nodes))
+	}
+	assign := make(map[*ir.GraphNode]*ir.Pattern, len(g.Nodes))
+	for _, a := range sj.Assignments {
+		if a.Node < 0 || a.Node >= len(g.Nodes) {
+			return nil, fmt.Errorf("export: node id %d out of range", a.Node)
+		}
+		gn := g.Nodes[a.Node]
+		var found *ir.Pattern
+		for _, p := range ir.PatternsFor(gn, sj.Workers) {
+			if p.Name == a.Pattern {
+				found = p
+				break
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("export: pattern %q unavailable for node %v", a.Pattern, gn)
+		}
+		assign[gn] = found
+	}
+	events, err := strategy.Validate(g, assign, sj.Workers, true)
+	if err != nil {
+		return nil, fmt.Errorf("export: rehydrated strategy invalid: %w", err)
+	}
+	return &strategy.Strategy{
+		Graph:     g,
+		W:         sj.Workers,
+		Assign:    assign,
+		Reshard:   events,
+		MemPerDev: strategy.MemoryPerDevice(assign),
+	}, nil
+}
+
+// WriteDOT renders the GraphNode graph in Graphviz DOT form, coloring
+// nodes by the strategy's pattern choice when s is non-nil.
+func WriteDOT(w io.Writer, g *ir.GNGraph, s *strategy.Strategy) error {
+	var b strings.Builder
+	b.WriteString("digraph tapas {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	color := func(p *ir.Pattern) string {
+		if p == nil {
+			return "white"
+		}
+		switch {
+		case p.Name == "replicate":
+			return "lightgray"
+		case p.Name == "data-parallel" || strings.HasPrefix(p.Name, "pass-split0"):
+			return "lightblue"
+		case strings.Contains(p.Name, "column"):
+			return "palegreen"
+		case strings.Contains(p.Name, "row"):
+			return "lightsalmon"
+		case strings.Contains(p.Name, "expert"):
+			return "plum"
+		default:
+			return "khaki"
+		}
+	}
+	for _, gn := range g.Nodes {
+		var p *ir.Pattern
+		if s != nil {
+			p = s.Assign[gn]
+		}
+		label := fmt.Sprintf("%s\\n%s", gn.Kind, gn.Layer)
+		if p != nil {
+			label += "\\n" + p.Name
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", style=filled, fillcolor=%s];\n", gn.ID, label, color(p))
+	}
+	for _, gn := range g.Nodes {
+		succs := g.Succs(gn)
+		ids := make([]int, 0, len(succs))
+		for _, sc := range succs {
+			ids = append(ids, sc.ID)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", gn.ID, id)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

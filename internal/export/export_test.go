@@ -1,0 +1,164 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tapas/internal/baselines"
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/strategy"
+)
+
+func megatronPlan(t *testing.T) (*ir.GNGraph, *strategy.Strategy) {
+	t.Helper()
+	src, err := models.Build("t5-100M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baselines.Megatron(g, 8, cost.Default(cluster.V100x8()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, s
+}
+
+func TestStrategyJSONRoundTrip(t *testing.T) {
+	g, s := megatronPlan(t)
+
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sj, err := ReadStrategyJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.Workers != 8 || len(sj.Assignments) != len(g.Nodes) {
+		t.Fatalf("round trip lost data: workers=%d assignments=%d", sj.Workers, len(sj.Assignments))
+	}
+
+	re, err := Rehydrate(g, sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rehydrated strategy must assign the same pattern names.
+	for gn, p := range s.Assign {
+		if re.Assign[gn].Name != p.Name {
+			t.Errorf("node %v: %s became %s", gn, p.Name, re.Assign[gn].Name)
+		}
+	}
+	if re.MemPerDev != s.MemPerDev {
+		t.Errorf("memory changed: %d vs %d", re.MemPerDev, s.MemPerDev)
+	}
+}
+
+func TestRehydrateRejectsWrongGraph(t *testing.T) {
+	g, s := megatronPlan(t)
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sj, err := ReadStrategyJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := models.Build("resnet-26M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := ir.Group(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rehydrate(og, sj); err == nil {
+		t.Error("rehydrating onto the wrong graph must fail")
+	}
+	_ = g
+}
+
+func TestReadStrategyJSONGarbage(t *testing.T) {
+	if _, err := ReadStrategyJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage input must fail")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, s := megatronPlan(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph tapas {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("not a DOT document")
+	}
+	if !strings.Contains(out, "palegreen") {
+		t.Error("Megatron plan should color column-parallel nodes")
+	}
+	if c := strings.Count(out, "->"); c != g.NumEdges() {
+		t.Errorf("DOT has %d edges, graph has %d", c, g.NumEdges())
+	}
+
+	// Without a strategy the graph still renders.
+	buf.Reset()
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "white") {
+		t.Error("strategy-less DOT should use the default fill")
+	}
+}
+
+func TestJSONIncludesSRCAndComm(t *testing.T) {
+	_, s := megatronPlan(t)
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CAR") {
+		t.Error("JSON should carry SRC expressions")
+	}
+	if !strings.Contains(out, "AllReduce") {
+		t.Error("JSON should carry collective events")
+	}
+}
+
+func TestRehydrateSearchResult(t *testing.T) {
+	// A searched (not hand-built) strategy round-trips too.
+	src, err := models.Build("moe-380M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := cluster.V100x8()
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	s, _, err := strategy.SearchFolded(g, classes, cost.Default(cl), strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sj, err := ReadStrategyJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rehydrate(g, sj); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package graph defines the computational-graph intermediate representation
+// that every other subsystem consumes: tensors with static shapes, typed
+// operator nodes, and a directed acyclic Graph with producer/consumer edges.
+//
+// The representation deliberately mirrors what TAPAS reads out of a
+// TensorFlow GraphDef: operator kind, tensor shapes, and the dataflow
+// edges. FLOP and byte accounting is derived from shapes so the cost model
+// and the training simulator never need framework-specific metadata.
+package graph
+
+import "fmt"
+
+// DType enumerates the element types supported by the IR.
+type DType int
+
+const (
+	// F32 is IEEE-754 single precision, the precision used in the paper's
+	// evaluation ("The evaluations were performed using FP32 precision").
+	F32 DType = iota
+	// F16 is IEEE-754 half precision.
+	F16
+	// BF16 is bfloat16.
+	BF16
+	// I32 is a 32-bit signed integer (token ids, routing indices).
+	I32
+	// I64 is a 64-bit signed integer.
+	I64
+	// Bool is a single-byte boolean (masks).
+	Bool
+)
+
+// Size returns the size of one element in bytes.
+func (d DType) Size() int64 {
+	switch d {
+	case F32, I32:
+		return 4
+	case F16, BF16:
+		return 2
+	case I64:
+		return 8
+	case Bool:
+		return 1
+	default:
+		panic(fmt.Sprintf("graph: unknown dtype %d", int(d)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "f32"
+	case F16:
+		return "f16"
+	case BF16:
+		return "bf16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is the static extent of a tensor along each axis. All extents are
+// strictly positive; the IR has no dynamic dimensions (the paper's search
+// operates on concrete shapes, and so do we).
+type Shape []int64
+
+// NewShape builds a Shape from its arguments.
+func NewShape(dims ...int64) Shape {
+	s := make(Shape, len(dims))
+	copy(s, dims)
+	return s
+}
+
+// Rank returns the number of axes.
+func (s Shape) Rank() int { return len(s) }
+
+// NumElements returns the product of all extents, or 0 for an empty shape.
+func (s Shape) NumElements() int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether every extent is strictly positive.
+func (s Shape) Valid() bool {
+	if len(s) == 0 {
+		return false
+	}
+	for _, d := range s {
+		if d <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Divisible reports whether axis can be split into parts equal shards.
+func (s Shape) Divisible(axis int, parts int64) bool {
+	if axis < 0 || axis >= len(s) || parts <= 0 {
+		return false
+	}
+	return s[axis]%parts == 0
+}
+
+// Split returns a copy of s with axis divided by parts. It panics if the
+// split is not exact; callers must check Divisible first.
+func (s Shape) Split(axis int, parts int64) Shape {
+	if !s.Divisible(axis, parts) {
+		panic(fmt.Sprintf("graph: shape %v not divisible on axis %d by %d", s, axis, parts))
+	}
+	c := s.Clone()
+	c[axis] /= parts
+	return c
+}
+
+// String renders the shape as "(d0,d1,...)" to match the paper's notation.
+func (s Shape) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int64
+	}{
+		{NewShape(), 0},
+		{NewShape(1), 1},
+		{NewShape(2, 3), 6},
+		{NewShape(4, 5, 6), 120},
+	}
+	for _, c := range cases {
+		if got := c.s.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	if !NewShape(2, 3).Equal(NewShape(2, 3)) {
+		t.Error("identical shapes not equal")
+	}
+	if NewShape(2, 3).Equal(NewShape(3, 2)) {
+		t.Error("permuted shapes equal")
+	}
+	if NewShape(2, 3).Equal(NewShape(2, 3, 1)) {
+		t.Error("different ranks equal")
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if NewShape().Valid() {
+		t.Error("empty shape should be invalid")
+	}
+	if NewShape(2, 0).Valid() {
+		t.Error("zero extent should be invalid")
+	}
+	if NewShape(2, -1).Valid() {
+		t.Error("negative extent should be invalid")
+	}
+	if !NewShape(1, 7).Valid() {
+		t.Error("positive shape should be valid")
+	}
+}
+
+func TestShapeSplit(t *testing.T) {
+	s := NewShape(8, 6)
+	got := s.Split(0, 4)
+	if !got.Equal(NewShape(2, 6)) {
+		t.Errorf("Split(0,4) = %v, want (2,6)", got)
+	}
+	if !s.Equal(NewShape(8, 6)) {
+		t.Errorf("Split mutated receiver: %v", s)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Split on non-divisible axis should panic")
+		}
+	}()
+	s.Split(1, 4)
+}
+
+func TestShapeDivisible(t *testing.T) {
+	s := NewShape(8, 6)
+	cases := []struct {
+		axis  int
+		parts int64
+		want  bool
+	}{
+		{0, 2, true}, {0, 8, true}, {0, 3, false},
+		{1, 3, true}, {1, 4, false},
+		{-1, 2, false}, {2, 2, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := s.Divisible(c.axis, c.parts); got != c.want {
+			t.Errorf("Divisible(%d,%d) = %v, want %v", c.axis, c.parts, got, c.want)
+		}
+	}
+}
+
+// randomShape produces small valid shapes for property tests.
+func randomShape(r *rand.Rand) Shape {
+	rank := 1 + r.Intn(4)
+	s := make(Shape, rank)
+	for i := range s {
+		s[i] = int64(1 + r.Intn(16))
+	}
+	return s
+}
+
+func TestShapeCloneIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomShape(r)
+		c := s.Clone()
+		if !reflect.DeepEqual(s, c) {
+			return false
+		}
+		c[0]++
+		return s[0] == c[0]-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapeSplitProperty(t *testing.T) {
+	// Property: splitting a divisible axis into p parts divides the
+	// element count by exactly p and leaves other axes unchanged.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomShape(r)
+		axis := r.Intn(s.Rank())
+		s[axis] *= int64(1 + r.Intn(4)) // ensure at least one divisor > 1
+		var parts int64
+		for p := int64(2); p <= s[axis]; p++ {
+			if s[axis]%p == 0 {
+				parts = p
+				break
+			}
+		}
+		if parts == 0 {
+			return true // prime extent of 1; skip
+		}
+		split := s.Split(axis, parts)
+		if split.NumElements()*parts != s.NumElements() {
+			return false
+		}
+		for i := range s {
+			if i != axis && split[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := NewShape(3, 4).String(); got != "(3,4)" {
+		t.Errorf("String() = %q, want (3,4)", got)
+	}
+}
+
+func TestDTypeSize(t *testing.T) {
+	cases := map[DType]int64{F32: 4, F16: 2, BF16: 2, I32: 4, I64: 8, Bool: 1}
+	for dt, want := range cases {
+		if got := dt.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", dt, got, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+)
+
+const mlpSpec = `
+# a 12-layer residual MLP
+model my-mlp
+input x f32 32 1024
+repeat 12 block
+  layernorm ln x
+  dense fc1 ln 4096 gelu
+  dense fc2 fc1 1024 none
+  residual x x fc2
+end
+layer head
+dense head x 32000 none
+loss l head
+`
+
+func TestParseMLP(t *testing.T) {
+	g, err := Parse(strings.NewReader(mlpSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "my-mlp" {
+		t.Errorf("name = %q", g.Name)
+	}
+	st := g.Stats()
+	// 12 × (1024×4096 + 4096 + 4096×1024 + 1024 + LN) + head.
+	wantMin := int64(12*2*1024*4096 + 1024*32000)
+	if st.Params < wantMin {
+		t.Errorf("params = %d, want ≥ %d", st.Params, wantMin)
+	}
+	if st.L != 13 { // 12 blocks + head
+		t.Errorf("layers = %d, want 13", st.L)
+	}
+}
+
+func TestParsedGraphMinesAndFolds(t *testing.T) {
+	g, err := Parse(strings.NewReader(mlpSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ir.Group(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+	if errs := mining.CoverageCheck(gg, classes); len(errs) != 0 {
+		t.Fatalf("coverage: %v", errs[0])
+	}
+	// Twelve identical blocks must fold into one dominant class.
+	best := 0
+	for _, c := range classes {
+		if len(c.Instances) > best {
+			best = len(c.Instances)
+		}
+	}
+	if best < 10 {
+		t.Errorf("largest class has %d instances, want ≥ 10", best)
+	}
+}
+
+func TestParseConvNet(t *testing.T) {
+	spec := `
+model tiny-cnn
+input img f32 8 32 32 3
+repeat 3 stage
+  conv2d c1 img 3 3 16 1 bnrelu
+  residual img2 c1 c1
+end
+`
+	// residual of c1 with itself is silly but exercises rebinding; use a
+	// cleaner spec instead:
+	spec = `
+model tiny-cnn
+input img f32 8 32 32 3
+conv2d stem img 3 3 16 1 bnrelu
+repeat 3 stage
+  conv2d stem stem 3 3 16 1 bnrelu
+end
+layer head
+dense fc stem 10 none
+`
+	g, err := Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	convs := 0
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpConv2D {
+			convs++
+		}
+	}
+	if convs != 4 {
+		t.Errorf("convs = %d, want 4", convs)
+	}
+}
+
+func TestParseEmbedding(t *testing.T) {
+	spec := `
+model tiny-lm
+input tokens i32 8 128
+embedding emb tokens 1000 64
+layer head
+dense head emb 1000 none
+loss l head
+`
+	g, err := Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpEmbedding {
+			found = true
+			if !n.Outputs[0].Shape.Equal(graph.NewShape(8, 128, 64)) {
+				t.Errorf("embedding out shape %v", n.Outputs[0].Shape)
+			}
+		}
+	}
+	if !found {
+		t.Error("no embedding node")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"dense a b 10 relu",                   // unknown input tensor
+		"input x f32 0",                       // bad dim
+		"input x f99 4",                       // bad dtype
+		"repeat 2 b\ninput x f32 4",           // missing end
+		"end",                                 // stray end
+		"frobnicate x",                        // unknown directive
+		"input x f32 4 4\ndense y x 8 exotic", // bad activation
+	}
+	for _, spec := range bad {
+		if _, err := Parse(strings.NewReader(spec)); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	spec := "\n# all comments\nmodel m\ninput x f32 2 4 # trailing\n\ndense y x 8 relu\n"
+	g, err := Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 {
+		t.Error("empty graph")
+	}
+}
+
+func TestNestedRepeat(t *testing.T) {
+	spec := `
+model nested
+input x f32 4 64
+repeat 2 outer
+  repeat 2 inner
+    dense x x 64 relu
+  end
+end
+`
+	g, err := Parse(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matmuls := 0
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpMatMul {
+			matmuls++
+		}
+	}
+	if matmuls != 4 {
+		t.Errorf("matmuls = %d, want 4 (2×2)", matmuls)
+	}
+}

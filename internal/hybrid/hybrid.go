@@ -1,0 +1,159 @@
+// Package hybrid composes TAPAS's tensor-parallel search with an outer
+// data-parallel dimension: the cluster's GPUs are factored into
+// dp × tp groups, the TP strategy is searched once for a tp-wide group
+// (packed inside a node whenever tp ≤ GPUs/node, where NVLink makes
+// tensor parallelism cheap), and gradients synchronize across the dp
+// replicas. This is the deployment shape expert systems like Megatron-LM
+// use in practice, and a natural composition of the paper's primitives:
+// under the SRC view the outer dimension is just S0 applied on top of the
+// inner plan.
+package hybrid
+
+import (
+	"fmt"
+
+	"tapas/internal/cluster"
+	"tapas/internal/comm"
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/sim"
+	"tapas/internal/strategy"
+)
+
+// Plan is a hybrid parallel configuration.
+type Plan struct {
+	// TP is the inner tensor-parallel strategy over TPWidth devices.
+	TP *strategy.Strategy
+	// TPWidth × DPWidth = total GPUs.
+	TPWidth, DPWidth int
+}
+
+// String implements fmt.Stringer.
+func (p *Plan) String() string {
+	return fmt.Sprintf("dp=%d × tp=%d: %s", p.DPWidth, p.TPWidth, p.TP.Describe())
+}
+
+// Report extends the simulator report with the hybrid decomposition.
+type Report struct {
+	sim.Report
+	TPWidth, DPWidth int
+}
+
+// subCluster returns the cluster one TP group sees: tp devices packed as
+// densely as possible.
+func subCluster(c *cluster.Cluster, tp int) *cluster.Cluster {
+	sub := *c
+	if tp <= c.GPUsPerNode {
+		sub.NumNodes = 1
+		sub.GPUsPerNode = tp
+	} else {
+		sub.NumNodes = (tp + c.GPUsPerNode - 1) / c.GPUsPerNode
+	}
+	sub.Name = fmt.Sprintf("%s-tp%d", c.Name, tp)
+	return &sub
+}
+
+// Simulate prices a hybrid plan: the inner TP iteration runs on 1/dp of
+// the batch (approximated by dividing the data-dependent compute and
+// activation traffic by dp), then the dp replicas all-reduce every
+// non-replicated-gradient weight across the outer dimension, whose
+// bottleneck link comes from the full cluster.
+func Simulate(p *Plan, c *cluster.Cluster, cfg sim.Config) Report {
+	inner := cfg
+	inner.Cluster = subCluster(c, p.TPWidth)
+	r := sim.Run(p.TP, inner)
+	innerIter := r.IterationTime
+
+	dp := float64(p.DPWidth)
+	if dp > 1 {
+		// The batch splits across replicas: compute and exposed
+		// activation collectives scale down; weight-gradient traffic
+		// inside the TP group does not (weights are per-replica).
+		r.ComputeFwd /= dp
+		r.ComputeBwd /= dp
+		r.CommFwd /= dp
+
+		// Outer gradient synchronization across replicas: each weight
+		// shard held by a device all-reduces across the dp dimension.
+		var gradBytes int64
+		seen := map[interface{}]bool{}
+		for gn, pat := range p.TP.Assign {
+			fresh := false
+			for _, wt := range gn.Weights {
+				if !seen[wt] {
+					seen[wt] = true
+					fresh = true
+				}
+			}
+			if fresh || len(gn.Weights) == 0 {
+				gradBytes += pat.WeightBytesPerDev
+			}
+		}
+		outer := cluster.Link{}
+		// dp groups span nodes whenever dp > nodes-per-group allows;
+		// conservatively use the inter-node link when the cluster has
+		// more than one node.
+		if c.NumNodes > 1 {
+			outer = c.Inter
+		} else {
+			outer = c.Intra
+		}
+		wire := comm.WireBytes(comm.AllReduce, gradBytes, p.DPWidth)
+		steps := float64(comm.Steps(comm.AllReduce, p.DPWidth))
+		outerAR := steps*outer.Latency + float64(wire)/outer.Bandwidth
+		// Gradient sync overlaps with backward compute like any DP
+		// traffic.
+		exposed := (1 - cfg.BwdOverlap) * outerAR
+		r.CommBwd += outerAR
+		r.CommExposed += exposed
+		r.IterationTime = r.ComputeFwd + r.ComputeBwd + r.CommExposed
+		// Memory: one extra gradient staging buffer for the outer sync.
+		r.MemPerDev += gradBytes
+		r.OOM = r.MemPerDev > c.MemoryPerGP
+		// Useful model FLOPs are unchanged; rescale throughput from the
+		// inner (tp GPUs, inner time) accounting to the full cluster.
+		if r.IterationTime > 0 && innerIter > 0 {
+			r.TFLOPSPerGPU *= (innerIter * float64(p.TPWidth)) /
+				(r.IterationTime * float64(c.TotalGPUs()))
+		}
+	}
+	return Report{Report: r, TPWidth: p.TPWidth, DPWidth: p.DPWidth}
+}
+
+// Search factorizes the cluster into every dp × tp split with tp dividing
+// the per-node GPU count (so TP groups stay on NVLink), runs the folded
+// TAPAS search per tp, simulates each hybrid, and returns the fastest
+// memory-feasible plan.
+func Search(g *ir.GNGraph, c *cluster.Cluster, cfg sim.Config) (*Plan, Report, error) {
+	total := c.TotalGPUs()
+	var (
+		best    *Plan
+		bestRep Report
+	)
+	for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
+		if total%tp != 0 {
+			continue
+		}
+		dp := total / tp
+		sub := subCluster(c, tp)
+		model := cost.Default(sub)
+		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+		s, _, err := strategy.SearchFolded(g, classes, model, strategy.DefaultEnumOptions(tp), sub.MemoryPerGP)
+		if err != nil {
+			continue
+		}
+		plan := &Plan{TP: s, TPWidth: tp, DPWidth: dp}
+		rep := Simulate(plan, c, cfg)
+		if rep.OOM {
+			continue
+		}
+		if best == nil || rep.IterationTime < bestRep.IterationTime {
+			best, bestRep = plan, rep
+		}
+	}
+	if best == nil {
+		return nil, Report{}, fmt.Errorf("hybrid: no memory-feasible dp×tp factorization on %s", c)
+	}
+	return best, bestRep, nil
+}

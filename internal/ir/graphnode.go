@@ -1,0 +1,447 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tapas/internal/graph"
+)
+
+// NodeKind classifies a GraphNode by its anchor operator, which determines
+// the set of ShardingPatterns available to it.
+type NodeKind int
+
+const (
+	// KGlue groups weight-free plumbing (residual adds, layer norms,
+	// attention batched matmuls, pooling, losses). Glue nodes have no
+	// sharding choices of their own — they propagate their input layout.
+	KGlue NodeKind = iota
+	// KDense is MatMul(+BiasAdd+activation): the paper's Figure-3 example.
+	KDense
+	// KConv is Conv2D/ConvTranspose2D(+BatchNorm+ReLU).
+	KConv
+	// KEmbedding is an embedding-table gather.
+	KEmbedding
+	// KExpert is a batched matmul against a 3-D (E,·,·) expert weight.
+	KExpert
+	// KRouter is the MoE gate projection.
+	KRouter
+	// KDispatch routes tokens to experts.
+	KDispatch
+	// KCombine merges expert outputs back to token order.
+	KCombine
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KGlue:
+		return "Glue"
+	case KDense:
+		return "Dense"
+	case KConv:
+		return "Conv"
+	case KEmbedding:
+		return "Embedding"
+	case KExpert:
+		return "Expert"
+	case KRouter:
+		return "Router"
+	case KDispatch:
+		return "Dispatch"
+	case KCombine:
+		return "Combine"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// GraphNode is the paper's basic unit for deriving parallel strategies: "a
+// container of operators collectively used together". Grouping matters
+// because sharding decisions are interrelated within a layer — the anchor's
+// split determines the layout flowing through the absorbed prefix/suffix
+// operators.
+type GraphNode struct {
+	ID     int
+	Kind   NodeKind
+	Layer  string
+	Anchor *graph.Node   // weight-bearing op; nil for glue nodes
+	Ops    []*graph.Node // members in topological order
+
+	// Pre are absorbed unary operators between the boundary input and the
+	// anchor (e.g. LayerNorm, Reshape); Post are absorbed unary operators
+	// after the anchor. Both are subsets of Ops.
+	Pre, Post []*graph.Node
+
+	// InTensors are activation tensors consumed by members but produced
+	// outside; OutTensors are tensors produced by members and consumed
+	// outside (or graph-terminal).
+	InTensors, OutTensors []*graph.Tensor
+	Weights               []*graph.Tensor
+
+	sig string
+}
+
+// InShape returns the primary boundary input shape (zero Shape if the node
+// consumes only graph inputs).
+func (gn *GraphNode) InShape() graph.Shape {
+	if len(gn.InTensors) == 0 {
+		return nil
+	}
+	return gn.InTensors[0].Shape
+}
+
+// OutShape returns the primary boundary output shape.
+func (gn *GraphNode) OutShape() graph.Shape {
+	if len(gn.OutTensors) == 0 {
+		return nil
+	}
+	return gn.OutTensors[0].Shape
+}
+
+// ForwardFLOPs sums member forward FLOPs.
+func (gn *GraphNode) ForwardFLOPs() int64 {
+	var f int64
+	for _, op := range gn.Ops {
+		f += op.ForwardFLOPs()
+	}
+	return f
+}
+
+// WeightBytes sums trainable weight bytes of the node.
+func (gn *GraphNode) WeightBytes() int64 {
+	var b int64
+	for _, w := range gn.Weights {
+		b += w.Bytes()
+	}
+	return b
+}
+
+// OutBytes sums boundary output tensor bytes (the activations the node
+// must keep for the backward pass).
+func (gn *GraphNode) OutBytes() int64 {
+	var b int64
+	for _, t := range gn.OutTensors {
+		b += t.Bytes()
+	}
+	return b
+}
+
+// Signature returns a canonical structural description of the node: kind,
+// member operator kinds, weight shapes and boundary shapes. Two GraphNodes
+// with equal signatures are interchangeable for strategy reuse — the core
+// of the paper's Observation #2.
+func (gn *GraphNode) Signature() string {
+	if gn.sig != "" {
+		return gn.sig
+	}
+	var b strings.Builder
+	b.WriteString(gn.Kind.String())
+	b.WriteByte('[')
+	for i, op := range gn.Ops {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(op.Kind.String())
+	}
+	b.WriteByte(']')
+	for _, w := range gn.Weights {
+		b.WriteString("w")
+		b.WriteString(w.Shape.String())
+	}
+	if in := gn.InShape(); in != nil {
+		b.WriteString("in")
+		b.WriteString(in.String())
+	}
+	if out := gn.OutShape(); out != nil {
+		b.WriteString("out")
+		b.WriteString(out.String())
+	}
+	gn.sig = b.String()
+	return gn.sig
+}
+
+// String implements fmt.Stringer.
+func (gn *GraphNode) String() string {
+	name := gn.Kind.String()
+	if gn.Anchor != nil {
+		name = gn.Anchor.Name
+	} else if len(gn.Ops) > 0 {
+		name = gn.Ops[0].Name
+	}
+	return fmt.Sprintf("GN%d:%s(%s)", gn.ID, gn.Kind, name)
+}
+
+// GNGraph is the GraphNode-level view of a computational graph — the
+// TAPAS IR the mining and search stages operate on (Step ① of Figure 2).
+type GNGraph struct {
+	Src   *graph.Graph
+	Nodes []*GraphNode
+
+	succs map[*GraphNode][]*GraphNode
+	preds map[*GraphNode][]*GraphNode
+	owner map[*graph.Node]*GraphNode
+}
+
+// NodeOf returns the GraphNode containing the given operator.
+func (g *GNGraph) NodeOf(op *graph.Node) *GraphNode { return g.owner[op] }
+
+// Succs returns the GraphNodes consuming outputs of gn, in ID order.
+func (g *GNGraph) Succs(gn *GraphNode) []*GraphNode { return g.succs[gn] }
+
+// Preds returns the GraphNodes producing inputs of gn, in ID order.
+func (g *GNGraph) Preds(gn *GraphNode) []*GraphNode { return g.preds[gn] }
+
+// NumEdges returns the number of GraphNode-level dataflow edges.
+func (g *GNGraph) NumEdges() int {
+	e := 0
+	for _, gn := range g.Nodes {
+		e += len(g.succs[gn])
+	}
+	return e
+}
+
+// anchorKind reports whether an operator starts a weight-bearing
+// GraphNode, and the kind it implies.
+func anchorKind(n *graph.Node) (NodeKind, bool) {
+	switch n.Kind {
+	case graph.OpMatMul:
+		return KDense, true
+	case graph.OpConv2D, graph.OpConvTranspose2D:
+		return KConv, true
+	case graph.OpEmbedding:
+		return KEmbedding, true
+	case graph.OpGate:
+		return KRouter, true
+	case graph.OpDispatch:
+		return KDispatch, true
+	case graph.OpCombine:
+		return KCombine, true
+	case graph.OpBatchMatMul:
+		if n.AttrOr("expert", 0) == 1 {
+			return KExpert, true
+		}
+		return KGlue, false
+	default:
+		return KGlue, false
+	}
+}
+
+// absorbablePost lists operator kinds a GraphNode may absorb after its
+// anchor: unary, weight-free-or-bias-only, layout-transparent under
+// PropagateSpec.
+func absorbablePost(k graph.OpKind) bool {
+	switch k {
+	case graph.OpBiasAdd, graph.OpReLU, graph.OpGeLU, graph.OpSigmoid,
+		graph.OpTanh, graph.OpDropout, graph.OpIdentity, graph.OpBatchNorm,
+		graph.OpSoftmax, graph.OpReshape:
+		return true
+	default:
+		return false
+	}
+}
+
+// absorbablePre lists operator kinds absorbed before an anchor.
+func absorbablePre(k graph.OpKind) bool {
+	return k == graph.OpLayerNorm || k == graph.OpReshape
+}
+
+// Group converts an operator graph into the GraphNode graph (Step ① in
+// Figure 2). Weight-bearing anchors absorb adjacent unary plumbing; the
+// remaining operators become glue nodes. Grouping requires no expert
+// annotation — it is driven purely by operator kinds and fan-out.
+func Group(src *graph.Graph) (*GNGraph, error) {
+	order, err := src.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	g := &GNGraph{
+		Src:   src,
+		succs: make(map[*GraphNode][]*GraphNode),
+		preds: make(map[*GraphNode][]*GraphNode),
+		owner: make(map[*graph.Node]*GraphNode),
+	}
+	assigned := make(map[*graph.Node]bool)
+
+	singleConsumer := func(n *graph.Node) (*graph.Node, bool) {
+		if len(n.Outputs) != 1 {
+			return nil, false
+		}
+		cs := src.Consumers(n.Outputs[0])
+		if len(cs) != 1 {
+			return nil, false
+		}
+		return cs[0], true
+	}
+
+	// Pass 1: anchors in topological order, absorbing backward then
+	// forward.
+	for _, n := range order {
+		if assigned[n] {
+			continue
+		}
+		kind, isAnchor := anchorKind(n)
+		if !isAnchor {
+			continue
+		}
+		gn := &GraphNode{Kind: kind, Layer: n.Layer, Anchor: n}
+
+		// Absorb backward: unary prefix ops feeding only this chain.
+		var pre []*graph.Node
+		cur := n
+		for {
+			p := src.Producer(primaryInput(cur))
+			if p == nil || assigned[p] || !absorbablePre(p.Kind) {
+				break
+			}
+			if c, ok := singleConsumer(p); !ok || c != cur {
+				break
+			}
+			pre = append([]*graph.Node{p}, pre...)
+			cur = p
+		}
+
+		// Absorb forward: unary suffix chain.
+		var post []*graph.Node
+		tail := n
+		for {
+			c, ok := singleConsumer(tail)
+			if !ok || assigned[c] || !absorbablePost(c.Kind) {
+				break
+			}
+			// The successor must not consume other activations.
+			extra := false
+			for _, t := range c.Inputs {
+				if (t.Kind == graph.Activation || t.Kind == graph.Input) && t != tail.Outputs[0] {
+					extra = true
+				}
+			}
+			if extra {
+				break
+			}
+			post = append(post, c)
+			tail = c
+		}
+
+		gn.Pre, gn.Post = pre, post
+		gn.Ops = append(append(append([]*graph.Node{}, pre...), n), post...)
+		for _, op := range gn.Ops {
+			assigned[op] = true
+			g.owner[op] = gn
+		}
+		g.Nodes = append(g.Nodes, gn)
+	}
+
+	// Pass 2: remaining operators become glue nodes, absorbing forward
+	// through still-unassigned unary suffixes.
+	for _, n := range order {
+		if assigned[n] {
+			continue
+		}
+		gn := &GraphNode{Kind: KGlue, Layer: n.Layer}
+		var post []*graph.Node
+		tail := n
+		for {
+			c, ok := singleConsumer(tail)
+			if !ok || assigned[c] || !absorbablePost(c.Kind) {
+				break
+			}
+			if _, isAnchor := anchorKind(c); isAnchor {
+				break
+			}
+			extra := false
+			for _, t := range c.Inputs {
+				if (t.Kind == graph.Activation || t.Kind == graph.Input) && t != tail.Outputs[0] {
+					extra = true
+				}
+			}
+			if extra {
+				break
+			}
+			post = append(post, c)
+			tail = c
+		}
+		gn.Post = post
+		gn.Ops = append([]*graph.Node{n}, post...)
+		for _, op := range gn.Ops {
+			assigned[op] = true
+			g.owner[op] = gn
+		}
+		g.Nodes = append(g.Nodes, gn)
+	}
+
+	// Sort GraphNodes by the topological position of their first op and
+	// assign IDs.
+	pos := make(map[*graph.Node]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		return pos[g.Nodes[i].Ops[0]] < pos[g.Nodes[j].Ops[0]]
+	})
+	for i, gn := range g.Nodes {
+		gn.ID = i
+	}
+
+	// Compute boundaries, weights and GraphNode-level edges.
+	for _, gn := range g.Nodes {
+		member := make(map[*graph.Node]bool, len(gn.Ops))
+		for _, op := range gn.Ops {
+			member[op] = true
+		}
+		seenIn := make(map[*graph.Tensor]bool)
+		for _, op := range gn.Ops {
+			for _, t := range op.Inputs {
+				switch t.Kind {
+				case graph.Weight:
+					gn.Weights = append(gn.Weights, t)
+				case graph.Activation, graph.Input:
+					p := src.Producer(t)
+					if (p == nil || !member[p]) && !seenIn[t] {
+						seenIn[t] = true
+						gn.InTensors = append(gn.InTensors, t)
+					}
+				}
+			}
+			for _, t := range op.Outputs {
+				external := len(src.Consumers(t)) == 0
+				for _, c := range src.Consumers(t) {
+					if !member[c] {
+						external = true
+					}
+				}
+				if external {
+					gn.OutTensors = append(gn.OutTensors, t)
+				}
+			}
+		}
+	}
+	edgeSeen := make(map[[2]int]bool)
+	for _, gn := range g.Nodes {
+		for _, t := range gn.InTensors {
+			p := src.Producer(t)
+			if p == nil {
+				continue
+			}
+			from := g.owner[p]
+			key := [2]int{from.ID, gn.ID}
+			if from != gn && !edgeSeen[key] {
+				edgeSeen[key] = true
+				g.succs[from] = append(g.succs[from], gn)
+				g.preds[gn] = append(g.preds[gn], from)
+			}
+		}
+	}
+	return g, nil
+}
+
+// TopoOrder returns the GraphNodes in dependency order (they are already
+// sorted by construction).
+func (g *GNGraph) TopoOrder() []*GraphNode { return g.Nodes }
+
+// Stats mirrors graph.Stats at the GraphNode granularity, demonstrating
+// the paper's C× search-space reduction from converting the operator graph
+// to the TAPAS graph.
+func (g *GNGraph) Stats() (v, e int) { return len(g.Nodes), g.NumEdges() }

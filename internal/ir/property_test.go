@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tapas/internal/graph"
+)
+
+// randomStack builds a random dense stack with varied divisibility so
+// pattern generation hits both available and omitted splits.
+func randomStack(r *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(fmt.Sprintf("stack-%d", r.Int63()))
+	widths := []int64{63, 64, 96, 128, 100} // mixed divisibility by 8
+	batch := []int64{7, 8, 16, 24}[r.Intn(4)]
+	x := b.Input("x", graph.F32, graph.NewShape(batch, widths[r.Intn(len(widths))]))
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		b.SetLayer(fmt.Sprintf("l%d", i))
+		x = b.Dense("fc", x, widths[r.Intn(len(widths))], graph.OpReLU)
+	}
+	return b.G
+}
+
+func TestPropertyGroupCoversEveryOp(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randomStack(rand.New(rand.NewSource(seed)))
+		g, err := Group(src)
+		if err != nil {
+			return false
+		}
+		owned := 0
+		for _, gn := range g.Nodes {
+			owned += len(gn.Ops)
+			for _, op := range gn.Ops {
+				if g.NodeOf(op) != gn {
+					return false
+				}
+			}
+		}
+		return owned == len(src.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPatternsAlwaysIncludeReplicate(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randomStack(rand.New(rand.NewSource(seed)))
+		g, err := Group(src)
+		if err != nil {
+			return false
+		}
+		for _, gn := range g.Nodes {
+			for _, w := range []int{1, 2, 8} {
+				ps := PatternsFor(gn, w)
+				if len(ps) == 0 || ps[0].Name != "replicate" {
+					return false
+				}
+				// Replicate is the identity: full footprint, no comm.
+				rep := ps[0]
+				if rep.FLOPsPerDev != gn.ForwardFLOPs() ||
+					rep.WeightBytesPerDev != gn.WeightBytes() ||
+					len(rep.FwdComm)+len(rep.BwdComm) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySplitsRespectDivisibility(t *testing.T) {
+	// Any pattern that splits a weight must split it exactly.
+	f := func(seed int64) bool {
+		src := randomStack(rand.New(rand.NewSource(seed)))
+		g, err := Group(src)
+		if err != nil {
+			return false
+		}
+		const w = 8
+		for _, gn := range g.Nodes {
+			for _, p := range PatternsFor(gn, w) {
+				for i, spec := range p.WeightSpecs {
+					if spec.IsReplicated() {
+						continue
+					}
+					if !gn.Weights[i].Shape.Divisible(spec.Axis, w) {
+						return false
+					}
+				}
+				if !p.In.IsReplicated() && len(gn.InTensors) > 0 {
+					in := gn.InTensors[0].Shape
+					if p.In.Axis < in.Rank() && !in.Divisible(p.In.Axis, w) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySignatureStableAcrossCalls(t *testing.T) {
+	f := func(seed int64) bool {
+		src := randomStack(rand.New(rand.NewSource(seed)))
+		g, err := Group(src)
+		if err != nil {
+			return false
+		}
+		for _, gn := range g.Nodes {
+			if gn.Signature() != gn.Signature() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

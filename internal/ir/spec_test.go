@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"testing"
+
+	"tapas/internal/graph"
+)
+
+func TestShardSpecBasics(t *testing.T) {
+	if !Replicated().IsReplicated() {
+		t.Error("Replicated should be replicated")
+	}
+	if Split(2).IsReplicated() {
+		t.Error("Split(2) should not be replicated")
+	}
+	if Replicated().String() != "R" || Split(1).String() != "S1" {
+		t.Errorf("String: %s %s", Replicated(), Split(1))
+	}
+	if !Split(0).Equal(Split(0)) || Split(0).Equal(Split(1)) {
+		t.Error("Equal broken")
+	}
+}
+
+// mkOp builds a standalone node for propagation tests.
+func mkOp(kind graph.OpKind, in, out graph.Shape, attrs map[string]int64) *graph.Node {
+	return &graph.Node{
+		Kind:    kind,
+		Inputs:  []*graph.Tensor{graph.NewTensor("in", graph.Activation, graph.F32, in)},
+		Outputs: []*graph.Tensor{graph.NewTensor("out", graph.Activation, graph.F32, out)},
+		Attrs:   attrs,
+	}
+}
+
+func TestPropagateElementwise(t *testing.T) {
+	n := mkOp(graph.OpReLU, graph.NewShape(8, 16), graph.NewShape(8, 16), nil)
+	for _, in := range []ShardSpec{Replicated(), Split(0), Split(1)} {
+		out, ok := PropagateSpec(n, in)
+		if !ok || !out.Equal(in) {
+			t.Errorf("ReLU should pass %v through, got %v ok=%v", in, out, ok)
+		}
+	}
+}
+
+func TestPropagateSoftmaxLastAxisInvalid(t *testing.T) {
+	n := mkOp(graph.OpSoftmax, graph.NewShape(8, 16, 32), graph.NewShape(8, 16, 32), nil)
+	if _, ok := PropagateSpec(n, Split(2)); ok {
+		t.Error("softmax over split axis must be invalid")
+	}
+	if out, ok := PropagateSpec(n, Split(1)); !ok || !out.Equal(Split(1)) {
+		t.Errorf("softmax with non-normalized split should pass: %v %v", out, ok)
+	}
+}
+
+func TestPropagateLayerNormLastAxisInvalid(t *testing.T) {
+	n := mkOp(graph.OpLayerNorm, graph.NewShape(8, 16, 32), graph.NewShape(8, 16, 32), nil)
+	if _, ok := PropagateSpec(n, Split(2)); ok {
+		t.Error("layernorm over split feature axis must be invalid")
+	}
+}
+
+func TestPropagateReshapeHeadSplit(t *testing.T) {
+	// (B,S,D) → (B,H,S,Dh): the attention head split remaps hidden→heads.
+	n := mkOp(graph.OpReshape, graph.NewShape(8, 128, 1024), graph.NewShape(8, 16, 128, 64), nil)
+	out, ok := PropagateSpec(n, Split(2))
+	if !ok || !out.Equal(Split(1)) {
+		t.Errorf("hidden split should map to head split, got %v ok=%v", out, ok)
+	}
+	out, ok = PropagateSpec(n, Split(0))
+	if !ok || !out.Equal(Split(0)) {
+		t.Errorf("batch split should survive reshape, got %v ok=%v", out, ok)
+	}
+	if _, ok := PropagateSpec(n, Split(1)); ok {
+		t.Error("sequence split through head reshape should be invalid")
+	}
+}
+
+func TestPropagateReshapeHeadMerge(t *testing.T) {
+	// (B,H,S,Dh) → (B,S,D): head split maps back to hidden split.
+	n := mkOp(graph.OpReshape, graph.NewShape(8, 16, 128, 64), graph.NewShape(8, 128, 1024), nil)
+	out, ok := PropagateSpec(n, Split(1))
+	if !ok || !out.Equal(Split(2)) {
+		t.Errorf("head split should map to hidden split, got %v ok=%v", out, ok)
+	}
+}
+
+func TestInverseSpecRoundTrip(t *testing.T) {
+	// InverseSpec(PropagateSpec(s)) == s for the reshape mappings.
+	n := mkOp(graph.OpReshape, graph.NewShape(8, 128, 1024), graph.NewShape(8, 16, 128, 64), nil)
+	for _, s := range []ShardSpec{Replicated(), Split(0), Split(2)} {
+		fwd, ok := PropagateSpec(n, s)
+		if !ok {
+			t.Fatalf("forward %v failed", s)
+		}
+		back, ok := InverseSpec(n, fwd)
+		if !ok || !back.Equal(s) {
+			t.Errorf("round trip %v → %v → %v", s, fwd, back)
+		}
+	}
+}
+
+func TestPropagateBatchMatMulContraction(t *testing.T) {
+	n := mkOp(graph.OpBatchMatMul, graph.NewShape(8, 16, 128, 64), graph.NewShape(8, 16, 128, 128), nil)
+	if _, ok := PropagateSpec(n, Split(3)); ok {
+		t.Error("split contraction axis must be invalid")
+	}
+	out, ok := PropagateSpec(n, Split(1))
+	if !ok || !out.Equal(Split(1)) {
+		t.Errorf("head split should pass through batchmatmul: %v %v", out, ok)
+	}
+}
+
+func TestPropagateConcatAxis(t *testing.T) {
+	n := mkOp(graph.OpConcat, graph.NewShape(2, 8, 8, 64), graph.NewShape(2, 8, 8, 128), map[string]int64{"axis": 3})
+	if _, ok := PropagateSpec(n, Split(3)); ok {
+		t.Error("concat along split axis must be invalid")
+	}
+	if out, ok := PropagateSpec(n, Split(0)); !ok || !out.Equal(Split(0)) {
+		t.Errorf("batch split through concat: %v %v", out, ok)
+	}
+}
+
+func TestPropagateGlobalAvgPool(t *testing.T) {
+	n := mkOp(graph.OpAvgPool, graph.NewShape(8, 7, 7, 2048), graph.NewShape(8, 2048), nil)
+	out, ok := PropagateSpec(n, Split(3))
+	if !ok || !out.Equal(Split(1)) {
+		t.Errorf("channel split should map to feature split: %v %v", out, ok)
+	}
+	if _, ok := PropagateSpec(n, Split(1)); ok {
+		t.Error("spatial split through GAP must be invalid")
+	}
+}
+
+func TestPropagateCrossEntropy(t *testing.T) {
+	n := mkOp(graph.OpCrossEntropy, graph.NewShape(8, 128, 32128), graph.NewShape(8, 128), nil)
+	out, ok := PropagateSpec(n, Split(2))
+	if !ok || !out.IsReplicated() {
+		t.Errorf("vocab-split logits into loss should collapse to replicated: %v %v", out, ok)
+	}
+	out, ok = PropagateSpec(n, Split(0))
+	if !ok || !out.Equal(Split(0)) {
+		t.Errorf("batch split through loss: %v %v", out, ok)
+	}
+}
+
+func TestPropagateReplicatedAlwaysOK(t *testing.T) {
+	kinds := []graph.OpKind{graph.OpSoftmax, graph.OpLayerNorm, graph.OpReshape,
+		graph.OpBatchMatMul, graph.OpConcat, graph.OpTopK}
+	for _, k := range kinds {
+		n := mkOp(k, graph.NewShape(4, 8, 16), graph.NewShape(4, 8, 16), nil)
+		out, ok := PropagateSpec(n, Replicated())
+		if !ok || !out.IsReplicated() {
+			t.Errorf("%v: replicated should always propagate", k)
+		}
+	}
+}
+
+func TestSRCFormat(t *testing.T) {
+	// Reproduce the paper's Figure-3 row-parallel expression.
+	expr := Apply("ReLU",
+		C(commAllReduce(), S(0, Apply("MatMul", In("In")))),
+		R(In("BiasAdd")))
+	got := Format(expr)
+	want := "ReLU(CAR(S0(MatMul(In))),R(BiasAdd))"
+	if got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,91 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"tapas/internal/comm"
+)
+
+// Expr is a node of a Split-Replica-Communication expression. SRC
+// expressions describe a parallelized implementation symbolically: which
+// tensors are split on which axis, which are replicated, and which
+// collectives recombine partial results — e.g. the paper's Figure 3
+// renders the row-parallel dense layer as
+//
+//	Out = ReLU[CAR(S0(MatMul(In))) + R(BiasAdd)]
+type Expr interface {
+	src(b *strings.Builder)
+}
+
+// InExpr names an input tensor.
+type InExpr struct{ Name string }
+
+// SplitExpr shards its operand on Axis (the paper's S_k).
+type SplitExpr struct {
+	Axis int
+	Of   Expr
+}
+
+// ReplicaExpr replicates its operand on every device (the paper's R).
+type ReplicaExpr struct{ Of Expr }
+
+// CommExpr applies a collective to its operand (the paper's C_AR, C_AG…).
+type CommExpr struct {
+	Kind comm.Kind
+	Of   Expr
+}
+
+// OpApply applies a named operation to arguments.
+type OpApply struct {
+	Name string
+	Args []Expr
+}
+
+func (e InExpr) src(b *strings.Builder) { b.WriteString(e.Name) }
+
+func (e SplitExpr) src(b *strings.Builder) {
+	fmt.Fprintf(b, "S%d(", e.Axis)
+	e.Of.src(b)
+	b.WriteByte(')')
+}
+
+func (e ReplicaExpr) src(b *strings.Builder) {
+	b.WriteString("R(")
+	e.Of.src(b)
+	b.WriteByte(')')
+}
+
+func (e CommExpr) src(b *strings.Builder) {
+	b.WriteString(e.Kind.SRCSymbol())
+	b.WriteByte('(')
+	e.Of.src(b)
+	b.WriteByte(')')
+}
+
+func (e OpApply) src(b *strings.Builder) {
+	b.WriteString(e.Name)
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		a.src(b)
+	}
+	b.WriteByte(')')
+}
+
+// Format renders an SRC expression in the paper's notation.
+func Format(e Expr) string {
+	var b strings.Builder
+	e.src(&b)
+	return b.String()
+}
+
+// In, S, R, C and Apply are convenience constructors for readable pattern
+// definitions.
+func In(name string) Expr            { return InExpr{Name: name} }
+func S(axis int, of Expr) Expr       { return SplitExpr{Axis: axis, Of: of} }
+func R(of Expr) Expr                 { return ReplicaExpr{Of: of} }
+func C(k comm.Kind, of Expr) Expr    { return CommExpr{Kind: k, Of: of} }
+func Apply(n string, a ...Expr) Expr { return OpApply{Name: n, Args: a} }

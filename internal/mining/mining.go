@@ -1,0 +1,532 @@
+// Package mining implements the paper's Algorithm 1: Apriori frequent
+// subgraph search over the GraphNode graph, plus the folding step that
+// partitions the graph into classes of identical subgraphs so the strategy
+// search runs once per unique subgraph instead of once per occurrence.
+package mining
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"time"
+
+	"tapas/internal/ir"
+)
+
+// Options control the mining thresholds of Algorithm 1.
+type Options struct {
+	// MinSupport is the minimum occurrence count for a subgraph to be
+	// considered frequent. Zero selects the paper's default — "we set
+	// [minSupport] to be the number of layers", i.e. the repeat count of
+	// the dominant repeated block, derived automatically from the graph.
+	MinSupport int
+	// MinSize is the minimum number of GraphNodes in an output subgraph
+	// (the minSize knob swept in the paper's Figure 10).
+	MinSize int
+	// MaxSize bounds candidate growth; 64 by default.
+	MaxSize int
+	// MaxInstancesPerPattern and MaxPatternsPerLevel bound the Apriori
+	// frontier so mining stays polynomial on adversarial graphs.
+	MaxInstancesPerPattern int
+	MaxPatternsPerLevel    int
+}
+
+// DefaultOptions returns the thresholds used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{
+		MinSupport:             0, // auto
+		MinSize:                4,
+		MaxSize:                64,
+		MaxInstancesPerPattern: 256,
+		MaxPatternsPerLevel:    8,
+	}
+}
+
+// Instance is one embedding of a pattern: a connected set of GraphNodes,
+// sorted by ID.
+type Instance []*ir.GraphNode
+
+// key returns a collision-resistant identity for the node set.
+func (in Instance) key() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, gn := range in {
+		putUint64(&buf, uint64(gn.ID))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func putUint64(buf *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}
+
+// contains reports membership of a GraphNode.
+func (in Instance) contains(gn *ir.GraphNode) bool {
+	for _, m := range in {
+		if m == gn {
+			return true
+		}
+	}
+	return false
+}
+
+// Subgraph is a frequent pattern with all its discovered embeddings.
+type Subgraph struct {
+	Signature string
+	Size      int
+	Instances []Instance
+}
+
+// Support returns the embedding count.
+func (s *Subgraph) Support() int { return len(s.Instances) }
+
+// Result is the output of Mine.
+type Result struct {
+	// Frequent lists every frequent subgraph meeting MinSize, largest
+	// first.
+	Frequent []*Subgraph
+	// Elapsed is the mining wall-clock time (the paper's Figure 10
+	// right panel).
+	Elapsed time.Duration
+	// Levels is the number of Apriori growth iterations executed.
+	Levels int
+	// MinSupportUsed records the effective threshold (after auto
+	// derivation).
+	MinSupportUsed int
+}
+
+// miner carries the per-run interning state.
+type miner struct {
+	g      *ir.GNGraph
+	labels map[*ir.GraphNode]uint32 // interned structural label per node
+	opt    Options
+}
+
+// internLabels assigns a small integer to every distinct GraphNode
+// signature.
+func internLabels(g *ir.GNGraph) map[*ir.GraphNode]uint32 {
+	bySig := make(map[string]uint32)
+	out := make(map[*ir.GraphNode]uint32, len(g.Nodes))
+	for _, gn := range g.Nodes {
+		sig := gn.Signature()
+		id, ok := bySig[sig]
+		if !ok {
+			id = uint32(len(bySig))
+			bySig[sig] = id
+		}
+		out[gn] = id
+	}
+	return out
+}
+
+// canonicalHash produces a canonical structural hash of an instance:
+// member labels in ID order plus the internal edge relation in
+// member-index space. Instances of a repeated block keep consistent
+// internal ID ordering (GraphNodes are numbered topologically), so
+// structurally identical repeats map to equal hashes.
+func (m *miner) canonicalHash(in Instance) uint64 {
+	idx := make(map[*ir.GraphNode]int, len(in))
+	for i, gn := range in {
+		idx[gn] = i
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, gn := range in {
+		putUint64(&buf, uint64(m.labels[gn]))
+		h.Write(buf[:])
+	}
+	var edges []uint64
+	for i, gn := range in {
+		for _, s := range m.g.Succs(gn) {
+			if j, ok := idx[s]; ok {
+				edges = append(edges, uint64(i)<<32|uint64(j))
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool { return edges[a] < edges[b] })
+	for _, e := range edges {
+		putUint64(&buf, e)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// readableSig renders a human-readable signature for an emitted pattern.
+func (m *miner) readableSig(in Instance) string {
+	var b strings.Builder
+	for i, gn := range in {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(gn.Signature())
+	}
+	return b.String()
+}
+
+// AutoMinSupport derives the paper's default threshold: the multiplicity
+// of the most-repeated layer structure. Layers are compared by the
+// multiset of their GraphNode labels, so e.g. all encoder layers of a T5
+// form one group whose size becomes the support threshold.
+func AutoMinSupport(g *ir.GNGraph) int {
+	labels := internLabels(g)
+	byLayer := make(map[string][]uint32)
+	var order []string
+	for _, gn := range g.Nodes {
+		if _, ok := byLayer[gn.Layer]; !ok {
+			order = append(order, gn.Layer)
+		}
+		byLayer[gn.Layer] = append(byLayer[gn.Layer], labels[gn])
+	}
+	groups := make(map[string]int)
+	best := 2
+	for _, layer := range order {
+		ls := byLayer[layer]
+		sorted := append([]uint32{}, ls...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		key := fmt.Sprint(sorted)
+		groups[key]++
+		if groups[key] > best {
+			best = groups[key]
+		}
+	}
+	return best
+}
+
+// Mine runs Algorithm 1 over the GraphNode graph: it seeds single-node
+// candidates, counts support, then iteratively grows frequent patterns by
+// one adjacent node until no pattern stays frequent, returning all
+// frequent subgraphs with at least MinSize nodes.
+func Mine(g *ir.GNGraph, opt Options) *Result {
+	start := time.Now()
+	if opt.MinSupport <= 0 {
+		opt.MinSupport = AutoMinSupport(g)
+	}
+	if opt.MaxSize < 1 {
+		opt.MaxSize = 64
+	}
+	if opt.MaxInstancesPerPattern <= 0 {
+		opt.MaxInstancesPerPattern = 256
+	}
+	if opt.MaxPatternsPerLevel <= 0 {
+		opt.MaxPatternsPerLevel = 8
+	}
+	m := &miner{g: g, labels: internLabels(g), opt: opt}
+	res := &Result{MinSupportUsed: opt.MinSupport}
+
+	// Level 1: every GraphNode is a candidate single-node subgraph
+	// (Algorithm 1 lines 2–6).
+	level := make(map[uint64][]Instance)
+	for _, gn := range g.Nodes {
+		in := Instance{gn}
+		level[m.canonicalHash(in)] = append(level[m.canonicalHash(in)], in)
+	}
+	level = m.filterFrequent(level)
+	m.emit(res, level, 1)
+	res.Levels = 1
+
+	// Levels 2..MaxSize: extend frequent patterns by one adjacent node
+	// (lines 7–14). Extensions are enumerated once on a representative
+	// instance and replayed positionally on the others — instances of a
+	// repeated block keep consistent internal ordering, so the j-th
+	// neighbor of member i corresponds across instances; instances where
+	// the replay diverges (block boundaries) simply drop out of the
+	// support count.
+	for k := 2; k <= opt.MaxSize && len(level) > 0; k++ {
+		next := make(map[uint64][]Instance)
+		nextSeen := make(map[uint64]map[uint64]bool) // pattern → instance keys
+		for _, instances := range level {
+			rep := instances[0]
+			for i, gn := range rep {
+				neighbors := func(x *ir.GraphNode) [][]*ir.GraphNode {
+					return [][]*ir.GraphNode{g.Succs(x), g.Preds(x)}
+				}
+				for dir, nbs := range neighbors(gn) {
+					for j, nb := range nbs {
+						if rep.contains(nb) {
+							continue
+						}
+						extRep := extend(rep, nb)
+						h := m.canonicalHash(extRep)
+						if nextSeen[h] == nil {
+							nextSeen[h] = make(map[uint64]bool)
+						}
+						seen := nextSeen[h]
+						add := func(in Instance) {
+							key := in.key()
+							if seen[key] || len(next[h]) >= opt.MaxInstancesPerPattern {
+								return
+							}
+							seen[key] = true
+							next[h] = append(next[h], in)
+						}
+						add(extRep)
+						// Replay the (i, dir, j) extension on the other
+						// instances.
+						for _, inst := range instances[1:] {
+							lists := neighbors(inst[i])
+							if j >= len(lists[dir]) {
+								continue
+							}
+							nb2 := lists[dir][j]
+							if inst.contains(nb2) {
+								continue
+							}
+							ext := extend(inst, nb2)
+							if m.canonicalHash(ext) == h {
+								add(ext)
+							}
+						}
+					}
+				}
+			}
+		}
+		next = m.filterFrequent(next)
+		if len(next) == 0 {
+			break // lines 12–13: no more frequent subgraphs of size k
+		}
+		res.Levels = k
+		m.emit(res, next, k)
+		level = next
+	}
+
+	// Largest patterns first, then by support, then deterministic by
+	// signature.
+	sort.Slice(res.Frequent, func(i, j int) bool {
+		a, b := res.Frequent[i], res.Frequent[j]
+		if a.Size != b.Size {
+			return a.Size > b.Size
+		}
+		if len(a.Instances) != len(b.Instances) {
+			return len(a.Instances) > len(b.Instances)
+		}
+		return a.Signature < b.Signature
+	})
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// extend returns in ∪ {nb}, ID-sorted.
+func extend(in Instance, nb *ir.GraphNode) Instance {
+	ext := make(Instance, 0, len(in)+1)
+	ext = append(ext, in...)
+	ext = append(ext, nb)
+	sort.Slice(ext, func(a, b int) bool { return ext[a].ID < ext[b].ID })
+	return ext
+}
+
+// filterFrequent reduces each pattern to a maximal set of pairwise
+// disjoint instances (disjoint support keeps the Apriori downward-closure
+// property and is exactly what folding needs), drops infrequent patterns,
+// and caps the level width.
+func (m *miner) filterFrequent(level map[uint64][]Instance) map[uint64][]Instance {
+	out := make(map[uint64][]Instance, len(level))
+	for sig, ins := range level {
+		ins = disjointInstances(ins)
+		if len(ins) >= m.opt.MinSupport {
+			out[sig] = ins
+		}
+	}
+	if len(out) > m.opt.MaxPatternsPerLevel {
+		type kv struct {
+			sig uint64
+			n   int
+		}
+		all := make([]kv, 0, len(out))
+		for sig, ins := range out {
+			all = append(all, kv{sig, len(ins)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].sig < all[j].sig
+		})
+		trimmed := make(map[uint64][]Instance, m.opt.MaxPatternsPerLevel)
+		for _, e := range all[:m.opt.MaxPatternsPerLevel] {
+			trimmed[e.sig] = out[e.sig]
+		}
+		out = trimmed
+	}
+	return out
+}
+
+// disjointInstances greedily selects a maximal subset of pairwise
+// node-disjoint instances. Compact instances (smallest ID span) are
+// claimed first: embeddings that bridge two repeats of a block span more
+// IDs than embeddings aligned with one repeat, so this keeps the
+// surviving tiling aligned with the natural block boundaries — which both
+// maximizes the disjoint support and keeps pipeline stages cuttable.
+func disjointInstances(ins []Instance) []Instance {
+	span := func(in Instance) int { return in[len(in)-1].ID - in[0].ID }
+	sort.Slice(ins, func(a, b int) bool {
+		sa, sb := span(ins[a]), span(ins[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return ins[a][0].ID < ins[b][0].ID
+	})
+	claimed := make(map[*ir.GraphNode]bool)
+	out := ins[:0]
+	for _, in := range ins {
+		// Sprawling embeddings (e.g. star-shaped subgraphs hanging off a
+		// high-fanout tensor) are poor reuse units: they interleave with
+		// many other blocks and block pipeline-stage cuts. Cap the ID
+		// span at 4× the member count.
+		if span(in) >= 4*len(in) {
+			continue
+		}
+		free := true
+		for _, gn := range in {
+			if claimed[gn] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		for _, gn := range in {
+			claimed[gn] = true
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// emit records the frequent patterns of a level that meet MinSize.
+func (m *miner) emit(res *Result, level map[uint64][]Instance, size int) {
+	if size < m.opt.MinSize {
+		return
+	}
+	for _, ins := range level {
+		res.Frequent = append(res.Frequent, &Subgraph{
+			Signature: m.readableSig(ins[0]),
+			Size:      size,
+			Instances: ins,
+		})
+	}
+}
+
+// Class is one fold-equivalence class: disjoint structurally identical
+// subgraph instances that share a single parallel strategy. Nodes not
+// covered by any frequent pattern form singleton classes grouped by
+// GraphNode signature.
+type Class struct {
+	Signature string
+	Instances []Instance
+}
+
+// Representative returns the instance the strategy search runs on.
+func (c *Class) Representative() Instance { return c.Instances[0] }
+
+// Size returns the node count of one instance.
+func (c *Class) Size() int { return len(c.Instances[0]) }
+
+// Fold partitions the GraphNode graph into classes: it walks the frequent
+// subgraphs largest-first, greedily claims disjoint instances, and groups
+// every remaining node into per-signature singleton classes. The classes
+// are the paper's "set of unique subgraphs" — search effort is spent once
+// per class.
+func Fold(g *ir.GNGraph, res *Result) []*Class {
+	claimed := make(map[*ir.GraphNode]bool)
+	var classes []*Class
+
+	// Consume patterns by total coverage (size × support): a pattern that
+	// tiles the whole repeated stack (e.g. exactly one transformer layer,
+	// L times) beats a slightly larger pattern that straddles block
+	// boundaries and therefore embeds fewer times.
+	ordered := append([]*Subgraph{}, res.Frequent...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		ci := ordered[i].Size * len(ordered[i].Instances)
+		cj := ordered[j].Size * len(ordered[j].Instances)
+		if ci != cj {
+			return ci > cj
+		}
+		return ordered[i].Size > ordered[j].Size
+	})
+
+	for _, sub := range ordered {
+		var taken []Instance
+		for _, in := range sub.Instances {
+			free := true
+			for _, gn := range in {
+				if claimed[gn] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			for _, gn := range in {
+				claimed[gn] = true
+			}
+			taken = append(taken, in)
+		}
+		// A pattern with a single claimable instance offers no reuse:
+		// release it so its nodes fall to better-aligned patterns or to
+		// per-signature singletons.
+		if len(taken) < 2 {
+			for _, in := range taken {
+				for _, gn := range in {
+					claimed[gn] = false
+				}
+			}
+			continue
+		}
+		classes = append(classes, &Class{Signature: sub.Signature, Instances: taken})
+	}
+
+	// Leftovers: group singletons by node signature so e.g. the encoder
+	// and decoder embedding lookups still share one search.
+	bySig := make(map[string]*Class)
+	var order []string
+	for _, gn := range g.Nodes {
+		if claimed[gn] {
+			continue
+		}
+		sig := gn.Signature()
+		c, ok := bySig[sig]
+		if !ok {
+			c = &Class{Signature: sig}
+			bySig[sig] = c
+			order = append(order, sig)
+		}
+		c.Instances = append(c.Instances, Instance{gn})
+	}
+	for _, sig := range order {
+		classes = append(classes, bySig[sig])
+	}
+	return classes
+}
+
+// CoverageCheck verifies the fold invariant: every GraphNode belongs to
+// exactly one instance of exactly one class. It returns an error message
+// list (empty when the partition is valid) — part of the paper's static
+// analysis that "the optimized subgraphs will combine to form a valid
+// solution".
+func CoverageCheck(g *ir.GNGraph, classes []*Class) []string {
+	count := make(map[*ir.GraphNode]int)
+	for _, c := range classes {
+		for _, in := range c.Instances {
+			for _, gn := range in {
+				count[gn]++
+			}
+		}
+	}
+	var errs []string
+	for _, gn := range g.Nodes {
+		switch count[gn] {
+		case 1:
+		case 0:
+			errs = append(errs, fmt.Sprintf("node %v not covered", gn))
+		default:
+			errs = append(errs, fmt.Sprintf("node %v covered %d times", gn, count[gn]))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,100 @@
+package mining
+
+import (
+	"testing"
+
+	"tapas/internal/ir"
+	"tapas/internal/models"
+)
+
+func TestAutoMinSupportMatchesLayerRepeats(t *testing.T) {
+	cases := map[string]int{
+		"t5-770M":  24, // 24 encoder + 24 decoder layers → dominant group 24
+		"t5-100M":  2,
+		"moe-1.3B": 8, // 16 layers alternating dense/moe → 8 of each
+	}
+	for name, want := range cases {
+		src, err := models.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ir.Group(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := AutoMinSupport(g); got != want {
+			t.Errorf("%s: AutoMinSupport = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestFoldAlignsWithLayerBoundaries(t *testing.T) {
+	// After the compact-instance preference, the dominant class's
+	// instances must be ID-contiguous (no bridging across repeats).
+	src, err := models.Build("t5-300M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := Fold(g, Mine(g, DefaultOptions()))
+	var dominant *Class
+	for _, c := range classes {
+		if dominant == nil || len(c.Instances)*c.Size() > len(dominant.Instances)*dominant.Size() {
+			dominant = c
+		}
+	}
+	if dominant == nil || len(dominant.Instances) < 4 {
+		t.Fatalf("no dominant class found")
+	}
+	for _, in := range dominant.Instances {
+		span := in[len(in)-1].ID - in[0].ID + 1
+		// Encoder instances are exactly contiguous; decoder embeddings of
+		// the shared pattern interleave with cross-attention, so allow up
+		// to the 4× compactness bound enforced by the miner.
+		if span >= 4*len(in) {
+			t.Errorf("instance spans %d IDs for %d members (sprawling)", span, len(in))
+		}
+	}
+}
+
+func TestFoldReleasesSingleInstancePatterns(t *testing.T) {
+	// Every multi-node class must have at least two instances (single
+	// instances are released to singletons).
+	src, err := models.Build("moe-690M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := Fold(g, Mine(g, DefaultOptions()))
+	for _, c := range classes {
+		if c.Size() > 1 && len(c.Instances) < 2 {
+			t.Errorf("multi-node class with a single instance survived: size=%d", c.Size())
+		}
+	}
+}
+
+func TestMineSublinearInDepth(t *testing.T) {
+	// The paper's scalability claim: the folded class count is constant
+	// as the model deepens.
+	count := func(name string) int {
+		src, err := models.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ir.Group(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(Fold(g, Mine(g, DefaultOptions())))
+	}
+	small, large := count("t5-200M"), count("t5-1.4B")
+	if large > small+4 {
+		t.Errorf("class count should stay ~constant with depth: %d → %d", small, large)
+	}
+}

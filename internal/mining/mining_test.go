@@ -1,0 +1,192 @@
+package mining
+
+import (
+	"fmt"
+	"testing"
+
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+	"tapas/internal/models"
+)
+
+// chainGraph builds n identical dense layers (each one GraphNode).
+func chainGraph(t testing.TB, n int) *ir.GNGraph {
+	t.Helper()
+	b := graph.NewBuilder("chain")
+	x := b.Input("x", graph.F32, graph.NewShape(32, 64))
+	for i := 0; i < n; i++ {
+		b.SetLayer(fmt.Sprintf("dense.%d", i))
+		x = b.Dense("dense", x, 64, graph.OpReLU)
+	}
+	g, err := ir.Group(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMineChainFindsRepeats(t *testing.T) {
+	g := chainGraph(t, 8)
+	opt := DefaultOptions()
+	opt.MinSize = 1
+	res := Mine(g, opt)
+	if len(res.Frequent) == 0 {
+		t.Fatal("no frequent subgraphs in an 8× repeated chain")
+	}
+	// The single-node dense pattern must appear 8 times.
+	found := false
+	for _, s := range res.Frequent {
+		if s.Size == 1 && s.Support() == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("size-1 pattern with support 8 missing")
+	}
+}
+
+func TestMineRespectsMinSupport(t *testing.T) {
+	g := chainGraph(t, 3)
+	opt := DefaultOptions()
+	opt.MinSize = 1
+	opt.MinSupport = 4 // more than the 3 occurrences
+	res := Mine(g, opt)
+	for _, s := range res.Frequent {
+		if s.Support() < 4 {
+			t.Errorf("pattern with support %d < minSupport emitted", s.Support())
+		}
+	}
+}
+
+func TestMineRespectsMinSize(t *testing.T) {
+	g := chainGraph(t, 8)
+	opt := DefaultOptions()
+	opt.MinSize = 3
+	res := Mine(g, opt)
+	for _, s := range res.Frequent {
+		if s.Size < 3 {
+			t.Errorf("pattern of size %d < minSize emitted", s.Size)
+		}
+	}
+}
+
+func TestMineT5FoldsToFewClasses(t *testing.T) {
+	// The headline result: a deep transformer folds to a handful of
+	// unique subgraphs (the paper reports 6561 nodes → 5 for T5-Large).
+	src := models.T5(models.T5Sized("200M")) // 6+6 layers
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Mine(g, DefaultOptions())
+	classes := Fold(g, res)
+
+	if errs := CoverageCheck(g, classes); len(errs) != 0 {
+		t.Fatalf("fold coverage broken: %v", errs[:min(3, len(errs))])
+	}
+	v, _ := g.Stats()
+	if len(classes) >= v/4 {
+		t.Errorf("folding too weak: %d classes for %d GraphNodes", len(classes), v)
+	}
+	// Encoder layers must share one class with ≥ 5 instances.
+	best := 0
+	for _, c := range classes {
+		if len(c.Instances) > best {
+			best = len(c.Instances)
+		}
+	}
+	if best < 5 {
+		t.Errorf("largest class has %d instances, want ≥ 5 (repeated enc layers)", best)
+	}
+}
+
+func TestFoldDisjointAndComplete(t *testing.T) {
+	for _, name := range []string{"t5-100M", "moe-380M", "resnet-26M", "gpt-125M"} {
+		src, err := models.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ir.Group(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := Fold(g, Mine(g, DefaultOptions()))
+		if errs := CoverageCheck(g, classes); len(errs) != 0 {
+			t.Errorf("%s: coverage errors: %v", name, errs[:min(3, len(errs))])
+		}
+		// Instances within a class have equal sizes.
+		for _, c := range classes {
+			for _, in := range c.Instances {
+				if len(in) != c.Size() {
+					t.Errorf("%s: instance size %d != class size %d", name, len(in), c.Size())
+				}
+			}
+		}
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	g := chainGraph(t, 6)
+	opt := DefaultOptions()
+	opt.MinSize = 1
+	a, b := Mine(g, opt), Mine(g, opt)
+	if len(a.Frequent) != len(b.Frequent) {
+		t.Fatalf("non-deterministic result sizes: %d vs %d", len(a.Frequent), len(b.Frequent))
+	}
+	for i := range a.Frequent {
+		if a.Frequent[i].Signature != b.Frequent[i].Signature {
+			t.Errorf("pattern %d differs across runs", i)
+		}
+	}
+}
+
+func TestMineGrowthStopsAtRepeatBoundary(t *testing.T) {
+	// With minSupport equal to the repeat count, patterns cannot grow
+	// beyond one repeat unit: a subgraph spanning two units occurs only
+	// repeatCount-1 times.
+	g := chainGraph(t, 5)
+	opt := DefaultOptions()
+	opt.MinSize = 1
+	opt.MinSupport = 5
+	res := Mine(g, opt)
+	for _, s := range res.Frequent {
+		if s.Size > 1 {
+			t.Errorf("pattern of size %d should not be frequent at support 5", s.Size)
+		}
+	}
+}
+
+func TestMineElapsedRecorded(t *testing.T) {
+	g := chainGraph(t, 4)
+	res := Mine(g, DefaultOptions())
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed must be positive")
+	}
+}
+
+func TestCanonicalSigDistinguishesStructure(t *testing.T) {
+	// Two dense layers with different widths must not share a signature.
+	b := graph.NewBuilder("mixed")
+	x := b.Input("x", graph.F32, graph.NewShape(32, 64))
+	b.SetLayer("a")
+	y := b.Dense("a", x, 64, graph.OpReLU)
+	b.SetLayer("b")
+	b.Dense("b", y, 128, graph.OpReLU)
+	g, err := ir.Group(b.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &miner{g: g, labels: internLabels(g), opt: DefaultOptions()}
+	s0 := m.canonicalHash(Instance{g.Nodes[0]})
+	s1 := m.canonicalHash(Instance{g.Nodes[1]})
+	if s0 == s1 {
+		t.Error("different dense widths should have different signatures")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package models
+
+import (
+	"fmt"
+
+	"tapas/internal/graph"
+)
+
+// GPTConfig describes a decoder-only transformer (GPT/BERT-style stack
+// without cross-attention). Used to widen the Table-2 architecture pool
+// and as an example workload.
+type GPTConfig struct {
+	Name   string
+	Batch  int64
+	SeqLen int64
+	DModel int64
+	DFF    int64
+	Heads  int64
+	Vocab  int64
+	Layers int
+}
+
+// GPTSmall returns a ~125M-parameter decoder-only model.
+func GPTSmall() GPTConfig {
+	return GPTConfig{Name: "gpt-125M", Batch: 8, SeqLen: 512,
+		DModel: 768, DFF: 3072, Heads: 12, Vocab: 50257, Layers: 12}
+}
+
+// GPT builds a decoder-only transformer graph.
+func GPT(cfg GPTConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("embed")
+	tokens := b.Input("tokens", graph.I32, graph.NewShape(cfg.Batch, cfg.SeqLen))
+	table := b.Weight("embed_table", graph.NewShape(cfg.Vocab, cfg.DModel))
+	h := b.Op(graph.OpEmbedding, "embed",
+		graph.NewShape(cfg.Batch, cfg.SeqLen, cfg.DModel), tokens, table)
+
+	for i := 0; i < cfg.Layers; i++ {
+		b.SetLayer(fmt.Sprintf("block.%d", i))
+		h = transformerLayer(b, h, nil, cfg.DModel, cfg.DFF, cfg.Heads)
+	}
+
+	b.SetLayer("lm_head")
+	logits := b.Dense("lm_head", h, cfg.Vocab, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch, cfg.SeqLen), logits)
+	return b.G
+}
+
+// UNetConfig describes the "U"-shaped segmentation CNN the paper's
+// introduction motivates (medical imaging). Encoder stages halve spatial
+// extent and double channels; decoder stages up-convolve and concatenate
+// the skip connection.
+type UNetConfig struct {
+	Name   string
+	Batch  int64
+	Image  int64
+	BaseC  int64
+	Stages int
+}
+
+// UNetSmall returns a 4-stage U-Net on 256×256 inputs.
+func UNetSmall() UNetConfig {
+	return UNetConfig{Name: "unet-small", Batch: 8, Image: 256, BaseC: 64, Stages: 4}
+}
+
+// UNet builds the encoder–decoder segmentation network with skip
+// connections.
+func UNet(cfg UNetConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+	x := b.Input("image", graph.F32, graph.NewShape(cfg.Batch, cfg.Image, cfg.Image, 1))
+
+	// Encoder path; remember skip tensors.
+	skips := make([]*graph.Tensor, 0, cfg.Stages)
+	h := x
+	c := cfg.BaseC
+	for s := 0; s < cfg.Stages; s++ {
+		b.SetLayer(fmt.Sprintf("down.%d", s))
+		h = b.Conv2D("conv_a", h, 3, 3, c, 1, true)
+		h = b.Conv2D("conv_b", h, 3, 3, c, 1, true)
+		skips = append(skips, h)
+		h = b.OpAttrs(graph.OpMaxPool, "pool",
+			graph.NewShape(h.Shape[0], h.Shape[1]/2, h.Shape[2]/2, c),
+			map[string]int64{"kH": 2, "kW": 2, "stride": 2}, h)
+		c *= 2
+	}
+
+	b.SetLayer("bottom")
+	h = b.Conv2D("bottom_a", h, 3, 3, c, 1, true)
+	h = b.Conv2D("bottom_b", h, 3, 3, c, 1, true)
+
+	// Decoder path with skip concatenation.
+	for s := cfg.Stages - 1; s >= 0; s-- {
+		b.SetLayer(fmt.Sprintf("up.%d", s))
+		c /= 2
+		up := upConv(b, h, c)
+		skip := skips[s]
+		cat := b.Op(graph.OpConcat, "skip_cat",
+			graph.NewShape(up.Shape[0], up.Shape[1], up.Shape[2], up.Shape[3]+skip.Shape[3]),
+			up, skip)
+		h = b.Conv2D("conv_a", cat, 3, 3, c, 1, true)
+		h = b.Conv2D("conv_b", h, 3, 3, c, 1, true)
+	}
+
+	b.SetLayer("head")
+	b.Conv2D("seg_head", h, 1, 1, 2, 1, false)
+	return b.G
+}
+
+// upConv appends a 2×2 transposed convolution doubling spatial extent.
+func upConv(b *graph.Builder, x *graph.Tensor, outC int64) *graph.Tensor {
+	in := x.Shape
+	w := b.Weight(b.Layer()+"_upconv_w", graph.NewShape(2, 2, in[3], outC))
+	return b.OpAttrs(graph.OpConvTranspose2D, "upconv",
+		graph.NewShape(in[0], in[1]*2, in[2]*2, outC),
+		map[string]int64{"stride": 2}, x, w)
+}
+
+// TwoTowerConfig describes the recommendation two-tower model from the
+// paper's introduction: a user tower and an item tower with different
+// widths feeding a dot-product scoring head.
+type TwoTowerConfig struct {
+	Name       string
+	Batch      int64
+	UserVocab  int64
+	ItemVocab  int64
+	EmbedDim   int64
+	UserLayers []int64
+	ItemLayers []int64
+}
+
+// TwoTowerSmall returns a representative recommender configuration.
+func TwoTowerSmall() TwoTowerConfig {
+	return TwoTowerConfig{
+		Name: "twotower-small", Batch: 256,
+		UserVocab: 2_000_000, ItemVocab: 5_000_000, EmbedDim: 128,
+		UserLayers: []int64{512, 256, 128},
+		ItemLayers: []int64{1024, 512, 128},
+	}
+}
+
+// TwoTower builds the two-tower recommender graph. The towers differ in
+// design, so unlike the transformer case there is no cross-tower subgraph
+// reuse — only intra-tower repetition.
+func TwoTower(cfg TwoTowerConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	tower := func(side string, vocab int64, layers []int64) *graph.Tensor {
+		b.SetLayer(side + ".embed")
+		ids := b.Input(side+"_ids", graph.I32, graph.NewShape(cfg.Batch))
+		table := b.Weight(side+"_embed_table", graph.NewShape(vocab, cfg.EmbedDim))
+		h := b.Op(graph.OpEmbedding, side+"_embed",
+			graph.NewShape(cfg.Batch, cfg.EmbedDim), ids, table)
+		for i, width := range layers {
+			b.SetLayer(fmt.Sprintf("%s.mlp%d", side, i))
+			h = b.Dense(fmt.Sprintf("%s_fc%d", side, i), h, width, graph.OpReLU)
+		}
+		return h
+	}
+
+	u := tower("user", cfg.UserVocab, cfg.UserLayers)
+	v := tower("item", cfg.ItemVocab, cfg.ItemLayers)
+
+	b.SetLayer("score")
+	score := b.Op(graph.OpMul, "dot_mul", u.Shape.Clone(), u, v)
+	b.Op(graph.OpSigmoid, "score_sigmoid", score.Shape.Clone(), score)
+	return b.G
+}

@@ -1,0 +1,154 @@
+package models
+
+import (
+	"fmt"
+
+	"tapas/internal/graph"
+)
+
+// BERTConfig describes an encoder-only transformer with a classification
+// head — the BERT family the paper cites as a canonical scaling-by-depth
+// architecture.
+type BERTConfig struct {
+	Name    string
+	Batch   int64
+	SeqLen  int64
+	DModel  int64
+	DFF     int64
+	Heads   int64
+	Vocab   int64
+	Layers  int
+	Classes int64
+}
+
+// BERTBase returns the ~110M-parameter BERT-base configuration.
+func BERTBase() BERTConfig {
+	return BERTConfig{Name: "bert-base", Batch: 16, SeqLen: 512,
+		DModel: 768, DFF: 3072, Heads: 12, Vocab: 30522, Layers: 12, Classes: 2}
+}
+
+// BERTLarge returns the ~340M-parameter BERT-large configuration.
+func BERTLarge() BERTConfig {
+	return BERTConfig{Name: "bert-large", Batch: 16, SeqLen: 512,
+		DModel: 1024, DFF: 4096, Heads: 16, Vocab: 30522, Layers: 24, Classes: 2}
+}
+
+// BERT builds the encoder-only transformer with a pooled classifier.
+func BERT(cfg BERTConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("embed")
+	tokens := b.Input("tokens", graph.I32, graph.NewShape(cfg.Batch, cfg.SeqLen))
+	table := b.Weight("embed_table", graph.NewShape(cfg.Vocab, cfg.DModel))
+	h := b.Op(graph.OpEmbedding, "embed",
+		graph.NewShape(cfg.Batch, cfg.SeqLen, cfg.DModel), tokens, table)
+
+	for i := 0; i < cfg.Layers; i++ {
+		b.SetLayer(fmt.Sprintf("enc.%d", i))
+		h = transformerLayer(b, h, nil, cfg.DModel, cfg.DFF, cfg.Heads)
+	}
+
+	// Pooler: first-token representation through a tanh dense, then the
+	// task head.
+	b.SetLayer("pooler")
+	cls := b.Op(graph.OpReshape, "cls_token", graph.NewShape(cfg.Batch, cfg.DModel), h)
+	pooled := b.Dense("pooler", cls, cfg.DModel, graph.OpTanh)
+	logits := b.Dense("cls_head", pooled, cfg.Classes, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch), logits)
+	return b.G
+}
+
+// ViTConfig describes a Vision Transformer: patch embedding via a strided
+// convolution followed by a transformer encoder — the scaling-on-depth
+// image model cited alongside BERT.
+type ViTConfig struct {
+	Name    string
+	Batch   int64
+	Image   int64
+	Patch   int64
+	DModel  int64
+	DFF     int64
+	Heads   int64
+	Layers  int
+	Classes int64
+}
+
+// ViTBase returns the ViT-B/16 configuration (~86M parameters).
+func ViTBase() ViTConfig {
+	return ViTConfig{Name: "vit-base", Batch: 64, Image: 224, Patch: 16,
+		DModel: 768, DFF: 3072, Heads: 12, Layers: 12, Classes: 1000}
+}
+
+// ViT builds the patch-embedded transformer classifier.
+func ViT(cfg ViTConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("patch_embed")
+	img := b.Input("image", graph.F32, graph.NewShape(cfg.Batch, cfg.Image, cfg.Image, 3))
+	patches := b.Conv2D("patch_proj", img, cfg.Patch, cfg.Patch, cfg.DModel, cfg.Patch, false)
+	seq := (cfg.Image / cfg.Patch) * (cfg.Image / cfg.Patch)
+	h := b.Op(graph.OpReshape, "to_tokens", graph.NewShape(cfg.Batch, seq, cfg.DModel), patches)
+
+	for i := 0; i < cfg.Layers; i++ {
+		b.SetLayer(fmt.Sprintf("block.%d", i))
+		h = transformerLayer(b, h, nil, cfg.DModel, cfg.DFF, cfg.Heads)
+	}
+
+	b.SetLayer("head")
+	pooled := b.OpAttrs(graph.OpAvgPool, "token_pool",
+		graph.NewShape(cfg.Batch, cfg.DModel),
+		map[string]int64{"kH": seq, "kW": 1}, h)
+	logits := b.Dense("cls_head", pooled, cfg.Classes, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch), logits)
+	return b.G
+}
+
+// WideResNetConfig describes a width-scaled residual network — the
+// "go wider instead of deeper" axis.
+type WideResNetConfig struct {
+	Name    string
+	Batch   int64
+	Image   int64
+	Widen   int64 // channel multiplier
+	Blocks  [4]int
+	Classes int64
+}
+
+// WideResNet50x2 returns a 2× width ResNet-50 (~160M params backbone +
+// head).
+func WideResNet50x2() WideResNetConfig {
+	return WideResNetConfig{Name: "wideresnet50x2", Batch: 256, Image: 224,
+		Widen: 2, Blocks: [4]int{3, 4, 6, 3}, Classes: 1000}
+}
+
+// WideResNet builds the widened bottleneck network.
+func WideResNet(cfg WideResNetConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("stem")
+	x := b.Input("image", graph.F32, graph.NewShape(cfg.Batch, cfg.Image, cfg.Image, 3))
+	h := b.Conv2D("stem_conv", x, 7, 7, 64*cfg.Widen, 2, true)
+	h = b.OpAttrs(graph.OpMaxPool, "stem_pool",
+		graph.NewShape(cfg.Batch, cfg.Image/4, cfg.Image/4, 64*cfg.Widen),
+		map[string]int64{"kH": 3, "kW": 3, "stride": 2}, h)
+
+	widths := [4]int64{256, 512, 1024, 2048}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < cfg.Blocks[stage]; blk++ {
+			b.SetLayer(fmt.Sprintf("stage%d.block%d", stage+1, blk))
+			stride := int64(1)
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			h = bottleneck(b, h, widths[stage]*cfg.Widen, stride)
+		}
+	}
+
+	b.SetLayer("head")
+	pooled := b.OpAttrs(graph.OpAvgPool, "gap",
+		graph.NewShape(cfg.Batch, 2048*cfg.Widen),
+		map[string]int64{"kH": h.Shape[1], "kW": h.Shape[2]}, h)
+	logits := b.Dense("fc", pooled, cfg.Classes, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch), logits)
+	return b.G
+}

@@ -1,0 +1,86 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"tapas/internal/graph"
+)
+
+func TestBERTBuildsAndScales(t *testing.T) {
+	base := BERT(BERTBase())
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !withinFrac(base.Stats().Params, 110e6, 0.25) {
+		t.Errorf("BERT-base params = %d, want ≈ 110M", base.Stats().Params)
+	}
+	large := BERT(BERTLarge())
+	if !withinFrac(large.Stats().Params, 340e6, 0.25) {
+		t.Errorf("BERT-large params = %d, want ≈ 340M", large.Stats().Params)
+	}
+	if large.Stats().L <= base.Stats().L {
+		t.Error("BERT-large should be deeper")
+	}
+}
+
+func TestBERTHasPooler(t *testing.T) {
+	g := BERT(BERTBase())
+	found := false
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.Name, "pooler_matmul") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BERT should have a pooler dense")
+	}
+}
+
+func TestViTBuilds(t *testing.T) {
+	g := ViT(ViTBase())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !withinFrac(g.Stats().Params, 86e6, 0.3) {
+		t.Errorf("ViT-B params = %d, want ≈ 86M", g.Stats().Params)
+	}
+	// The patch embedding is a strided convolution producing 14×14
+	// patches.
+	var patch *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpConv2D && strings.HasPrefix(n.Name, "patch_proj") {
+			patch = n
+		}
+	}
+	if patch == nil {
+		t.Fatal("no patch projection conv")
+	}
+	if out := patch.Outputs[0].Shape; out[1] != 14 || out[2] != 14 {
+		t.Errorf("patch grid = %v, want 14×14", out)
+	}
+}
+
+func TestWideResNetWiderThanResNet(t *testing.T) {
+	wide := WideResNet(WideResNet50x2())
+	if err := wide.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	narrow := ResNet(ResNet50Classes(1000))
+	if wide.Stats().Params <= 2*narrow.Stats().Params {
+		t.Errorf("2× widening should ≈4× conv params: %d vs %d",
+			wide.Stats().Params, narrow.Stats().Params)
+	}
+}
+
+func TestNewModelsRegistered(t *testing.T) {
+	for _, name := range []string{"bert-base", "bert-large", "vit-base", "wideresnet50x2"} {
+		g, err := Build(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}

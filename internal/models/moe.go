@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+
+	"tapas/internal/graph"
+)
+
+// MoEConfig describes a GShard-style mixture-of-experts transformer. The
+// paper scales MoE "by adding experts and layers (width and depth)".
+// Every second feed-forward block is replaced by a top-2 routed MoE layer
+// whose experts hold 3-D weight tensors (E, d, d_ff); the expert axis is
+// the sharding opportunity the paper's discovered expert-parallel strategy
+// exploits.
+type MoEConfig struct {
+	Name    string
+	Batch   int64
+	SeqLen  int64
+	DModel  int64
+	DFF     int64
+	Heads   int64
+	Vocab   int64
+	Layers  int // transformer layers; every 2nd FFN is MoE
+	Experts int64
+	TopK    int64
+}
+
+// MoESized returns the paper's GShard-MoE scaling points by nominal
+// parameter count: "380M", "690M", "1.3B", "2.4B".
+func MoESized(size string) MoEConfig {
+	type pt struct {
+		layers  int
+		experts int64
+	}
+	pts := map[string]pt{
+		"380M": {8, 8}, "690M": {16, 8}, "1.3B": {16, 16}, "2.4B": {16, 32},
+	}
+	p, ok := pts[size]
+	if !ok {
+		panic(fmt.Sprintf("models: unknown MoE size %q", size))
+	}
+	return MoEConfig{
+		Name:    "gshard-moe-" + size,
+		Batch:   16,
+		SeqLen:  512,
+		DModel:  1024,
+		DFF:     4096,
+		Heads:   16,
+		Vocab:   32128,
+		Layers:  p.layers,
+		Experts: p.experts,
+		TopK:    2,
+	}
+}
+
+// MoE builds the mixture-of-experts transformer graph.
+func MoE(cfg MoEConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("embed")
+	tokens := b.Input("tokens", graph.I32, graph.NewShape(cfg.Batch, cfg.SeqLen))
+	table := b.Weight("embed_table", graph.NewShape(cfg.Vocab, cfg.DModel))
+	h := b.Op(graph.OpEmbedding, "embed",
+		graph.NewShape(cfg.Batch, cfg.SeqLen, cfg.DModel), tokens, table)
+
+	for i := 0; i < cfg.Layers; i++ {
+		if i%2 == 1 {
+			b.SetLayer(fmt.Sprintf("moe.%d", i))
+			attn := attention(b, "self_attn", h, h, cfg.DModel, cfg.Heads)
+			h = b.Residual("self_attn_res", h, attn)
+			m := moeFFN(b, h, cfg)
+			h = b.Residual("moe_res", h, m)
+		} else {
+			b.SetLayer(fmt.Sprintf("dense.%d", i))
+			attn := attention(b, "self_attn", h, h, cfg.DModel, cfg.Heads)
+			h = b.Residual("self_attn_res", h, attn)
+			f := ffn(b, h, cfg.DModel, cfg.DFF)
+			h = b.Residual("ffn_res", h, f)
+		}
+	}
+
+	b.SetLayer("lm_head")
+	logits := b.Dense("lm_head", h, cfg.Vocab, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch, cfg.SeqLen), logits)
+
+	return b.G
+}
+
+// moeFFN appends one GShard MoE block: LN → gate → top-k routing →
+// dispatch to per-expert capacity buffers → two expert matmuls with 3-D
+// (E, ·, ·) weights → combine back to token order. In the sharded
+// (expert-parallel) materialization, Dispatch and Combine become
+// all-to-all collectives.
+func moeFFN(b *graph.Builder, x *graph.Tensor, cfg MoEConfig) *graph.Tensor {
+	B, S, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	E := cfg.Experts
+	// Capacity: top-k tokens spread across experts with a 1.0 factor.
+	cap := B * S * cfg.TopK / E
+	if cap < 1 {
+		cap = 1
+	}
+
+	h := b.LayerNorm("moe_ln", x)
+
+	gateW := b.Weight(b.Layer()+"_gate_w", graph.NewShape(d, E))
+	gates := b.Op(graph.OpGate, "gate", graph.NewShape(B, S, E), h, gateW)
+	top := b.OpAttrs(graph.OpTopK, "topk", graph.NewShape(B, S, cfg.TopK),
+		map[string]int64{"k": cfg.TopK}, gates)
+
+	dispatched := b.Op(graph.OpDispatch, "dispatch", graph.NewShape(E, cap, d), h, top)
+
+	upW := b.Weight(b.Layer()+"_expert_up_w", graph.NewShape(E, d, cfg.DFF))
+	up := b.OpAttrs(graph.OpBatchMatMul, "expert_up", graph.NewShape(E, cap, cfg.DFF),
+		map[string]int64{"expert": 1}, dispatched, upW)
+	act := b.Op(graph.OpReLU, "expert_act", up.Shape.Clone(), up)
+	downW := b.Weight(b.Layer()+"_expert_down_w", graph.NewShape(E, cfg.DFF, d))
+	down := b.OpAttrs(graph.OpBatchMatMul, "expert_down", graph.NewShape(E, cap, d),
+		map[string]int64{"expert": 1}, act, downW)
+
+	return b.Op(graph.OpCombine, "combine", graph.NewShape(B, S, d), down, top)
+}

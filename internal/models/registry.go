@@ -1,0 +1,65 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"tapas/internal/graph"
+)
+
+// BuildFunc constructs a model graph.
+type BuildFunc func() *graph.Graph
+
+// registry maps model names (as used by the CLIs and experiments) to
+// builders.
+var registry = map[string]BuildFunc{}
+
+func register(name string, f BuildFunc) {
+	if _, dup := registry[name]; dup {
+		panic("models: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+func init() {
+	for _, size := range []string{"100M", "200M", "300M", "770M", "1.4B"} {
+		size := size
+		register("t5-"+size, func() *graph.Graph { return T5(T5Sized(size)) })
+	}
+	for _, size := range []string{"26M", "44M", "228M", "536M", "843M"} {
+		size := size
+		register("resnet-"+size, func() *graph.Graph { return ResNet(ResNetSized(size)) })
+	}
+	for _, size := range []string{"380M", "690M", "1.3B", "2.4B"} {
+		size := size
+		register("moe-"+size, func() *graph.Graph { return MoE(MoESized(size)) })
+	}
+	register("gpt-125M", func() *graph.Graph { return GPT(GPTSmall()) })
+	register("unet-small", func() *graph.Graph { return UNet(UNetSmall()) })
+	register("twotower-small", func() *graph.Graph { return TwoTower(TwoTowerSmall()) })
+	register("resnet152-100K", func() *graph.Graph { return ResNet(ResNet152Classes(100000)) })
+	register("bert-base", func() *graph.Graph { return BERT(BERTBase()) })
+	register("bert-large", func() *graph.Graph { return BERT(BERTLarge()) })
+	register("vit-base", func() *graph.Graph { return ViT(ViTBase()) })
+	register("wideresnet50x2", func() *graph.Graph { return WideResNet(WideResNet50x2()) })
+}
+
+// Build constructs the named model or returns an error listing the
+// available names.
+func Build(name string) (*graph.Graph, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (available: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered model names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,110 @@
+package models
+
+import (
+	"fmt"
+
+	"tapas/internal/graph"
+)
+
+// ResNetConfig describes a ResNet image classifier. The paper scales
+// ResNet on the width axis: "we increase the size of the classification
+// layer of the ResNet model ... from 1024 to 10K, 100K, 250K, and 400K"
+// classes, so the fully-connected head comes to dominate the 24M-parameter
+// backbone (205M parameters at 100K classes).
+type ResNetConfig struct {
+	Name    string
+	Batch   int64
+	Image   int64 // input height/width
+	Classes int64
+	// Blocks per stage: {3,4,6,3} for ResNet-50, {3,8,36,3} for ResNet-152.
+	Blocks [4]int
+}
+
+// ResNet50Classes returns the paper's width-scaling points on a ResNet-50
+// backbone.
+func ResNet50Classes(classes int64) ResNetConfig {
+	return ResNetConfig{
+		Name:    fmt.Sprintf("resnet50-%dc", classes),
+		Batch:   256,
+		Image:   224,
+		Classes: classes,
+		Blocks:  [4]int{3, 4, 6, 3},
+	}
+}
+
+// ResNet152Classes returns a ResNet-152 backbone with the given
+// classification width (the micro-benchmark uses ResNet152-100K).
+func ResNet152Classes(classes int64) ResNetConfig {
+	return ResNetConfig{
+		Name:    fmt.Sprintf("resnet152-%dc", classes),
+		Batch:   256,
+		Image:   224,
+		Classes: classes,
+		Blocks:  [4]int{3, 8, 36, 3},
+	}
+}
+
+// ResNetSized maps the paper's Figure-6 parameter labels to configs:
+// 26M → 1024 classes, 44M → 10K, 228M → 100K, 536M → 250K, 843M → 400K
+// (ResNet-50 backbone ≈ 23.5M + 2048·classes head).
+func ResNetSized(size string) ResNetConfig {
+	classes := map[string]int64{
+		"26M": 1024, "44M": 10000, "228M": 100000, "536M": 250000, "843M": 400000,
+	}
+	c, ok := classes[size]
+	if !ok {
+		panic(fmt.Sprintf("models: unknown ResNet size %q", size))
+	}
+	return ResNet50Classes(c)
+}
+
+// ResNet builds the bottleneck-block residual network with a trailing
+// fully-connected classification head of cfg.Classes outputs.
+func ResNet(cfg ResNetConfig) *graph.Graph {
+	b := graph.NewBuilder(cfg.Name)
+
+	b.SetLayer("stem")
+	x := b.Input("image", graph.F32, graph.NewShape(cfg.Batch, cfg.Image, cfg.Image, 3))
+	h := b.Conv2D("stem_conv", x, 7, 7, 64, 2, true)
+	h = b.OpAttrs(graph.OpMaxPool, "stem_pool",
+		graph.NewShape(cfg.Batch, cfg.Image/4, cfg.Image/4, 64),
+		map[string]int64{"kH": 3, "kW": 3, "stride": 2}, h)
+
+	widths := [4]int64{256, 512, 1024, 2048}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < cfg.Blocks[stage]; blk++ {
+			b.SetLayer(fmt.Sprintf("stage%d.block%d", stage+1, blk))
+			stride := int64(1)
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			h = bottleneck(b, h, widths[stage], stride)
+		}
+	}
+
+	// Global average pool to (B, 2048) then the wide classifier.
+	b.SetLayer("head")
+	pooled := b.OpAttrs(graph.OpAvgPool, "gap",
+		graph.NewShape(cfg.Batch, 2048),
+		map[string]int64{"kH": h.Shape[1], "kW": h.Shape[2]}, h)
+	logits := b.Dense("fc", pooled, cfg.Classes, graph.OpIdentity)
+	b.Op(graph.OpCrossEntropy, "loss", graph.NewShape(cfg.Batch), logits)
+
+	return b.G
+}
+
+// bottleneck appends one ResNet bottleneck block: 1×1 reduce, 3×3, 1×1
+// expand, with a projection shortcut when the shape changes.
+func bottleneck(b *graph.Builder, x *graph.Tensor, outC, stride int64) *graph.Tensor {
+	midC := outC / 4
+	h := b.Conv2D("reduce", x, 1, 1, midC, 1, true)
+	h = b.Conv2D("conv3x3", h, 3, 3, midC, stride, true)
+	h = b.Conv2D("expand", h, 1, 1, outC, 1, false)
+
+	shortcut := x
+	if x.Shape[3] != outC || stride != 1 {
+		shortcut = b.Conv2D("proj", x, 1, 1, outC, stride, false)
+	}
+	sum := b.Residual("block_add", h, shortcut)
+	return b.Op(graph.OpReLU, "block_relu", sum.Shape.Clone(), sum)
+}

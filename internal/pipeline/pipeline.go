@@ -1,0 +1,328 @@
+// Package pipeline implements the paper's proposed pipeline-parallel
+// extension (§5.6): "To extend TAPAS to pipeline parallel strategy, we can
+// update the subgraph selection algorithm by choosing the sub-computation
+// graphs as pipeline stages while satisfying load balancing constraints
+// across subgraphs."
+//
+// Stages are therefore aligned to the boundaries of the mined subgraph
+// instances — a stage never splits a repeated block — and a dynamic
+// program balances per-stage work. Stage execution is modeled GPipe-style:
+// a batch of M micro-batches flows through K stages, idling devices for
+// the (K-1)/(M+K-1) bubble fraction, with point-to-point activation
+// transfers between consecutive stages.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"tapas/internal/cluster"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+)
+
+// Stage is one contiguous pipeline stage over the GraphNode order.
+type Stage struct {
+	// Nodes in topological (ID) order.
+	Nodes []*ir.GraphNode
+	// FwdFLOPs is the forward compute of the stage for the full batch.
+	FwdFLOPs int64
+	// WeightBytes is the parameter storage placed on the stage.
+	WeightBytes int64
+	// BoundaryBytes is the activation volume the stage sends to its
+	// successor per full batch.
+	BoundaryBytes int64
+}
+
+// Plan is a pipeline partition of a model.
+type Plan struct {
+	Stages       []*Stage
+	MicroBatches int
+}
+
+// NumStages returns K.
+func (p *Plan) NumStages() int { return len(p.Stages) }
+
+// Imbalance returns max-stage-FLOPs / mean-stage-FLOPs — 1.0 is perfectly
+// balanced; the load-balancing constraint the paper names.
+func (p *Plan) Imbalance() float64 {
+	if len(p.Stages) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, s := range p.Stages {
+		sum += s.FwdFLOPs
+		if s.FwdFLOPs > max {
+			max = s.FwdFLOPs
+		}
+	}
+	mean := float64(sum) / float64(len(p.Stages))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// boundaries returns the cut positions (indexes into the topological
+// GraphNode order) that do not split any mined subgraph instance, plus the
+// order itself.
+func boundaries(g *ir.GNGraph, classes []*mining.Class) ([]int, []*ir.GraphNode) {
+	order := g.TopoOrder()
+	pos := make(map[*ir.GraphNode]int, len(order))
+	for i, gn := range order {
+		pos[gn] = i
+	}
+	// A cut at position i (between order[i-1] and order[i]) is allowed if
+	// no instance spans it.
+	allowed := make([]bool, len(order)+1)
+	for i := range allowed {
+		allowed[i] = true
+	}
+	for _, c := range classes {
+		// Single-instance classes share their strategy with nobody, so
+		// cutting through them breaks no reuse.
+		if len(c.Instances) < 2 {
+			continue
+		}
+		for _, inst := range c.Instances {
+			lo, hi := len(order), -1
+			for _, gn := range inst {
+				p := pos[gn]
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+			for cut := lo + 1; cut <= hi; cut++ {
+				allowed[cut] = false
+			}
+		}
+	}
+	var cuts []int
+	for i := 1; i < len(order); i++ {
+		if allowed[i] {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts, order
+}
+
+// Partition splits the model into k stages along mined-subgraph boundaries,
+// minimizing the maximum stage FLOPs (the balanced-partition DP).
+func Partition(g *ir.GNGraph, classes []*mining.Class, k int) (*Plan, error) {
+	return partition(g, classes, k, false)
+}
+
+// PartitionRelaxed is Partition without the subgraph-alignment constraint:
+// any GraphNode boundary may become a stage cut. Used when the aligned
+// cuts cannot balance the requested stage count (e.g. interleaved
+// substructures in encoder–decoder models).
+func PartitionRelaxed(g *ir.GNGraph, k int) (*Plan, error) {
+	return partition(g, nil, k, true)
+}
+
+func partition(g *ir.GNGraph, classes []*mining.Class, k int, relaxed bool) (*Plan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("pipeline: need at least one stage, got %d", k)
+	}
+	var cuts []int
+	var order []*ir.GraphNode
+	if relaxed {
+		order = g.TopoOrder()
+		for i := 1; i < len(order); i++ {
+			cuts = append(cuts, i)
+		}
+	} else {
+		cuts, order = boundaries(g, classes)
+	}
+	n := len(order)
+	if n == 0 {
+		return nil, fmt.Errorf("pipeline: empty graph")
+	}
+
+	// Candidate cut positions: 0, allowed cuts, n.
+	positions := append([]int{0}, cuts...)
+	positions = append(positions, n)
+	sort.Ints(positions)
+	m := len(positions)
+	if k > m-1 {
+		return nil, fmt.Errorf("pipeline: %d stages requested but only %d subgraph-aligned segments exist", k, m-1)
+	}
+
+	// Prefix FLOPs over the order.
+	prefix := make([]int64, n+1)
+	for i, gn := range order {
+		prefix[i+1] = prefix[i] + gn.ForwardFLOPs()
+	}
+	segFlops := func(a, b int) int64 { return prefix[positions[b]] - prefix[positions[a]] }
+
+	// DP over (position index, stages used): minimize the max segment.
+	const inf = int64(1) << 62
+	dp := make([][]int64, m)
+	back := make([][]int, m)
+	for i := range dp {
+		dp[i] = make([]int64, k+1)
+		back[i] = make([]int, k+1)
+		for j := range dp[i] {
+			dp[i][j] = inf
+			back[i][j] = -1
+		}
+	}
+	dp[0][0] = 0
+	for i := 1; i < m; i++ {
+		for j := 1; j <= k && j <= i; j++ {
+			for p := j - 1; p < i; p++ {
+				if dp[p][j-1] == inf {
+					continue
+				}
+				c := segFlops(p, i)
+				if c < dp[p][j-1] {
+					c = dp[p][j-1]
+				}
+				if c < dp[i][j] {
+					dp[i][j] = c
+					back[i][j] = p
+				}
+			}
+		}
+	}
+	if dp[m-1][k] == inf {
+		return nil, fmt.Errorf("pipeline: no feasible %d-stage partition", k)
+	}
+
+	// Recover segment boundaries.
+	var segs []int
+	for i, j := m-1, k; j > 0; j-- {
+		segs = append([]int{i}, segs...)
+		i = back[i][j]
+	}
+	plan := &Plan{}
+	prev := 0
+	for _, end := range segs {
+		lo, hi := positions[prev], positions[end]
+		st := &Stage{Nodes: order[lo:hi]}
+		for _, gn := range st.Nodes {
+			st.FwdFLOPs += gn.ForwardFLOPs()
+			st.WeightBytes += gn.WeightBytes()
+		}
+		// Boundary activations: outputs consumed beyond the stage.
+		member := make(map[*ir.GraphNode]bool, len(st.Nodes))
+		for _, gn := range st.Nodes {
+			member[gn] = true
+		}
+		for _, gn := range st.Nodes {
+			for _, succ := range g.Succs(gn) {
+				if !member[succ] {
+					st.BoundaryBytes += gn.OutBytes()
+					break
+				}
+			}
+		}
+		plan.Stages = append(plan.Stages, st)
+		prev = end
+	}
+	return plan, nil
+}
+
+// Report is the simulated pipeline iteration.
+type Report struct {
+	IterationTime float64
+	BubbleFrac    float64 // (K-1)/(M+K-1)
+	StageTime     float64 // slowest stage, one micro-batch, fwd+bwd
+	P2PTime       float64 // inter-stage activation transfer per micro-batch
+	MaxStageMem   int64
+	OOM           bool
+}
+
+// SimOptions configure the pipeline simulation.
+type SimOptions struct {
+	Cluster      *cluster.Cluster
+	MicroBatches int
+	// Utilization is the sustained compute efficiency per stage device.
+	Utilization float64
+	// BackwardFactor scales forward to backward compute.
+	BackwardFactor float64
+}
+
+// DefaultSimOptions mirrors the tensor-parallel simulator's calibration.
+func DefaultSimOptions(c *cluster.Cluster) SimOptions {
+	return SimOptions{Cluster: c, MicroBatches: 8, Utilization: 0.45, BackwardFactor: 2}
+}
+
+// Simulate prices a pipeline plan GPipe-style: each device holds one
+// stage; a full batch is split into M micro-batches; the iteration takes
+// (M + K - 1) slots of the slowest stage's per-micro-batch time, plus the
+// point-to-point transfers riding along.
+func Simulate(p *Plan, opt SimOptions) Report {
+	var r Report
+	k := len(p.Stages)
+	if k == 0 {
+		return r
+	}
+	M := opt.MicroBatches
+	if M < 1 {
+		M = 1
+	}
+	link := opt.Cluster.Inter
+	if k <= 1 {
+		link = opt.Cluster.Intra
+	}
+
+	for _, st := range p.Stages {
+		per := float64(st.FwdFLOPs) / float64(M) * (1 + opt.BackwardFactor) /
+			(opt.Cluster.PeakFLOPS * opt.Utilization)
+		if per > r.StageTime {
+			r.StageTime = per
+		}
+		p2p := link.Transfer(st.BoundaryBytes / int64(M))
+		if p2p > r.P2PTime {
+			r.P2PTime = p2p
+		}
+		// Stage memory: weights + grads + 2 Adam moments + in-flight
+		// micro-batch activations (up to K per 1F1B-style schedule).
+		mem := 4*st.WeightBytes + st.BoundaryBytes/int64(M)*int64(k)
+		if mem > r.MaxStageMem {
+			r.MaxStageMem = mem
+		}
+	}
+	slots := float64(M + k - 1)
+	r.BubbleFrac = float64(k-1) / slots
+	r.IterationTime = slots * (r.StageTime + r.P2PTime)
+	r.OOM = r.MaxStageMem > opt.Cluster.MemoryPerGP
+	return r
+}
+
+// SearchStages tries every feasible stage count from 1 to maxStages and
+// returns the plan with the lowest simulated iteration time — the
+// subgraph-aligned stage selection the paper proposes.
+func SearchStages(g *ir.GNGraph, classes []*mining.Class, opt SimOptions, maxStages int) (*Plan, Report, error) {
+	var (
+		bestPlan   *Plan
+		bestReport Report
+	)
+	for k := 1; k <= maxStages; k++ {
+		p, err := Partition(g, classes, k)
+		if err != nil || (k > 1 && p.Imbalance() > 1.5) {
+			// The aligned cuts cannot balance this stage count; fall
+			// back to free cutting.
+			if pr, errR := PartitionRelaxed(g, k); errR == nil {
+				p = pr
+			} else if err != nil {
+				continue
+			}
+		}
+		r := Simulate(p, opt)
+		if r.OOM {
+			continue
+		}
+		if bestPlan == nil || r.IterationTime < bestReport.IterationTime {
+			bestPlan, bestReport = p, r
+		}
+	}
+	if bestPlan == nil {
+		return nil, Report{}, fmt.Errorf("pipeline: no feasible plan up to %d stages", maxStages)
+	}
+	return bestPlan, bestReport, nil
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"testing"
+
+	"tapas/internal/cluster"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+)
+
+func minedModel(t testing.TB, name string) (*ir.GNGraph, []*mining.Class) {
+	t.Helper()
+	src, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	return g, classes
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	g, classes := minedModel(t, "t5-200M")
+	for _, k := range []int{1, 2, 4} {
+		p, err := Partition(g, classes, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.NumStages() != k {
+			t.Fatalf("k=%d: got %d stages", k, p.NumStages())
+		}
+		total := 0
+		for _, st := range p.Stages {
+			total += len(st.Nodes)
+		}
+		if total != len(g.Nodes) {
+			t.Errorf("k=%d: stages cover %d of %d nodes", k, total, len(g.Nodes))
+		}
+	}
+}
+
+func TestPartitionRespectsSubgraphBoundaries(t *testing.T) {
+	g, classes := minedModel(t, "t5-200M")
+	p, err := Partition(g, classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No mined instance may straddle a stage boundary.
+	stageOf := map[*ir.GraphNode]int{}
+	for si, st := range p.Stages {
+		for _, gn := range st.Nodes {
+			stageOf[gn] = si
+		}
+	}
+	for _, c := range classes {
+		for _, inst := range c.Instances {
+			first := stageOf[inst[0]]
+			for _, gn := range inst {
+				if stageOf[gn] != first {
+					t.Fatalf("instance split across stages %d and %d", first, stageOf[gn])
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionBalances(t *testing.T) {
+	g, classes := minedModel(t, "t5-300M") // 11+11 layers
+	// Two aligned stages split encoder/decoder cleanly.
+	p2, err := Partition(g, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := p2.Imbalance(); im > 1.8 {
+		t.Errorf("2-stage aligned imbalance %.2f too high", im)
+	}
+	// Relaxed cutting balances any stage count.
+	p4, err := PartitionRelaxed(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := p4.Imbalance(); im > 1.35 {
+		t.Errorf("4-stage relaxed imbalance %.2f too high", im)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g, classes := minedModel(t, "t5-100M")
+	if _, err := Partition(g, classes, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := Partition(g, classes, 10_000); err == nil {
+		t.Error("absurd stage count must fail")
+	}
+}
+
+func TestSimulateBubbleFraction(t *testing.T) {
+	g, classes := minedModel(t, "t5-200M")
+	p, err := Partition(g, classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultSimOptions(cluster.V100Nodes(4))
+	opt.MicroBatches = 4
+	r := Simulate(p, opt)
+	want := float64(4-1) / float64(4+4-1)
+	if r.BubbleFrac != want {
+		t.Errorf("bubble = %v, want %v", r.BubbleFrac, want)
+	}
+	if r.IterationTime <= 0 || r.StageTime <= 0 {
+		t.Errorf("degenerate report %+v", r)
+	}
+}
+
+func TestMoreMicroBatchesShrinkBubble(t *testing.T) {
+	g, classes := minedModel(t, "t5-200M")
+	p, err := Partition(g, classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultSimOptions(cluster.V100Nodes(4))
+	opt.MicroBatches = 2
+	few := Simulate(p, opt)
+	opt.MicroBatches = 32
+	many := Simulate(p, opt)
+	if many.BubbleFrac >= few.BubbleFrac {
+		t.Errorf("bubble should shrink with micro-batches: %v vs %v", many.BubbleFrac, few.BubbleFrac)
+	}
+	// Per-iteration time processes the same work; with less bubble it
+	// should not grow.
+	if many.IterationTime > few.IterationTime*1.05 {
+		t.Errorf("more micro-batches should not slow the pipeline: %v vs %v", many.IterationTime, few.IterationTime)
+	}
+}
+
+func TestPipelineCutsMemoryPerStage(t *testing.T) {
+	g, classes := minedModel(t, "t5-770M")
+	p1, err := Partition(g, classes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := Partition(g, classes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultSimOptions(cluster.V100Nodes(4))
+	if Simulate(p4, opt).MaxStageMem >= Simulate(p1, opt).MaxStageMem {
+		t.Error("splitting stages should reduce per-device weight memory")
+	}
+}
+
+func TestSearchStagesPicksFeasible(t *testing.T) {
+	g, classes := minedModel(t, "t5-300M")
+	opt := DefaultSimOptions(cluster.V100Nodes(4))
+	p, r, err := SearchStages(g, classes, opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OOM {
+		t.Error("selected plan should fit memory")
+	}
+	if p.NumStages() < 1 || p.NumStages() > 8 {
+		t.Errorf("stage count %d out of range", p.NumStages())
+	}
+}
+
+func TestImbalanceIdentityForOneStage(t *testing.T) {
+	g, classes := minedModel(t, "t5-100M")
+	p, err := Partition(g, classes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im := p.Imbalance(); im != 1 {
+		t.Errorf("single stage imbalance = %v, want 1", im)
+	}
+}

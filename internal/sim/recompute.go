@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"sort"
+
+	"tapas/internal/ir"
+	"tapas/internal/strategy"
+)
+
+// RecomputePlan marks GraphNodes whose forward activations are discarded
+// and recomputed during the backward pass — the gradient-checkpointing
+// extension of the paper's §5.6 ("gradient checkpointing can be used to
+// offload the selected GraphNode").
+type RecomputePlan map[*ir.GraphNode]bool
+
+// SavedBytes returns the per-device activation memory the plan releases.
+func (rp RecomputePlan) SavedBytes(s *strategy.Strategy) int64 {
+	var saved int64
+	for gn, on := range rp {
+		if !on {
+			continue
+		}
+		if p, ok := s.Assign[gn]; ok {
+			saved += p.OutBytesPerDev
+		}
+	}
+	return saved
+}
+
+// SelectRecompute greedily marks the GraphNodes with the largest stored
+// activations until the strategy fits the memory limit (or nothing is
+// left to mark). Weight-bearing anchors are preferred last: recomputing a
+// matmul costs real FLOPs, while norm/elementwise glue is nearly free to
+// replay — the usual checkpointing heuristic.
+func SelectRecompute(s *strategy.Strategy, limit int64) RecomputePlan {
+	rp := RecomputePlan{}
+	need := s.MemPerDev - limit
+	if need <= 0 {
+		return rp
+	}
+	type cand struct {
+		gn    *ir.GraphNode
+		bytes int64
+		flops int64
+	}
+	var cands []cand
+	for gn, p := range s.Assign {
+		if p.OutBytesPerDev <= 0 {
+			continue
+		}
+		cands = append(cands, cand{gn, p.OutBytesPerDev, p.FLOPsPerDev})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		// Cheapest recompute per byte saved first.
+		ci := float64(cands[i].flops+1) / float64(cands[i].bytes)
+		cj := float64(cands[j].flops+1) / float64(cands[j].bytes)
+		if ci != cj {
+			return ci < cj
+		}
+		return cands[i].gn.ID < cands[j].gn.ID
+	})
+	var saved int64
+	for _, c := range cands {
+		if saved >= need {
+			break
+		}
+		rp[c.gn] = true
+		saved += c.bytes
+	}
+	return rp
+}
+
+// RunWithRecompute simulates a training iteration with the given
+// checkpointing plan: marked activations stop counting against memory,
+// and their producing GraphNodes run forward a second time during the
+// backward pass.
+func RunWithRecompute(s *strategy.Strategy, cfg Config, rp RecomputePlan) Report {
+	r := Run(s, cfg)
+
+	var extraCompute float64
+	for gn, on := range rp {
+		if !on {
+			continue
+		}
+		p, ok := s.Assign[gn]
+		if !ok {
+			continue
+		}
+		factor := 1.0
+		if f := gn.ForwardFLOPs(); f > 0 {
+			factor = float64(p.FLOPsPerDev) / float64(f)
+		}
+		for _, op := range gn.Ops {
+			extraCompute += cfg.kernelTime(int64(float64(op.ForwardFLOPs()) * factor))
+		}
+	}
+	r.ComputeBwd += extraCompute
+	r.IterationTime += extraCompute
+	r.MemPerDev -= rp.SavedBytes(s)
+	r.OOM = r.MemPerDev > cfg.Cluster.MemoryPerGP
+	if r.IterationTime > 0 && r.TFLOPSPerGPU > 0 {
+		// Useful FLOPs are unchanged; the denominator grew.
+		r.TFLOPSPerGPU *= (r.IterationTime - extraCompute) / r.IterationTime
+	}
+	return r
+}

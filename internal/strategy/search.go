@@ -1,0 +1,337 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+)
+
+// SearchStats records where search time went and how much of the space
+// was explored — the quantities behind the paper's Figures 1 and 6 and the
+// "Alpa examines 16 candidates in 197 minutes, TAPAS 729 in 6" comparison.
+type SearchStats struct {
+	EnumTime     time.Duration
+	AssembleTime time.Duration
+	Classes      int
+	Examined     int
+	Pruned       int
+	TimedOut     bool
+	Truncated    bool
+}
+
+// SearchFolded runs TAPAS strategy exploration over the folded search
+// space: one enumeration per unique subgraph class, then greedy assembly
+// of per-class winners into a valid global plan.
+func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
+	stats := &SearchStats{Classes: len(classes)}
+
+	// Processing order: classes covering the most nodes first (the
+	// repeated layers), so the dominant blocks fix the global layout and
+	// the small boundary classes (embeddings, heads, glue) adapt to them;
+	// ties break by first node ID for determinism.
+	ordered := append([]*mining.Class{}, classes...)
+	coverage := func(c *mining.Class) int { return len(c.Instances) * c.Size() }
+	sort.Slice(ordered, func(i, j int) bool {
+		ci, cj := coverage(ordered[i]), coverage(ordered[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return ordered[i].Instances[0][0].ID < ordered[j].Instances[0][0].ID
+	})
+
+	// Per-class candidate lists.
+	t0 := time.Now()
+	cands := make([][]*Candidate, len(ordered))
+	for i, c := range ordered {
+		cs, es := EnumerateInstance(g, c.Representative(), model, opt)
+		stats.Examined += es.Examined
+		stats.Pruned += es.Pruned
+		stats.TimedOut = stats.TimedOut || es.TimedOut
+		stats.Truncated = stats.Truncated || es.Truncated
+		if len(cs) == 0 {
+			return nil, stats, fmt.Errorf("strategy: no valid candidate for class %d (size %d)", i, c.Size())
+		}
+		cands[i] = cs
+	}
+	stats.EnumTime = time.Since(t0)
+
+	// Greedy assembly (step ⑤ + the static analysis): walk classes in
+	// topological order, apply each candidate to every instance, score
+	// internal cost × instance count plus boundary resharding against the
+	// already-assigned neighborhood, and respect the device memory budget
+	// when possible.
+	t1 := time.Now()
+	assign := make(map[*ir.GraphNode]*ir.Pattern, len(g.Nodes))
+	var memUsed int64
+
+	type scored struct {
+		cand  *Candidate
+		total float64
+		mem   int64
+		patts map[*ir.GraphNode]*ir.Pattern
+	}
+	// Remember the per-class menus and choices for the repair pass.
+	menus := make([][]scored, len(ordered))
+	chosen := make([]int, len(ordered))
+
+	for ci, c := range ordered {
+		var feasible []scored
+		for _, cand := range cands[ci] {
+			patts, ok := applyCandidate(c, cand, opt.W)
+			if !ok {
+				continue
+			}
+			// Boundary check against already-fixed classes AND between
+			// instances of this class (consecutive repeats of a layer
+			// feed each other, so the candidate's entry layout must also
+			// accept its own exit layout).
+			boundary := 0.0
+			compatible := true
+			lookup := func(gn *ir.GraphNode) *ir.Pattern {
+				if p := assign[gn]; p != nil {
+					return p
+				}
+				return patts[gn]
+			}
+			for gn, p := range patts {
+				for _, pred := range g.Preds(gn) {
+					pf := lookup(pred)
+					if pf == nil {
+						continue
+					}
+					ev, okE := checkEdge(g, pred, gn, pf, p, opt.W, opt.AllowReshard)
+					if !okE {
+						compatible = false
+						break
+					}
+					boundary += model.EventsCost(ev).Total()
+				}
+				if !compatible {
+					break
+				}
+				for _, succ := range g.Succs(gn) {
+					pt := assign[succ]
+					if pt == nil {
+						continue // same-class successors already covered above
+					}
+					ev, okE := checkEdge(g, gn, succ, p, pt, opt.W, opt.AllowReshard)
+					if !okE {
+						compatible = false
+						break
+					}
+					boundary += model.EventsCost(ev).Total()
+				}
+				if !compatible {
+					break
+				}
+			}
+			if !compatible {
+				continue
+			}
+			mem := cand.MemBytes * int64(len(c.Instances))
+			feasible = append(feasible, scored{
+				cand:  cand,
+				total: cand.Cost.Total()*float64(len(c.Instances)) + boundary,
+				mem:   mem,
+				patts: patts,
+			})
+		}
+		if len(feasible) == 0 {
+			// Last resort: replicate the whole class. A replicated node
+			// accepts any producer layout (all-gather) and feeds any
+			// consumer layout (local slice), so this always validates.
+			patts := make(map[*ir.GraphNode]*ir.Pattern, len(c.Instances)*c.Size())
+			var mem int64
+			for _, inst := range c.Instances {
+				for _, gn := range inst {
+					p := ir.PatternsFor(gn, opt.W)[0] // replicate is first
+					patts[gn] = p
+					mem += 4*p.WeightBytesPerDev + p.OutBytesPerDev
+				}
+			}
+			feasible = append(feasible, scored{total: 0, mem: mem, patts: patts})
+		}
+		sort.SliceStable(feasible, func(a, b int) bool { return feasible[a].total < feasible[b].total })
+
+		pickIdx := 0
+		if memLimit > 0 {
+			found := false
+			for i, f := range feasible {
+				if memUsed+f.mem <= memLimit {
+					pickIdx = i
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Nothing fits: take the lightest for now; the repair
+				// pass below hunts for further savings.
+				for i, f := range feasible {
+					if f.mem < feasible[pickIdx].mem {
+						pickIdx = i
+					}
+				}
+			}
+		}
+		pick := feasible[pickIdx]
+		memUsed += pick.mem
+		for gn, p := range pick.patts {
+			assign[gn] = p
+		}
+		menus[ci] = feasible
+		chosen[ci] = pickIdx
+	}
+
+	// Repair pass: the greedy walk is first-fit, so the aggregate plan
+	// may still exceed device memory (the per-class estimates also
+	// over-count shared weights). While the true footprint exceeds the
+	// budget, swap the class offering the best memory saving per unit of
+	// cost increase to a lighter, boundary-compatible candidate.
+	if memLimit > 0 {
+		for iter := 0; iter < 4*len(ordered); iter++ {
+			if MemoryPerDevice(assign) <= memLimit {
+				break
+			}
+			bestClass, bestAlt := -1, -1
+			bestSave := int64(0)
+			for ci := range ordered {
+				cur := menus[ci][chosen[ci]]
+				for ai := range menus[ci] {
+					alt := menus[ci][ai]
+					if ai == chosen[ci] || alt.mem >= cur.mem {
+						continue
+					}
+					if !swapCompatible(g, assign, alt.patts, opt) {
+						continue
+					}
+					if save := cur.mem - alt.mem; save > bestSave {
+						bestSave, bestClass, bestAlt = save, ci, ai
+					}
+				}
+			}
+			if bestClass < 0 {
+				break // no lighter compatible alternative anywhere
+			}
+			chosen[bestClass] = bestAlt
+			for gn, p := range menus[bestClass][bestAlt].patts {
+				assign[gn] = p
+			}
+		}
+	}
+	stats.AssembleTime = time.Since(t1)
+
+	s, err := finishStrategy(g, assign, model, opt)
+	return s, stats, err
+}
+
+// swapCompatible reports whether replacing the patterns in patts keeps
+// every boundary edge valid against the rest of the assignment.
+func swapCompatible(g *ir.GNGraph, assign map[*ir.GraphNode]*ir.Pattern, patts map[*ir.GraphNode]*ir.Pattern, opt EnumOptions) bool {
+	lookup := func(gn *ir.GraphNode) *ir.Pattern {
+		if p, ok := patts[gn]; ok {
+			return p
+		}
+		return assign[gn]
+	}
+	for gn, p := range patts {
+		for _, pred := range g.Preds(gn) {
+			pf := lookup(pred)
+			if pf == nil {
+				continue
+			}
+			if _, ok := checkEdge(g, pred, gn, pf, p, opt.W, opt.AllowReshard); !ok {
+				return false
+			}
+		}
+		for _, succ := range g.Succs(gn) {
+			if _, inPatts := patts[succ]; inPatts {
+				continue // covered from the successor's pred side
+			}
+			pt := assign[succ]
+			if pt == nil {
+				continue
+			}
+			if _, ok := checkEdge(g, gn, succ, p, pt, opt.W, opt.AllowReshard); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyCandidate maps a representative-instance candidate onto every
+// instance of the class positionally: member i of each instance receives
+// the pattern with the same name from its own menu. Instances share a
+// canonical structural hash, so the menus are identical.
+func applyCandidate(c *mining.Class, cand *Candidate, w int) (map[*ir.GraphNode]*ir.Pattern, bool) {
+	out := make(map[*ir.GraphNode]*ir.Pattern, len(c.Instances)*c.Size())
+	for _, inst := range c.Instances {
+		for i, gn := range inst {
+			want := cand.Patterns[i].Name
+			var found *ir.Pattern
+			for _, p := range ir.PatternsFor(gn, w) {
+				if p.Name == want {
+					found = p
+					break
+				}
+			}
+			if found == nil {
+				return nil, false
+			}
+			out[gn] = found
+		}
+	}
+	return out, true
+}
+
+// SearchExhaustive enumerates the unfolded graph as a single instance —
+// the TAPAS-ES configuration of Figure 8. The time budget mirrors the
+// paper's 120-minute cap on exhaustive search.
+func SearchExhaustive(g *ir.GNGraph, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
+	stats := &SearchStats{Classes: 1}
+	t0 := time.Now()
+	cs, es := EnumerateInstance(g, g.TopoOrder(), model, opt)
+	stats.EnumTime = time.Since(t0)
+	stats.Examined, stats.Pruned = es.Examined, es.Pruned
+	stats.TimedOut, stats.Truncated = es.TimedOut, es.Truncated
+	if len(cs) == 0 {
+		return nil, stats, fmt.Errorf("strategy: exhaustive search found no valid plan")
+	}
+	// Prefer the cheapest memory-feasible candidate.
+	pick := cs[0]
+	if memLimit > 0 {
+		for _, c := range cs {
+			if c.MemBytes <= memLimit {
+				pick = c
+				break
+			}
+		}
+	}
+	assign := make(map[*ir.GraphNode]*ir.Pattern, len(g.Nodes))
+	for i, gn := range g.TopoOrder() {
+		assign[gn] = pick.Patterns[i]
+	}
+	s, err := finishStrategy(g, assign, model, opt)
+	return s, stats, err
+}
+
+// finishStrategy runs the global static analysis and prices the plan.
+func finishStrategy(g *ir.GNGraph, assign map[*ir.GraphNode]*ir.Pattern, model *cost.Model, opt EnumOptions) (*Strategy, error) {
+	events, err := Validate(g, assign, opt.W, opt.AllowReshard)
+	if err != nil {
+		return nil, err
+	}
+	s := &Strategy{
+		Graph:     g,
+		W:         opt.W,
+		Assign:    assign,
+		Reshard:   events,
+		MemPerDev: MemoryPerDevice(assign),
+	}
+	s.Cost = model.StrategyCost(s.Patterns(), events)
+	return s, nil
+}

@@ -1,0 +1,203 @@
+// Package strategy implements TAPAS's Strategy Exploration phase (Figure
+// 2, steps ③–⑤): enumerating ShardingPattern combinations per unique
+// subgraph with a decision-tree search that early-stops on invalid prefix
+// assignments, validating candidates with the symbolic shape check,
+// scoring survivors with the communication-based cost model, and
+// assembling per-subgraph winners into one global parallel strategy.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+
+	"tapas/internal/comm"
+	"tapas/internal/cost"
+	"tapas/internal/ir"
+)
+
+// Strategy is a complete parallel plan: one ShardingPattern per GraphNode,
+// plus the resharding collectives inserted at incompatible-but-recoverable
+// boundaries.
+type Strategy struct {
+	Graph   *ir.GNGraph
+	W       int
+	Assign  map[*ir.GraphNode]*ir.Pattern
+	Reshard []comm.Event
+	Cost    cost.Breakdown
+
+	// MemPerDev estimates per-device bytes: sharded weights, gradients,
+	// two Adam moments, and stored activations.
+	MemPerDev int64
+}
+
+// Patterns returns the assigned patterns in GraphNode order.
+func (s *Strategy) Patterns() []*ir.Pattern {
+	out := make([]*ir.Pattern, 0, len(s.Assign))
+	for _, gn := range s.Graph.Nodes {
+		if p, ok := s.Assign[gn]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Describe summarizes the plan as pattern-name counts, e.g.
+// "column-parallel×48 data-parallel×12 ...", most frequent first.
+func (s *Strategy) Describe() string {
+	counts := map[string]int{}
+	for _, p := range s.Assign {
+		counts[p.Name]++
+	}
+	type kv struct {
+		name string
+		n    int
+	}
+	var all []kv
+	for n, c := range counts {
+		all = append(all, kv{n, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].name < all[j].name
+	})
+	out := ""
+	for i, e := range all {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s×%d", e.name, e.n)
+	}
+	return out
+}
+
+// edgeCompat applies the symbolic shape check to one GraphNode boundary:
+// the producer's output layout against the consumer's required layout. A
+// replicated output can always be sliced locally into any split; a split
+// output can be re-assembled into a replicated input with an all-gather
+// when resharding is allowed; two different splits are incompatible —
+// exactly the early-stop condition of Figure 4.
+func edgeCompat(out, need ir.ShardSpec, tensorBytes int64, w int, allowReshard bool) ([]comm.Event, bool) {
+	if out.Equal(need) {
+		return nil, true
+	}
+	if out.IsReplicated() && !need.IsReplicated() {
+		return nil, true // local slice, no communication
+	}
+	if !allowReshard {
+		return nil, false
+	}
+	if !out.IsReplicated() && need.IsReplicated() {
+		return []comm.Event{{Kind: comm.AllGather, Bytes: tensorBytes, W: w}}, true
+	}
+	return nil, false
+}
+
+// edgeTensor finds the boundary tensor carried by the edge from producer
+// p to consumer c, and whether it is c's primary input.
+func edgeTensor(g *ir.GNGraph, p, c *ir.GraphNode) (bytes int64, primary bool) {
+	for i, t := range c.InTensors {
+		if prod := g.Src.Producer(t); prod != nil && g.NodeOf(prod) == p {
+			return t.Bytes(), i == 0
+		}
+	}
+	return 0, true
+}
+
+// CheckEdge validates one GraphNode edge under a candidate assignment,
+// returning any resharding events needed. Exported for the baseline
+// planners, which construct assignments outside this package.
+func CheckEdge(g *ir.GNGraph, from, to *ir.GraphNode, pf, pt *ir.Pattern, w int, allowReshard bool) ([]comm.Event, bool) {
+	return checkEdge(g, from, to, pf, pt, w, allowReshard)
+}
+
+// checkEdge validates one GraphNode edge under a candidate assignment,
+// returning any resharding events needed.
+func checkEdge(g *ir.GNGraph, from, to *ir.GraphNode, pf, pt *ir.Pattern, w int, allowReshard bool) ([]comm.Event, bool) {
+	bytes, primary := edgeTensor(g, from, to)
+	need := pt.In
+	if !primary {
+		need = pt.In2Spec()
+	}
+	return edgeCompat(pf.Out, need, bytes, w, allowReshard)
+}
+
+// Validate runs the full static analysis over a strategy: every edge must
+// be compatible (collecting reshard events), and weights shared between
+// GraphNodes must agree on their sharding. It returns the reshard events
+// and an error describing the first violation.
+func Validate(g *ir.GNGraph, assign map[*ir.GraphNode]*ir.Pattern, w int, allowReshard bool) ([]comm.Event, error) {
+	var events []comm.Event
+	for _, gn := range g.Nodes {
+		pt, ok := assign[gn]
+		if !ok {
+			return nil, fmt.Errorf("strategy: node %v has no pattern", gn)
+		}
+		for _, pred := range g.Preds(gn) {
+			pf := assign[pred]
+			if pf == nil {
+				return nil, fmt.Errorf("strategy: predecessor %v unassigned", pred)
+			}
+			ev, ok := checkEdge(g, pred, gn, pf, pt, w, allowReshard)
+			if !ok {
+				return nil, fmt.Errorf("strategy: edge %v(%s:%v) → %v(%s:%v) incompatible",
+					pred, pf.Name, pf.Out, gn, pt.Name, pt.In)
+			}
+			events = append(events, ev...)
+		}
+	}
+	// Shared-weight consistency: a tensor reused by several GraphNodes
+	// (e.g. tied embeddings) must be sharded identically everywhere.
+	type wspec struct {
+		spec ir.ShardSpec
+		gn   *ir.GraphNode
+	}
+	seen := map[interface{}]wspec{}
+	for _, gn := range g.Nodes {
+		p := assign[gn]
+		for i, wt := range gn.Weights {
+			if prev, ok := seen[wt]; ok {
+				if !prev.spec.Equal(p.WeightSpecs[i]) {
+					return nil, fmt.Errorf("strategy: weight %q sharded %v by %v but %v by %v",
+						wt.Name, prev.spec, prev.gn, p.WeightSpecs[i], gn)
+				}
+			} else {
+				seen[wt] = wspec{p.WeightSpecs[i], gn}
+			}
+		}
+	}
+	return events, nil
+}
+
+// MemoryPerDevice estimates the per-device training footprint of an
+// assignment: weights + gradients + two Adam moments (4× sharded weight
+// bytes), stored activations, and the staging buffers gradient-bucketing
+// frameworks allocate for reduction collectives — the "memory buffers …
+// for caching gradients" the paper observes pushing wide-classifier DP
+// into OOM.
+func MemoryPerDevice(assign map[*ir.GraphNode]*ir.Pattern) int64 {
+	var mem int64
+	seen := map[interface{}]bool{}
+	for gn, p := range assign {
+		// Count shared weight tensors once.
+		var wb int64
+		allShared := true
+		for _, wt := range gn.Weights {
+			if !seen[wt] {
+				seen[wt] = true
+				allShared = false
+			}
+		}
+		if !allShared || len(gn.Weights) == 0 {
+			wb = p.WeightBytesPerDev
+		}
+		mem += 4*wb + p.OutBytesPerDev
+		for _, e := range p.BwdComm {
+			if e.Kind == comm.AllReduce || e.Kind == comm.ReduceScatter {
+				mem += e.Bytes
+			}
+		}
+	}
+	return mem
+}

@@ -1,0 +1,106 @@
+package tapas
+
+import (
+	"testing"
+
+	"tapas/internal/export"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/pipeline"
+)
+
+// TestSearchAllRegisteredModels is the whole-pipeline integration sweep:
+// every registered architecture must group, mine, search, validate,
+// reconstruct and simulate without error on 8 GPUs.
+func TestSearchAllRegisteredModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep")
+	}
+	for _, name := range Models() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Search(name, 8)
+			if err != nil {
+				t.Fatalf("search: %v", err)
+			}
+			if res.Report.IterationTime <= 0 {
+				t.Error("no simulated time")
+			}
+			if res.Parallel.PerDevice.Validate() != nil {
+				t.Error("reconstructed graph invalid")
+			}
+			// Every searched strategy serializes and rehydrates.
+			if err := roundTrip(res); err != nil {
+				t.Errorf("export round trip: %v", err)
+			}
+		})
+	}
+}
+
+func roundTrip(res *Result) error {
+	var buf sliceWriter
+	if err := export.WriteStrategyJSON(&buf, res.Strategy); err != nil {
+		return err
+	}
+	sj, err := export.ReadStrategyJSON(&buf)
+	if err != nil {
+		return err
+	}
+	_, err = export.Rehydrate(res.Strategy.Graph, sj)
+	return err
+}
+
+// sliceWriter is a minimal read-write buffer.
+type sliceWriter struct {
+	data []byte
+	off  int
+}
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+func (s *sliceWriter) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, errEOF{}
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+type errEOF struct{}
+
+func (errEOF) Error() string { return "EOF" }
+
+// TestPipelinePlusTensorParallel combines the §5.6 pipeline extension with
+// the TP search: partition a deep model into node-sized stages, then
+// verify every stage sub-plan still passes the per-model search.
+func TestPipelinePlusTensorParallel(t *testing.T) {
+	src, err := models.Build("t5-770M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ir.Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	plan, err := pipeline.Partition(g, classes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, st := range plan.Stages {
+		total += st.FwdFLOPs
+	}
+	whole := int64(0)
+	for _, gn := range g.Nodes {
+		whole += gn.ForwardFLOPs()
+	}
+	if total != whole {
+		t.Errorf("stage FLOPs %d != model FLOPs %d", total, whole)
+	}
+}

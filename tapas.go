@@ -1,0 +1,261 @@
+// Package tapas is the public entry point of the TAPAS reproduction: fast
+// automatic derivation of tensor-parallel strategies for large neural
+// networks (Shi et al., ICPP 2025).
+//
+// The pipeline mirrors Figure 2 of the paper:
+//
+//  1. a model's computational graph is converted to GraphNodes,
+//  2. Apriori subgraph mining folds the search space to unique subgraphs,
+//  3. sharding patterns are enumerated per subgraph with early stopping,
+//  4. candidates are validated by symbolic shape checks,
+//  5. survivors are ranked by the communication-based cost model, and
+//  6. the winner is reconstructed into a per-device parallel graph.
+//
+// Quick start:
+//
+//	res, err := tapas.Search("t5-770M", 8)
+//	if err != nil { ... }
+//	fmt.Println(res.Strategy.Describe())
+//	fmt.Println(res.Report)   // simulated iteration time, TFLOPS/GPU
+package tapas
+
+import (
+	"fmt"
+	"time"
+
+	"tapas/internal/baselines"
+	"tapas/internal/cluster"
+	"tapas/internal/cost"
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+	"tapas/internal/mining"
+	"tapas/internal/models"
+	"tapas/internal/reconstruct"
+	"tapas/internal/sim"
+	"tapas/internal/strategy"
+)
+
+// Options configure a search.
+type Options struct {
+	// Cluster overrides the default V100 testbed preset for the GPU
+	// count.
+	Cluster *cluster.Cluster
+	// Mining overrides the subgraph-mining thresholds.
+	Mining *mining.Options
+	// Enum overrides the enumeration budgets.
+	Enum *strategy.EnumOptions
+	// CostModel overrides the full TAPAS cost model.
+	CostModel *cost.Model
+	// Exhaustive disables subgraph folding (the TAPAS-ES configuration).
+	Exhaustive bool
+	// TimeBudget bounds exhaustive enumeration.
+	TimeBudget time.Duration
+}
+
+// Result bundles everything a search produces.
+type Result struct {
+	ModelName string
+	GPUs      int
+
+	// Strategy is the selected parallel plan.
+	Strategy *strategy.Strategy
+	// Parallel is the reconstructed per-device graph.
+	Parallel *reconstruct.ParallelGraph
+	// Report is the simulated training iteration on the cluster.
+	Report sim.Report
+
+	// Search-time breakdown (the paper's headline metric).
+	GroupTime    time.Duration
+	MineTime     time.Duration
+	SearchTime   time.Duration
+	TotalTime    time.Duration
+	Classes      int
+	Examined     int
+	Pruned       int
+	UniqueGraphs int
+}
+
+// Models lists the available model names.
+func Models() []string { return models.Names() }
+
+// BuildModel constructs a registered model's computational graph.
+func BuildModel(name string) (*graph.Graph, error) { return models.Build(name) }
+
+// NewCluster returns the paper-testbed preset with the given total GPU
+// count (V100 SXM2 32 GB nodes of 8, joined by 100 Gbps Ethernet).
+func NewCluster(gpus int) *cluster.Cluster { return cluster.V100GPUs(gpus) }
+
+// Search runs the full TAPAS pipeline on a registered model.
+func Search(modelName string, gpus int, opts ...Options) (*Result, error) {
+	g, err := models.Build(modelName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := SearchGraph(g, gpus, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.ModelName = modelName
+	return res, nil
+}
+
+// SearchGraph runs the full TAPAS pipeline on an arbitrary computational
+// graph.
+func SearchGraph(g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	cl := opt.Cluster
+	if cl == nil {
+		cl = cluster.V100GPUs(gpus)
+	}
+	model := opt.CostModel
+	if model == nil {
+		model = cost.Default(cl)
+	}
+	enum := strategy.DefaultEnumOptions(gpus)
+	if opt.Enum != nil {
+		enum = *opt.Enum
+	}
+	if opt.TimeBudget > 0 {
+		enum.TimeBudget = opt.TimeBudget
+	}
+	mopt := mining.DefaultOptions()
+	if opt.Mining != nil {
+		mopt = *opt.Mining
+	}
+
+	res := &Result{GPUs: gpus, ModelName: g.Name}
+	start := time.Now()
+
+	t0 := time.Now()
+	gg, err := ir.Group(g)
+	if err != nil {
+		return nil, fmt.Errorf("tapas: grouping failed: %w", err)
+	}
+	res.GroupTime = time.Since(t0)
+
+	var s *strategy.Strategy
+	var stats *strategy.SearchStats
+	if opt.Exhaustive {
+		enum.MaxCandidates = maxInt(enum.MaxCandidates, 1<<15)
+		s, stats, err = strategy.SearchExhaustive(gg, model, enum, cl.MemoryPerGP)
+		res.UniqueGraphs = len(gg.Nodes)
+	} else {
+		t1 := time.Now()
+		mres := mining.Mine(gg, mopt)
+		classes := mining.Fold(gg, mres)
+		res.MineTime = time.Since(t1)
+		res.UniqueGraphs = len(classes)
+		s, stats, err = strategy.SearchFolded(gg, classes, model, enum, cl.MemoryPerGP)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tapas: strategy search failed: %w", err)
+	}
+	res.SearchTime = stats.EnumTime + stats.AssembleTime
+	res.Classes = stats.Classes
+	res.Examined = stats.Examined
+	res.Pruned = stats.Pruned
+
+	pg, err := reconstruct.Reconstruct(s)
+	if err != nil {
+		return nil, fmt.Errorf("tapas: reconstruction failed: %w", err)
+	}
+
+	res.Strategy = s
+	res.Parallel = pg
+	res.Report = sim.Run(s, sim.DefaultConfig(cl))
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// Baselines enumerates the comparison planners accepted by Baseline.
+func Baselines() []string {
+	return []string{"dp", "deepspeed", "megatron", "ffn-only", "mha-only", "gshard", "alpa", "flexflow"}
+}
+
+// Baseline derives a plan for the model with one of the paper's
+// comparison systems and simulates it on the same cluster preset.
+func Baseline(name, modelName string, gpus int, opts ...Options) (*Result, error) {
+	g, err := models.Build(modelName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := BaselineGraph(name, g, gpus, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res.ModelName = modelName
+	return res, nil
+}
+
+// BaselineGraph is Baseline for an arbitrary graph.
+func BaselineGraph(name string, g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	cl := opt.Cluster
+	if cl == nil {
+		cl = cluster.V100GPUs(gpus)
+	}
+	model := opt.CostModel
+	if model == nil {
+		model = cost.Default(cl)
+	}
+
+	res := &Result{GPUs: gpus, ModelName: g.Name}
+	start := time.Now()
+	gg, err := ir.Group(g)
+	if err != nil {
+		return nil, err
+	}
+
+	var s *strategy.Strategy
+	switch name {
+	case "dp", "data-parallel":
+		s, err = baselines.DataParallel(gg, gpus, model)
+	case "deepspeed", "zero2":
+		s, err = baselines.DeepSpeed(gg, gpus, model)
+	case "megatron":
+		s, err = baselines.Megatron(gg, gpus, model)
+	case "ffn-only":
+		s, err = baselines.FFNOnly(gg, gpus, model)
+	case "mha-only":
+		s, err = baselines.MHAOnly(gg, gpus, model)
+	case "gshard":
+		s, err = baselines.GShardExpert(gg, gpus, model)
+	case "alpa":
+		var stats *baselines.AlpaStats
+		s, stats, err = baselines.AlpaSearch(gg, gpus, model, baselines.DefaultAlpaOptions())
+		if stats != nil {
+			res.SearchTime = stats.Elapsed
+			res.Examined = stats.Examined
+		}
+	case "flexflow":
+		var stats *baselines.FlexFlowStats
+		s, stats, err = baselines.FlexFlowSearch(gg, gpus, model, baselines.DefaultFlexFlowOptions())
+		if stats != nil {
+			res.SearchTime = stats.Elapsed
+			res.Examined = stats.Proposals
+		}
+	default:
+		return nil, fmt.Errorf("tapas: unknown baseline %q (available: %v)", name, Baselines())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tapas: baseline %s failed: %w", name, err)
+	}
+
+	res.Strategy = s
+	res.Report = sim.Run(s, sim.DefaultConfig(cl))
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

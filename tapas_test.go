@@ -1,0 +1,120 @@
+package tapas
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSearchEndToEnd(t *testing.T) {
+	res, err := Search("t5-100M", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == nil || res.Parallel == nil {
+		t.Fatal("missing strategy or parallel graph")
+	}
+	if res.Report.IterationTime <= 0 {
+		t.Error("simulation should produce a positive iteration time")
+	}
+	if res.UniqueGraphs <= 0 || res.UniqueGraphs >= len(res.Strategy.Graph.Nodes) {
+		t.Errorf("folding should shrink the graph: %d classes for %d nodes",
+			res.UniqueGraphs, len(res.Strategy.Graph.Nodes))
+	}
+	if res.TotalTime <= 0 || res.Examined == 0 {
+		t.Error("search accounting missing")
+	}
+}
+
+func TestSearchUnknownModel(t *testing.T) {
+	if _, err := Search("nope", 8); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestBaselinesAllRun(t *testing.T) {
+	for _, b := range []string{"dp", "deepspeed", "megatron", "ffn-only", "mha-only"} {
+		res, err := Baseline(b, "t5-100M", 8)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", b, err)
+		}
+		if res.Report.IterationTime <= 0 {
+			t.Errorf("baseline %s: no simulated time", b)
+		}
+	}
+	if _, err := Baseline("gshard", "moe-380M", 8); err != nil {
+		t.Errorf("gshard on MoE: %v", err)
+	}
+	if _, err := Baseline("bogus", "t5-100M", 8); err == nil {
+		t.Error("unknown baseline must error")
+	}
+}
+
+func TestSearchExhaustiveOption(t *testing.T) {
+	res, err := Search("resnet-26M", 8, Options{Exhaustive: true, TimeBudget: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MineTime != 0 {
+		t.Error("exhaustive search should skip mining")
+	}
+	if res.Strategy == nil {
+		t.Fatal("no strategy")
+	}
+}
+
+func TestSearchFoldedFasterThanExhaustiveSameQuality(t *testing.T) {
+	gp, err := Search("t5-200M", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Search("t5-200M", 8, Options{Exhaustive: true, TimeBudget: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: ES vs GP quality within 1.5%; we allow a loose factor on
+	// the simulated iteration time, and GP must search faster.
+	if gp.Report.IterationTime > 1.5*es.Report.IterationTime {
+		t.Errorf("folded plan (%v) much slower than exhaustive (%v)",
+			gp.Report.IterationTime, es.Report.IterationTime)
+	}
+}
+
+func TestModelsAndBaselinesLists(t *testing.T) {
+	if len(Models()) < 15 {
+		t.Errorf("models registry too small: %v", Models())
+	}
+	if len(Baselines()) != 8 {
+		t.Errorf("baselines list: %v", Baselines())
+	}
+}
+
+func TestNewClusterPresets(t *testing.T) {
+	c := NewCluster(24)
+	if c.TotalGPUs() != 24 {
+		t.Errorf("NewCluster(24) has %d GPUs", c.TotalGPUs())
+	}
+}
+
+func TestBuildModelGraph(t *testing.T) {
+	g, err := BuildModel("resnet-26M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(g.Name, "resnet") {
+		t.Errorf("unexpected graph name %q", g.Name)
+	}
+}
+
+func TestSearchDiscoversResNetFCSharding(t *testing.T) {
+	// Headline qualitative result: TAPAS duplicates the ResNet backbone
+	// and shards the wide classifier.
+	res, err := Search("resnet-228M", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := res.Strategy.Describe()
+	if !strings.Contains(desc, "data-parallel") || !strings.Contains(desc, "column") {
+		t.Errorf("expected DP backbone + column-split FC, got %s", desc)
+	}
+}
