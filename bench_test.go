@@ -1,6 +1,7 @@
 package tapas
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -101,6 +102,48 @@ func BenchmarkSearchFoldedT5Large(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
 		if _, _, err := strategy.SearchFolded(g, classes, model, strategy.DefaultEnumOptions(8), cl.MemoryPerGP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchFolded sweeps the worker-pool size over the pure search
+// stage (mining excluded, classes pre-folded) so the parallel speedup is
+// measurable in isolation: compare workers=1 with workers=GOMAXPROCS in
+// BENCH_*.json across runners. The selected strategy is identical at
+// every size; only the wall clock should move.
+func BenchmarkSearchFolded(b *testing.B) {
+	for _, name := range []string{"t5-770M", "moe-1.3B"} {
+		g := groupedBench(b, name)
+		cl := cluster.V100x8()
+		model := cost.Default(cl)
+		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+		for _, workers := range []int{1, 4, 8} {
+			opt := strategy.DefaultEnumOptions(8)
+			opt.Workers = workers
+			b.Run(fmt.Sprintf("model=%s/workers=%d", name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := strategy.SearchFolded(g, classes, model, opt, cl.MemoryPerGP); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSearchAll measures the batch entry point: a fleet of
+// (model, GPU-count) searches dispatched concurrently.
+func BenchmarkSearchAll(b *testing.B) {
+	specs := []SearchSpec{
+		{Model: "t5-100M", GPUs: 8},
+		{Model: "moe-380M", GPUs: 8},
+		{Model: "resnet-26M", GPUs: 4},
+		{Model: "bert-base", GPUs: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SearchAll(specs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1, tab1, fig5, fig6, fig7, fig8, fig9, fig10, tab2) or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps and budgets for a fast run")
+	workers := flag.Int("workers", 0, "strategy-search worker goroutines (0 = GOMAXPROCS, 1 = serial; results are identical except fig8's time-budgeted ES column)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -30,7 +31,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Workers: *workers}
 	run := func(g experiments.Generator) {
 		fmt.Printf("==== %s ====\n", g.Title)
 		start := time.Now()

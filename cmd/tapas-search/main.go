@@ -5,7 +5,9 @@
 // Usage:
 //
 //	tapas-search -model t5-770M -gpus 8
+//	tapas-search -model t5-770M,moe-1.3B,bert-large -gpus 8   # batch via SearchAll
 //	tapas-search -model resnet-228M -gpus 16 -baseline megatron
+//	tapas-search -workers 4 -model t5-1.4B -gpus 32
 //	tapas-search -list
 package main
 
@@ -13,17 +15,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tapas"
 	"tapas/internal/graphio"
 )
 
 func main() {
-	model := flag.String("model", "t5-770M", "model name (see -list)")
+	model := flag.String("model", "t5-770M", "model name (see -list); a comma-separated list runs a concurrent batch search")
 	spec := flag.String("spec", "", "load a custom model from a graphio spec file instead of -model")
 	gpus := flag.Int("gpus", 8, "total GPU count (V100 nodes of 8)")
 	baseline := flag.String("baseline", "", "derive with a baseline planner instead of TAPAS (dp, deepspeed, megatron, ffn-only, mha-only, gshard, alpa, flexflow)")
 	exhaustive := flag.Bool("es", false, "use exhaustive search (TAPAS-ES) instead of subgraph pruning")
+	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial; the plan is identical either way)")
 	list := flag.Bool("list", false, "list registered models and exit")
 	verbose := flag.Bool("v", false, "print the per-GraphNode pattern assignment")
 	flag.Parse()
@@ -31,6 +35,44 @@ func main() {
 	if *list {
 		for _, m := range tapas.Models() {
 			fmt.Println(m)
+		}
+		return
+	}
+
+	var names []string
+	for _, n := range strings.Split(*model, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 1 {
+		*model = names[0] // tolerate a stray trailing comma
+	}
+	if len(names) > 1 && (*spec != "" || *baseline != "") {
+		fmt.Fprintln(os.Stderr, "a comma-separated -model batch cannot be combined with -baseline or -spec")
+		os.Exit(2)
+	}
+	if len(names) > 1 {
+		opts := tapas.Options{Exhaustive: *exhaustive, Workers: *workers}
+		specs := make([]tapas.SearchSpec, len(names))
+		for i, n := range names {
+			specs[i] = tapas.SearchSpec{Model: n, GPUs: *gpus, Options: &opts}
+		}
+		results, err := tapas.SearchAll(specs)
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			fmt.Printf("%-16s %2d GPUs  plan: %-60s  search=%v  %s\n",
+				res.ModelName, res.GPUs, res.Strategy.Describe(), res.TotalTime.Round(1e6), res.Report)
+			if *verbose {
+				printAssignment(res)
+				fmt.Println()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -55,12 +97,12 @@ func main() {
 		if *baseline != "" {
 			res, err = tapas.BaselineGraph(*baseline, g, *gpus)
 		} else {
-			res, err = tapas.SearchGraph(g, *gpus, tapas.Options{Exhaustive: *exhaustive})
+			res, err = tapas.SearchGraph(g, *gpus, tapas.Options{Exhaustive: *exhaustive, Workers: *workers})
 		}
 	case *baseline != "":
 		res, err = tapas.Baseline(*baseline, *model, *gpus)
 	default:
-		res, err = tapas.Search(*model, *gpus, tapas.Options{Exhaustive: *exhaustive})
+		res, err = tapas.Search(*model, *gpus, tapas.Options{Exhaustive: *exhaustive, Workers: *workers})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,11 +126,17 @@ func main() {
 	fmt.Printf("memory:       %.2f GiB/device (limit 32 GiB)\n", float64(res.Strategy.MemPerDev)/(1<<30))
 
 	if *verbose {
-		fmt.Println("\nassignment:")
-		for _, gn := range res.Strategy.Graph.TopoOrder() {
-			p := res.Strategy.Assign[gn]
-			fmt.Printf("  %-40s %-20s in=%-3s out=%-3s  %s\n",
-				gn.String(), p.Name, p.In, p.Out, p.SRC)
-		}
+		fmt.Println()
+		printAssignment(res)
+	}
+}
+
+// printAssignment dumps the per-GraphNode pattern assignment of a result.
+func printAssignment(res *tapas.Result) {
+	fmt.Println("assignment:")
+	for _, gn := range res.Strategy.Graph.TopoOrder() {
+		p := res.Strategy.Assign[gn]
+		fmt.Printf("  %-40s %-20s in=%-3s out=%-3s  %s\n",
+			gn.String(), p.Name, p.In, p.Out, p.SRC)
 	}
 }

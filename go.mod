@@ -1,0 +1,3 @@
+module tapas
+
+go 1.22

@@ -277,15 +277,17 @@ func DeepSpeed(g *ir.GNGraph, w int, model *cost.Model) (*strategy.Strategy, err
 		return nil, err
 	}
 	var weightBytes, actBytes int64
-	for gn, p := range s.Assign {
+	for gn, shared := range s.Assign {
 		weightBytes += gn.WeightBytes() // DP keeps weights unsharded
-		actBytes += p.OutBytesPerDev
+		actBytes += shared.OutBytesPerDev
 		// Rewrite the gradient synchronization of every weight-bearing
 		// node: AR(grads) in the backward pass becomes RS(grads) there,
 		// plus an AG of the updated parameters that lands in the next
 		// forward pass where nothing hides it — the extra exposed
 		// messages the paper observes hurting DeepSpeed on convolutional
-		// backbones.
+		// backbones. The pattern comes from the shared PatternsFor memo,
+		// so rewrite a private clone, never the shared instance.
+		p := shared.Clone()
 		var bwd []comm.Event
 		for _, e := range p.BwdComm {
 			if e.Kind == comm.AllReduce {
@@ -296,6 +298,7 @@ func DeepSpeed(g *ir.GNGraph, w int, model *cost.Model) (*strategy.Strategy, err
 			}
 		}
 		p.BwdComm = bwd
+		s.Assign[gn] = p
 	}
 	// weights (1×) + gradients/w + two Adam moments/w + activations.
 	s.MemPerDev = weightBytes + 3*weightBytes/int64(w) + actBytes

@@ -27,6 +27,11 @@ type Config struct {
 	// in tens of seconds (used by the benchmark harness); the full mode
 	// reproduces the complete sweeps.
 	Quick bool
+	// Workers bounds the strategy-search worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Experiments produce identical numbers for every value
+	// — only the wall clock changes — except the time-budgeted TAPAS-ES
+	// column of Figure 8, where the deadline cut is timing-dependent.
+	Workers int
 }
 
 // Generator is one experiment regenerator.
@@ -76,11 +81,13 @@ func groupGraph(g *graph.Graph) (*ir.GNGraph, error) { return ir.Group(g) }
 // tapasSearch runs mining + folded search and reports elapsed search time
 // (mining + enumeration + assembly, matching the paper's definition of
 // search time).
-func tapasSearch(gg *ir.GNGraph, cl *cluster.Cluster) (*strategy.Strategy, time.Duration, error) {
+func tapasSearch(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, time.Duration, error) {
 	model := cost.Default(cl)
 	start := time.Now()
 	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
-	s, _, err := strategy.SearchFolded(gg, classes, model, strategy.DefaultEnumOptions(cl.TotalGPUs()), cl.MemoryPerGP)
+	opt := strategy.DefaultEnumOptions(cl.TotalGPUs())
+	opt.Workers = cfg.Workers
+	s, _, err := strategy.SearchFolded(gg, classes, model, opt, cl.MemoryPerGP)
 	return s, time.Since(start), err
 }
 

@@ -88,7 +88,7 @@ func Figure7(w io.Writer, cfg Config) error {
 				return err
 			}
 			cells = append(cells, throughputCell(simulate(as, cl)))
-			ts, _, err := tapasSearch(gg, cl)
+			ts, _, err := tapasSearch(gg, cl, cfg)
 			if err != nil {
 				return err
 			}
@@ -153,13 +153,14 @@ func Figure8(w io.Writer, cfg Config) error {
 			esOpt := strategy.DefaultEnumOptions(gpus)
 			esOpt.MaxCandidates = 1 << 15
 			esOpt.TimeBudget = esBudget
+			esOpt.Workers = cfg.Workers
 			es, _, err := strategy.SearchExhaustive(gg, model, esOpt, cl.MemoryPerGP)
 			esCell := "budget"
 			if err == nil {
 				esCell = iterCell(simulate(es, cl))
 			}
 
-			gp, _, err := tapasSearch(gg, cl)
+			gp, _, err := tapasSearch(gg, cl, cfg)
 			if err != nil {
 				return err
 			}
@@ -221,7 +222,7 @@ func Figure9(w io.Writer, cfg Config) error {
 		}
 		render(plan, s)
 	}
-	ts, _, err := tapasSearch(gg, cl)
+	ts, _, err := tapasSearch(gg, cl, cfg)
 	if err != nil {
 		return err
 	}
@@ -235,7 +236,7 @@ func Figure9(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		tb, _, err := tapasSearch(big, cl)
+		tb, _, err := tapasSearch(big, cl, cfg)
 		if err != nil {
 			return err
 		}

@@ -26,7 +26,7 @@ func Figure1(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		ts, tdur, err := tapasSearch(gg, cl)
+		ts, tdur, err := tapasSearch(gg, cl, cfg)
 		if err != nil {
 			return err
 		}
@@ -103,7 +103,7 @@ func Figure6(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			_, tdur, err := tapasSearch(gg, cl)
+			_, tdur, err := tapasSearch(gg, cl, cfg)
 			if err != nil {
 				return err
 			}

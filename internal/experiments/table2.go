@@ -47,7 +47,7 @@ func channelParallel(gg *ir.GNGraph, w int, model *cost.Model) (*strategy.Strate
 // the same amount of compute reduction", as the paper puts it — and the
 // near-ties among such candidates are exactly where the CF/GO/EC
 // refinements decide the ranking.
-func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster) (map[string]*strategy.Strategy, error) {
+func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[string]*strategy.Strategy, error) {
 	model := cost.Default(cl)
 	w := cl.TotalGPUs()
 	out := map[string]*strategy.Strategy{}
@@ -84,7 +84,7 @@ func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster) (map[string]*strategy
 			return nil, err
 		}
 	}
-	ts, _, err := tapasSearch(gg, cl)
+	ts, _, err := tapasSearch(gg, cl, cfg)
 	if err := add("TAPAS", ts, err); err != nil {
 		return nil, err
 	}
@@ -93,6 +93,7 @@ func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster) (map[string]*strategy
 	opt := strategy.DefaultEnumOptions(w)
 	opt.MaxCandidates = 1024
 	opt.TopK = 48
+	opt.Workers = cfg.Workers
 	cands, _ := strategy.EnumerateInstance(gg, gg.TopoOrder(), model, opt)
 	for i, c := range cands {
 		assign := make(map[*ir.GraphNode]*ir.Pattern, len(gg.Nodes))
@@ -168,7 +169,7 @@ func Table2(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		cands, err := table2Candidates(gg, cl)
+		cands, err := table2Candidates(gg, cl, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", arch, err)
 		}
@@ -229,5 +230,5 @@ func DebugTable2Candidates(arch string, cl *cluster.Cluster) (map[string]*strate
 	if err != nil {
 		return nil, err
 	}
-	return table2Candidates(gg, cl)
+	return table2Candidates(gg, cl, Config{})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tapas/internal/graph"
 )
@@ -81,6 +82,13 @@ type GraphNode struct {
 	Weights               []*graph.Tensor
 
 	sig string
+
+	// patMu guards patCache, the per-(node, W) memo of PatternsFor.
+	// Attaching the cache to the node (rather than a package-level map)
+	// lets it die with the graph, so long-running batch services do not
+	// accumulate entries for graphs already searched.
+	patMu    sync.Mutex
+	patCache map[int][]*Pattern
 }
 
 // InShape returns the primary boundary input shape (zero Shape if the node
@@ -133,6 +141,8 @@ func (gn *GraphNode) OutBytes() int64 {
 // with equal signatures are interchangeable for strategy reuse — the core
 // of the paper's Observation #2.
 func (gn *GraphNode) Signature() string {
+	gn.patMu.Lock()
+	defer gn.patMu.Unlock()
 	if gn.sig != "" {
 		return gn.sig
 	}

@@ -38,6 +38,23 @@ type Pattern struct {
 	SRC string
 }
 
+// Clone returns a deep copy of the pattern whose mutable slice fields
+// (comm events, weight specs) are private to the copy. Patterns handed out
+// by PatternsFor are shared via the per-node memo cache, so planners that
+// rewrite a pattern's collectives (e.g. the ZeRO-2 baseline) must clone
+// first.
+func (p *Pattern) Clone() *Pattern {
+	q := *p
+	q.FwdComm = append([]comm.Event(nil), p.FwdComm...)
+	q.BwdComm = append([]comm.Event(nil), p.BwdComm...)
+	q.WeightSpecs = append([]ShardSpec(nil), p.WeightSpecs...)
+	if p.In2 != nil {
+		in2 := *p.In2
+		q.In2 = &in2
+	}
+	return &q
+}
+
 // In2Spec returns the secondary-input layout.
 func (p *Pattern) In2Spec() ShardSpec {
 	if p.In2 != nil {
@@ -88,7 +105,29 @@ func inBytes(gn *GraphNode) int64 {
 // tensor-parallel group of w devices (Step ③, Strategy Enumeration).
 // Patterns whose splits do not divide the corresponding tensor extents are
 // omitted. For w == 1 only the trivial replicate pattern exists.
+//
+// Results are memoized per (node, w) — the strategy search calls this in
+// its innermost loops, from many goroutines at once. The returned slice is
+// a fresh copy the caller may reorder freely, but the *Pattern values are
+// shared and must be treated as immutable; use Clone before modifying one.
 func PatternsFor(gn *GraphNode, w int) []*Pattern {
+	gn.patMu.Lock()
+	ps, ok := gn.patCache[w]
+	if !ok {
+		ps = patternsForUncached(gn, w)
+		if gn.patCache == nil {
+			gn.patCache = make(map[int][]*Pattern)
+		}
+		gn.patCache[w] = ps
+	}
+	out := make([]*Pattern, len(ps))
+	copy(out, ps)
+	gn.patMu.Unlock()
+	return out
+}
+
+// patternsForUncached computes the pattern menu for one (node, w) pair.
+func patternsForUncached(gn *GraphNode, w int) []*Pattern {
 	if w <= 1 {
 		return []*Pattern{replicatePattern(gn, 1)}
 	}

@@ -1,0 +1,115 @@
+// Package parallel provides the bounded worker-pool primitives behind the
+// concurrent strategy search: deterministic ordered fan-out over a slice of
+// work items, with context cancellation and a hard cap on in-flight
+// goroutines. The search layers rely on the ordering guarantee — results
+// come back positionally, so a parallel run merges into exactly the same
+// sequence a serial run would have produced.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map applies fn to every item on at most workers goroutines and returns
+// the results in item order. The first error cancels the shared context;
+// items not yet started are skipped and the error is returned. With
+// workers == 1 (or a single item) everything runs inline on the calling
+// goroutine, so the serial path has zero scheduling overhead.
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]R, len(items))
+	if workers <= 1 {
+		for i, it := range items {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			r, err := fn(ctx, i, it)
+			if err != nil {
+				return out, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next   atomic.Int64 // next item index to claim
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		errIdx = len(items) // lowest item index that errored
+		first  error
+	)
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(items) || cctx.Err() != nil {
+				return
+			}
+			r, err := fn(cctx, i, items[i])
+			if err != nil {
+				// Keep the lowest-index error so the reported failure does
+				// not depend on goroutine interleaving.
+				errMu.Lock()
+				if i < errIdx {
+					errIdx, first = i, err
+				}
+				errMu.Unlock()
+				cancel()
+				return
+			}
+			out[i] = r
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if first != nil {
+		return out, first
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// MapAll is Map without fail-fast: every item runs to completion and
+// per-item errors are collected positionally (nil on success). Used by the
+// batch Search API, where one failing spec must not abort the others.
+func MapAll[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, i int, item T) (R, error)) ([]R, []error) {
+	errs := make([]error, len(items))
+	out, _ := Map(ctx, workers, items, func(ctx context.Context, i int, item T) (R, error) {
+		r, err := fn(ctx, i, item)
+		if err != nil {
+			errs[i] = err
+		}
+		var zero R
+		if err != nil {
+			return zero, nil // swallow: no cancellation of siblings
+		}
+		return r, nil
+	})
+	return out, errs
+}

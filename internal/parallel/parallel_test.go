@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 200} {
+		out, err := Map(context.Background(), workers, items, func(_ context.Context, i, item int) (int, error) {
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, nil, func(_ context.Context, i int, item struct{}) (int, error) {
+		t.Fatal("fn called on empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(empty) = %v, %v", out, err)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	items := make([]int, 64)
+	_, err := Map(context.Background(), workers, items, func(_ context.Context, i, _ int) (int, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker cap %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	errBoom := errors.New("boom")
+	items := make([]int, 50)
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, items, func(_ context.Context, i, _ int) (int, error) {
+			if i == 7 || i == 30 {
+				return 0, fmt.Errorf("item %d: %w", i, errBoom)
+			}
+			return 0, nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("workers=%d: err = %v, want wrapped boom", workers, err)
+		}
+		// Items are claimed in order, so item 7 always runs and must win
+		// the lowest-index tie-break deterministically.
+		if !strings.Contains(err.Error(), "item 7") {
+			t.Errorf("workers=%d: err %q, want the lowest-index error (item 7)", workers, err)
+		}
+	}
+}
+
+// TestMapAllItemsError hammers the many-concurrent-errors path: every
+// item fails, and the reported error must still be non-nil and the
+// lowest-index one.
+func TestMapAllItemsError(t *testing.T) {
+	items := make([]int, 64)
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, items, func(_ context.Context, i, _ int) (int, error) {
+			return 0, fmt.Errorf("item %d failed", i)
+		})
+		if err == nil {
+			t.Fatal("all items errored but Map returned nil error")
+		}
+		if !strings.Contains(err.Error(), "item 0 failed") {
+			t.Fatalf("err = %v, want item 0 (lowest claimed index always runs)", err)
+		}
+	}
+}
+
+func TestMapErrorCancelsSiblings(t *testing.T) {
+	var started atomic.Int64
+	items := make([]int, 1000)
+	_, err := Map(context.Background(), 2, items, func(ctx context.Context, i, _ int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail fast")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n == int64(len(items)) {
+		t.Errorf("all %d items ran despite early failure", n)
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := make([]int, 10)
+	var ran atomic.Int64
+	_, err := Map(ctx, 4, items, func(_ context.Context, i, _ int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapAllCollectsErrors(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5}
+	var ran atomic.Int64
+	out, errs := MapAll(context.Background(), 3, items, func(_ context.Context, i, item int) (int, error) {
+		ran.Add(1)
+		if item%2 == 1 {
+			return 0, fmt.Errorf("odd %d", item)
+		}
+		return item * 10, nil
+	})
+	if ran.Load() != int64(len(items)) {
+		t.Fatalf("MapAll ran %d of %d items", ran.Load(), len(items))
+	}
+	for i, item := range items {
+		if item%2 == 1 {
+			if errs[i] == nil {
+				t.Errorf("item %d: want error", i)
+			}
+		} else {
+			if errs[i] != nil || out[i] != item*10 {
+				t.Errorf("item %d: out=%d errs=%v", i, out[i], errs[i])
+			}
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package strategy
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"tapas/internal/comm"
 	"tapas/internal/cost"
 	"tapas/internal/ir"
+	"tapas/internal/parallel"
 )
 
 // Candidate is one validated pattern assignment for a subgraph instance.
@@ -40,6 +42,15 @@ type EnumOptions struct {
 	// TimeBudget aborts enumeration when exceeded (zero = unlimited); the
 	// paper applies a 120-minute limit to exhaustive search.
 	TimeBudget time.Duration
+	// Workers bounds the goroutines used by the parallel search paths
+	// (SearchFolded class fan-out and the intra-instance decision-tree
+	// split). Zero selects GOMAXPROCS; 1 forces the serial path. The
+	// selected strategy is identical for every worker count — parallel
+	// enumeration replays the serial budget arithmetic exactly and merges
+	// results in deterministic order. The one exception is a non-zero
+	// TimeBudget: which subtrees the deadline cuts off depends on timing,
+	// under any worker count.
+	Workers int
 }
 
 // DefaultEnumOptions returns the budgets used by the TAPAS search.
@@ -56,12 +67,233 @@ type EnumStats struct {
 	Truncated bool // enumeration hit MaxCandidates
 }
 
+// merge folds another worker's effort counters into s.
+func (s *EnumStats) merge(o EnumStats) {
+	s.Examined += o.Examined
+	s.Pruned += o.Pruned
+	s.TimedOut = s.TimedOut || o.TimedOut
+	s.Truncated = s.Truncated || o.Truncated
+}
+
+// enumShared is the immutable context of one EnumerateInstance call,
+// shared read-only by every enumeration worker.
+type enumShared struct {
+	g        *ir.GNGraph
+	instance []*ir.GraphNode
+	member   map[*ir.GraphNode]int
+	menus    [][]*ir.Pattern
+	model    *cost.Model
+	opt      EnumOptions
+	start    time.Time
+}
+
+// enumState is the mutable state of one depth-first enumeration walk. Each
+// parallel worker owns a private enumState; merging concatenates the out
+// lists in deterministic task order and sums the stats.
+type enumState struct {
+	*enumShared
+	stats    EnumStats
+	out      []*Candidate
+	assigned []*ir.Pattern
+	events   [][]comm.Event
+}
+
+func newEnumState(sh *enumShared) *enumState {
+	return &enumState{
+		enumShared: sh,
+		assigned:   make([]*ir.Pattern, len(sh.instance)),
+		events:     make([][]comm.Event, len(sh.instance)),
+	}
+}
+
+// branch is one compatible pattern choice at a tree depth.
+type branch struct {
+	p   *ir.Pattern
+	evs []comm.Event
+}
+
+// branchBudgets splits a node's candidate budget across its n compatible
+// branches: equal shares with the remainder spread over the leading
+// (cheapest) branches, and the first branch guaranteed at least one slot
+// so enumeration cannot come back empty while valid strategies exist. A
+// zero entry means the branch is skipped. truncated reports that the
+// budget could not cover every branch. Both the serial dfs and the
+// parallel splitTasks expansion call this — the bit-identical-results
+// contract depends on there being exactly one copy of this arithmetic.
+func branchBudgets(budget, n int) (shares []int, truncated bool) {
+	shares = make([]int, n)
+	share := budget / n
+	extra := budget % n
+	truncated = share == 0
+	for i := range shares {
+		shares[i] = share
+		if i < extra {
+			shares[i]++
+		}
+	}
+	if shares[0] == 0 {
+		shares[0] = 1
+	}
+	return shares, truncated
+}
+
+// branchesAt applies the symbolic shape check of node i against the
+// already-assigned intra-instance predecessors and returns the surviving
+// patterns (early stopping, Figure 4), counting prunes.
+func (s *enumState) branchesAt(i int) []branch {
+	gn := s.instance[i]
+	var compat []branch
+	for _, p := range s.menus[i] {
+		ok := true
+		var evs []comm.Event
+		for _, pred := range s.g.Preds(gn) {
+			j, in := s.member[pred]
+			if !in || s.assigned[j] == nil {
+				continue // boundary edge: resolved at assembly
+			}
+			ev, c := checkEdge(s.g, pred, gn, s.assigned[j], p, s.opt.W, s.opt.AllowReshard)
+			if !c {
+				ok = false
+				break
+			}
+			evs = append(evs, ev...)
+		}
+		if !ok {
+			s.stats.Pruned++
+			continue
+		}
+		compat = append(compat, branch{p, evs})
+	}
+	return compat
+}
+
+// complete scores the full assignment currently held in s.assigned.
+func (s *enumState) complete() {
+	s.stats.Examined++
+	cand := &Candidate{Patterns: append([]*ir.Pattern{}, s.assigned...)}
+	for _, evs := range s.events {
+		cand.Reshard = append(cand.Reshard, evs...)
+	}
+	assign := make(map[*ir.GraphNode]*ir.Pattern, len(s.instance))
+	for j, gn := range s.instance {
+		assign[gn] = s.assigned[j]
+	}
+	cand.MemBytes = MemoryPerDevice(assign)
+	cand.Cost = s.model.StrategyCost(cand.Patterns, cand.Reshard)
+	s.out = append(s.out, cand)
+}
+
+// dfs is the budgeted decision-tree search: every depth splits its
+// candidate budget across the compatible patterns of the current node
+// (cheapest branch first and largest share), so the collected candidates
+// sample the whole tree instead of exhausting the budget inside the first
+// subtree. A branch with zero budget is skipped; the first branch always
+// gets at least one slot so enumeration cannot come back empty while valid
+// strategies exist. Returns the number of candidates produced.
+func (s *enumState) dfs(i, budget int) int {
+	if budget <= 0 {
+		return 0
+	}
+	if s.opt.TimeBudget > 0 && time.Since(s.start) > s.opt.TimeBudget {
+		s.stats.TimedOut = true
+		return 0
+	}
+	if i == len(s.instance) {
+		s.complete()
+		return 1
+	}
+	compat := s.branchesAt(i)
+	if len(compat) == 0 {
+		return 0
+	}
+
+	shares, truncated := branchBudgets(budget, len(compat))
+	if truncated {
+		s.stats.Truncated = true
+	}
+	produced := 0
+	for idx, br := range compat {
+		if shares[idx] == 0 {
+			continue
+		}
+		s.assigned[i], s.events[i] = br.p, br.evs
+		produced += s.dfs(i+1, shares[idx])
+		s.assigned[i], s.events[i] = nil, nil
+	}
+	return produced
+}
+
+// prefixTask is one unit of parallel enumeration work: a fixed assignment
+// prefix with the candidate budget the serial search would have granted
+// its subtree. Tasks are listed in the serial depth-first visit order, so
+// concatenating their outputs reproduces the serial result exactly.
+type prefixTask struct {
+	assigned []*ir.Pattern
+	events   [][]comm.Event
+	depth    int
+	budget   int
+}
+
+// splitTasks expands the root of the decision tree breadth-first until at
+// least target leaf tasks exist (or the tree is exhausted), replaying the
+// serial budget arithmetic at every expanded prefix. The prune/truncation
+// accounting of expanded prefixes lands in the returned stats, exactly
+// once per prefix, as in the serial walk.
+func splitTasks(sh *enumShared, target int) ([]prefixTask, EnumStats) {
+	scratch := &enumState{enumShared: sh}
+	tasks := []prefixTask{{
+		assigned: make([]*ir.Pattern, len(sh.instance)),
+		events:   make([][]comm.Event, len(sh.instance)),
+		budget:   sh.opt.MaxCandidates,
+	}}
+	for len(tasks) < target {
+		// Expand the widest remaining subtree: the expandable task with
+		// the largest budget, lowest index on ties (deterministic).
+		pick := -1
+		for i, t := range tasks {
+			if t.depth < len(sh.instance) && (pick < 0 || t.budget > tasks[pick].budget) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			break // every task is a complete assignment
+		}
+		t := tasks[pick]
+		scratch.assigned = t.assigned
+		compat := scratch.branchesAt(t.depth)
+		var children []prefixTask
+		if len(compat) > 0 {
+			shares, truncated := branchBudgets(t.budget, len(compat))
+			if truncated {
+				scratch.stats.Truncated = true
+			}
+			for idx, br := range compat {
+				if shares[idx] == 0 {
+					continue
+				}
+				na := append([]*ir.Pattern{}, t.assigned...)
+				ne := append([][]comm.Event{}, t.events...)
+				na[t.depth], ne[t.depth] = br.p, br.evs
+				children = append(children, prefixTask{na, ne, t.depth + 1, shares[idx]})
+			}
+		}
+		rest := append(children, tasks[pick+1:]...)
+		tasks = append(tasks[:pick], rest...)
+	}
+	return tasks, scratch.stats
+}
+
 // EnumerateInstance runs the decision-tree search over one subgraph
 // instance: nodes are assigned patterns in topological (ID) order; every
 // partial assignment is validated against already-assigned intra-instance
 // predecessors and abandoned at the first incompatibility ("we can early
 // stop it without exploring this strategy to the fullest"). Complete
 // assignments are scored with the cost model; the TopK cheapest survive.
+//
+// With opt.Workers != 1 the tree is split into deterministic prefix tasks
+// that fan out across a bounded worker pool; the returned candidates and
+// stats are identical to the serial run for every worker count, unless a
+// TimeBudget is set (deadline cuts are inherently timing-dependent).
 func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) ([]*Candidate, EnumStats) {
 	member := make(map[*ir.GraphNode]int, len(instance))
 	for i, gn := range instance {
@@ -85,103 +317,38 @@ func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Mode
 		menus[i] = ps
 	}
 
-	var (
-		stats    EnumStats
-		out      []*Candidate
-		assigned = make([]*ir.Pattern, len(instance))
-		events   = make([][]comm.Event, len(instance))
-		start    = time.Now()
-	)
-
-	// Budgeted decision-tree search: every depth splits its candidate
-	// budget across the compatible patterns of the current node (cheapest
-	// branch first and largest share), so the collected candidates sample
-	// the whole tree instead of exhausting the budget inside the first
-	// subtree. A branch with zero budget is skipped; the first branch
-	// always gets at least one slot so enumeration cannot come back empty
-	// while valid strategies exist.
-	var dfs func(i, budget int) int // returns candidates produced
-	dfs = func(i, budget int) int {
-		if budget <= 0 {
-			return 0
-		}
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
-			stats.TimedOut = true
-			return 0
-		}
-		if i == len(instance) {
-			stats.Examined++
-			cand := &Candidate{Patterns: append([]*ir.Pattern{}, assigned...)}
-			for _, evs := range events {
-				cand.Reshard = append(cand.Reshard, evs...)
-			}
-			assign := make(map[*ir.GraphNode]*ir.Pattern, len(instance))
-			for j, gn := range instance {
-				assign[gn] = assigned[j]
-			}
-			cand.MemBytes = MemoryPerDevice(assign)
-			cand.Cost = model.StrategyCost(cand.Patterns, cand.Reshard)
-			out = append(out, cand)
-			return 1
-		}
-		gn := instance[i]
-
-		// Symbolic shape check against intra-instance predecessors:
-		// collect the compatible patterns (early stopping, Figure 4).
-		type branch struct {
-			p   *ir.Pattern
-			evs []comm.Event
-		}
-		var compat []branch
-		for _, p := range menus[i] {
-			ok := true
-			var evs []comm.Event
-			for _, pred := range g.Preds(gn) {
-				j, in := member[pred]
-				if !in || assigned[j] == nil {
-					continue // boundary edge: resolved at assembly
-				}
-				ev, c := checkEdge(g, pred, gn, assigned[j], p, opt.W, opt.AllowReshard)
-				if !c {
-					ok = false
-					break
-				}
-				evs = append(evs, ev...)
-			}
-			if !ok {
-				stats.Pruned++
-				continue
-			}
-			compat = append(compat, branch{p, evs})
-		}
-		if len(compat) == 0 {
-			return 0
-		}
-
-		share := budget / len(compat)
-		extra := budget % len(compat)
-		if share == 0 {
-			stats.Truncated = true
-		}
-		produced := 0
-		for idx, br := range compat {
-			b := share
-			if idx < extra {
-				b++
-			}
-			if idx == 0 && b == 0 {
-				b = 1 // guarantee progress along the cheapest branch
-			}
-			if b == 0 {
-				continue
-			}
-			assigned[i], events[i] = br.p, br.evs
-			produced += dfs(i+1, b)
-			assigned[i], events[i] = nil, nil
-		}
-		return produced
+	sh := &enumShared{
+		g:        g,
+		instance: instance,
+		member:   member,
+		menus:    menus,
+		model:    model,
+		opt:      opt,
+		start:    time.Now(),
 	}
-	dfs(0, opt.MaxCandidates)
+
+	var (
+		out   []*Candidate
+		stats EnumStats
+	)
+	workers := parallel.Workers(opt.Workers)
+	if workers <= 1 || len(instance) < 2 || opt.MaxCandidates <= 0 {
+		st := newEnumState(sh)
+		st.dfs(0, opt.MaxCandidates)
+		out, stats = st.out, st.stats
+	} else {
+		tasks, split := splitTasks(sh, 4*workers)
+		stats.merge(split)
+		states, _ := parallel.Map(context.Background(), workers, tasks, func(_ context.Context, i int, t prefixTask) (*enumState, error) {
+			st := &enumState{enumShared: sh, assigned: t.assigned, events: t.events}
+			st.dfs(t.depth, t.budget)
+			return st, nil
+		})
+		for _, st := range states {
+			stats.merge(st.stats)
+			out = append(out, st.out...)
+		}
+	}
 
 	// Seeded candidates: coherent whole-instance assignments built by
 	// layout propagation under a library of preference orders. The

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"tapas/internal/cost"
 	"tapas/internal/ir"
 	"tapas/internal/mining"
+	"tapas/internal/parallel"
 )
 
 // SearchStats records where search time went and how much of the space
@@ -23,9 +25,20 @@ type SearchStats struct {
 	Truncated    bool
 }
 
+// merge folds one class's enumeration effort into the search totals.
+func (s *SearchStats) merge(es EnumStats) {
+	s.Examined += es.Examined
+	s.Pruned += es.Pruned
+	s.TimedOut = s.TimedOut || es.TimedOut
+	s.Truncated = s.Truncated || es.Truncated
+}
+
 // SearchFolded runs TAPAS strategy exploration over the folded search
 // space: one enumeration per unique subgraph class, then greedy assembly
-// of per-class winners into a valid global plan.
+// of per-class winners into a valid global plan. Per-class enumerations
+// run concurrently on opt.Workers goroutines (0 = GOMAXPROCS); the
+// selected strategy is bit-identical for every worker count (absent a
+// TimeBudget, whose deadline cuts are timing-dependent).
 func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
 	stats := &SearchStats{Classes: len(classes)}
 
@@ -43,21 +56,47 @@ func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt
 		return ordered[i].Instances[0][0].ID < ordered[j].Instances[0][0].ID
 	})
 
-	// Per-class candidate lists.
+	// Per-class candidate lists. Classes fan out across the worker pool
+	// (the hot path of the paper's headline search-time claim). Each
+	// class's enumeration may additionally split its own decision tree;
+	// its share of the pool halves with its coverage rank — the dominant
+	// class gets the whole pool for its deep tree, the runner-up half,
+	// and the tail runs serially — so the combined goroutine count stays
+	// within ~2× Workers instead of Workers². (Single-node tail classes
+	// never split regardless: their trees are one level deep.) The
+	// shares are fixed by the deterministic class order, not by racing
+	// on live pool state, and only move wall-clock: candidates are
+	// collected positionally and the effort counters merged in class
+	// order, so the assembly below sees exactly the serial result
+	// regardless of Workers.
 	t0 := time.Now()
+	type classEnum struct {
+		cands []*Candidate
+		es    EnumStats
+	}
+	workers := parallel.Workers(opt.Workers)
+	enums, err := parallel.Map(context.Background(), workers, ordered,
+		func(_ context.Context, i int, c *mining.Class) (classEnum, error) {
+			copt := opt
+			copt.Workers = 1
+			if i < 30 {
+				copt.Workers = max(1, workers>>i)
+			}
+			cs, es := EnumerateInstance(g, c.Representative(), model, copt)
+			if len(cs) == 0 {
+				return classEnum{es: es}, fmt.Errorf("strategy: no valid candidate for class %d (size %d)", i, c.Size())
+			}
+			return classEnum{cs, es}, nil
+		})
 	cands := make([][]*Candidate, len(ordered))
-	for i, c := range ordered {
-		cs, es := EnumerateInstance(g, c.Representative(), model, opt)
-		stats.Examined += es.Examined
-		stats.Pruned += es.Pruned
-		stats.TimedOut = stats.TimedOut || es.TimedOut
-		stats.Truncated = stats.Truncated || es.Truncated
-		if len(cs) == 0 {
-			return nil, stats, fmt.Errorf("strategy: no valid candidate for class %d (size %d)", i, c.Size())
-		}
-		cands[i] = cs
+	for i, e := range enums {
+		stats.merge(e.es)
+		cands[i] = e.cands
 	}
 	stats.EnumTime = time.Since(t0)
+	if err != nil {
+		return nil, stats, err
+	}
 
 	// Greedy assembly (step ⑤ + the static analysis): walk classes in
 	// topological order, apply each candidate to every instance, score
@@ -290,7 +329,8 @@ func applyCandidate(c *mining.Class, cand *Candidate, w int) (map[*ir.GraphNode]
 
 // SearchExhaustive enumerates the unfolded graph as a single instance —
 // the TAPAS-ES configuration of Figure 8. The time budget mirrors the
-// paper's 120-minute cap on exhaustive search.
+// paper's 120-minute cap on exhaustive search. The single decision tree
+// is split into deterministic prefix tasks across opt.Workers goroutines.
 func SearchExhaustive(g *ir.GNGraph, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
 	stats := &SearchStats{Classes: 1}
 	t0 := time.Now()

@@ -1,0 +1,141 @@
+package tapas
+
+import (
+	"strings"
+	"testing"
+)
+
+// equivalenceSpecs are the model × GPU-count grid the determinism contract
+// is verified on: a transformer, an MoE and a CNN (the three architecture
+// families of the paper's evaluation), each on one- and two-node clusters.
+var equivalenceSpecs = []struct {
+	model string
+	gpus  int
+}{
+	{"t5-100M", 4}, {"t5-100M", 8},
+	{"moe-380M", 4}, {"moe-380M", 8},
+	{"resnet-26M", 4}, {"resnet-26M", 8},
+	{"bert-base", 4}, {"bert-base", 8},
+}
+
+// TestSearchWorkerEquivalence is the determinism contract of the parallel
+// search: for every spec, Workers=1 and Workers=N must produce identical
+// strategies (description, cost, memory) and identical search effort
+// (Examined) — parallelism is a wall-clock optimization, never a
+// behavioral one.
+func TestSearchWorkerEquivalence(t *testing.T) {
+	for _, spec := range equivalenceSpecs {
+		spec := spec
+		t.Run(spec.model, func(t *testing.T) {
+			serial, err := Search(spec.model, spec.gpus, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("serial search: %v", err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, err := Search(spec.model, spec.gpus, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got, want := par.Strategy.Describe(), serial.Strategy.Describe(); got != want {
+					t.Errorf("workers=%d: plan %q != serial %q", workers, got, want)
+				}
+				if got, want := par.Strategy.Cost.Total(), serial.Strategy.Cost.Total(); got != want {
+					t.Errorf("workers=%d: cost %v != serial %v", workers, got, want)
+				}
+				if got, want := par.Examined, serial.Examined; got != want {
+					t.Errorf("workers=%d: examined %d != serial %d", workers, got, want)
+				}
+				if got, want := par.Strategy.MemPerDev, serial.Strategy.MemPerDev; got != want {
+					t.Errorf("workers=%d: mem %d != serial %d", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustiveWorkerEquivalence covers the same contract on the
+// TAPAS-ES path, whose single decision tree is split into prefix tasks.
+func TestExhaustiveWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		// The ES budget is fixed at 2^15 candidates; the tight-budget
+		// equivalent runs in internal/strategy's race tests.
+		t.Skip("exhaustive enumeration is slow under -short/-race")
+	}
+	for _, spec := range []struct {
+		model string
+		gpus  int
+	}{{"t5-100M", 8}, {"resnet-26M", 4}} {
+		serial, err := Search(spec.model, spec.gpus, Options{Exhaustive: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", spec.model, err)
+		}
+		par, err := Search(spec.model, spec.gpus, Options{Exhaustive: true, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s workers=8: %v", spec.model, err)
+		}
+		if got, want := par.Strategy.Describe(), serial.Strategy.Describe(); got != want {
+			t.Errorf("%s: ES plan %q != serial %q", spec.model, got, want)
+		}
+		if par.Examined != serial.Examined {
+			t.Errorf("%s: ES examined %d != serial %d", spec.model, par.Examined, serial.Examined)
+		}
+	}
+}
+
+// TestSearchAllMatchesIndividual checks the batch entry point: results
+// come back positionally and bit-identical to sequential Search calls.
+func TestSearchAllMatchesIndividual(t *testing.T) {
+	specs := []SearchSpec{
+		{Model: "t5-100M", GPUs: 8},
+		{Model: "moe-380M", GPUs: 4},
+		{Model: "resnet-26M", GPUs: 8},
+	}
+	batch, err := SearchAll(specs)
+	if err != nil {
+		t.Fatalf("SearchAll: %v", err)
+	}
+	if len(batch) != len(specs) {
+		t.Fatalf("SearchAll returned %d results for %d specs", len(batch), len(specs))
+	}
+	for i, spec := range specs {
+		single, err := Search(spec.Model, spec.GPUs)
+		if err != nil {
+			t.Fatalf("Search(%s): %v", spec.Model, err)
+		}
+		if batch[i] == nil {
+			t.Fatalf("spec %d: nil result", i)
+		}
+		if batch[i].ModelName != spec.Model {
+			t.Errorf("spec %d: result for %q, want %q (positional contract)", i, batch[i].ModelName, spec.Model)
+		}
+		if got, want := batch[i].Strategy.Describe(), single.Strategy.Describe(); got != want {
+			t.Errorf("spec %d: batch plan %q != individual %q", i, got, want)
+		}
+		if got, want := batch[i].Strategy.Cost.Total(), single.Strategy.Cost.Total(); got != want {
+			t.Errorf("spec %d: batch cost %v != individual %v", i, got, want)
+		}
+	}
+}
+
+// TestSearchAllPartialFailure: one bad spec reports its error without
+// aborting the good specs.
+func TestSearchAllPartialFailure(t *testing.T) {
+	specs := []SearchSpec{
+		{Model: "t5-100M", GPUs: 8},
+		{Model: "no-such-model", GPUs: 8},
+		{Model: "resnet-26M", GPUs: 4},
+	}
+	results, err := SearchAll(specs)
+	if err == nil {
+		t.Fatal("want error for unknown model")
+	}
+	if !strings.Contains(err.Error(), "no-such-model") || !strings.Contains(err.Error(), "spec 1") {
+		t.Errorf("error %q does not identify the failing spec", err)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("good specs aborted by the failing one")
+	}
+	if results[1] != nil {
+		t.Error("failed spec returned a non-nil result")
+	}
+}

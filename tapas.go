@@ -17,9 +17,26 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Strategy.Describe())
 //	fmt.Println(res.Report)   // simulated iteration time, TFLOPS/GPU
+//
+// The search hot path is parallel: per-class enumerations (and the
+// decision tree of a single large class) fan out across a bounded worker
+// pool. Options.Workers selects the pool size — zero means GOMAXPROCS, 1
+// forces the serial path — and the selected strategy is bit-identical for
+// every worker count, so parallelism is purely a wall-clock optimization.
+// (The exception is a search bounded by TimeBudget: what a deadline cuts
+// off is timing-dependent, serial or parallel.)
+//
+// SearchAll is the batch entry point: it runs many (model, GPU-count)
+// searches concurrently and returns results positionally, one per
+// SearchSpec, with per-spec errors joined into the second return value.
+//
+//	specs := []tapas.SearchSpec{{Model: "t5-770M", GPUs: 8}, {Model: "moe-1.3B", GPUs: 16}}
+//	results, err := tapas.SearchAll(specs)
 package tapas
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -30,6 +47,7 @@ import (
 	"tapas/internal/ir"
 	"tapas/internal/mining"
 	"tapas/internal/models"
+	"tapas/internal/parallel"
 	"tapas/internal/reconstruct"
 	"tapas/internal/sim"
 	"tapas/internal/strategy"
@@ -50,6 +68,14 @@ type Options struct {
 	Exhaustive bool
 	// TimeBudget bounds exhaustive enumeration.
 	TimeBudget time.Duration
+	// Workers bounds the goroutines used by the parallel strategy search
+	// (per-class fan-out plus intra-class decision-tree splitting). Zero
+	// selects GOMAXPROCS; 1 forces the serial path. The resulting
+	// strategy is identical for every value — see the package comment —
+	// except under a TimeBudget, where deadline cuts are timing-dependent
+	// at any worker count. Takes precedence over Enum.Workers when
+	// non-zero.
+	Workers int
 }
 
 // Result bundles everything a search produces.
@@ -121,6 +147,9 @@ func SearchGraph(g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
 	if opt.TimeBudget > 0 {
 		enum.TimeBudget = opt.TimeBudget
 	}
+	if opt.Workers != 0 {
+		enum.Workers = opt.Workers
+	}
 	mopt := mining.DefaultOptions()
 	if opt.Mining != nil {
 		mopt = *opt.Mining
@@ -168,6 +197,66 @@ func SearchGraph(g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
 	res.Report = sim.Run(s, sim.DefaultConfig(cl))
 	res.TotalTime = time.Since(start)
 	return res, nil
+}
+
+// SearchSpec names one search of a batch: a registered model (or a
+// pre-built graph) and a GPU count, with optional per-search options.
+type SearchSpec struct {
+	// Model is a registered model name (see Models). Ignored when Graph
+	// is set.
+	Model string
+	// Graph, when non-nil, is searched directly instead of building
+	// Model — the path for custom graphio specs.
+	Graph *graph.Graph
+	// GPUs is the total device count for this search.
+	GPUs int
+	// Options overrides the per-search options (nil = defaults). A zero
+	// Options.Workers is resolved by SearchAll to an even share of
+	// GOMAXPROCS across the batch, so the pools do not multiply; set it
+	// explicitly only when one search should claim more than its share.
+	Options *Options
+}
+
+// SearchAll runs many searches concurrently across a bounded worker pool
+// — the serving shape for a fleet of (model, cluster) configurations. The
+// returned slice is positional: results[i] answers specs[i] and is nil
+// exactly when that spec failed. The error joins every per-spec failure
+// (nil when all succeed); one failing spec never aborts the others. Each
+// individual search is deterministic, so a batch run returns exactly what
+// sequential Search calls would have.
+func SearchAll(specs []SearchSpec) ([]*Result, error) {
+	// Each search's inner pool defaults to an even share of the machine:
+	// batch-level concurrency × per-search workers ≈ GOMAXPROCS, rather
+	// than GOMAXPROCS². Worker counts never affect results, only pacing.
+	share := parallel.Workers(0) / maxInt(1, len(specs))
+	results, errs := parallel.MapAll(context.Background(), 0, specs,
+		func(_ context.Context, i int, spec SearchSpec) (*Result, error) {
+			var opt Options
+			if spec.Options != nil {
+				opt = *spec.Options
+			}
+			if opt.Workers == 0 {
+				opt.Workers = maxInt(1, share)
+			}
+			if spec.Graph != nil {
+				return SearchGraph(spec.Graph, spec.GPUs, opt)
+			}
+			return Search(spec.Model, spec.GPUs, opt)
+		})
+	for i, err := range errs {
+		if err != nil {
+			errs[i] = fmt.Errorf("tapas: spec %d (%s on %d GPUs): %w", i, specName(specs[i]), specs[i].GPUs, err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// specName renders the model identity of a spec for error messages.
+func specName(s SearchSpec) string {
+	if s.Graph != nil {
+		return s.Graph.Name
+	}
+	return s.Model
 }
 
 // Baselines enumerates the comparison planners accepted by Baseline.
