@@ -1,6 +1,7 @@
 package tapas
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -30,7 +31,7 @@ func benchExperiment(b *testing.B, id string) {
 	cfg := experiments.Config{Quick: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := g.Run(io.Discard, cfg); err != nil {
+		if err := g.Run(context.Background(), io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +82,7 @@ func BenchmarkMineT5Large(b *testing.B) {
 	opt := mining.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mining.Mine(g, opt)
+		mining.Mine(context.Background(), g, opt)
 	}
 }
 
@@ -90,7 +91,7 @@ func BenchmarkMineResNet152(b *testing.B) {
 	opt := mining.DefaultOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mining.Mine(g, opt)
+		mining.Mine(context.Background(), g, opt)
 	}
 }
 
@@ -100,8 +101,8 @@ func BenchmarkSearchFoldedT5Large(b *testing.B) {
 	model := cost.Default(cl)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-		if _, _, err := strategy.SearchFolded(g, classes, model, strategy.DefaultEnumOptions(8), cl.MemoryPerGP); err != nil {
+		classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+		if _, _, err := strategy.SearchFolded(context.Background(), g, classes, model, strategy.DefaultEnumOptions(8), cl.MemoryPerGP); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,13 +118,13 @@ func BenchmarkSearchFolded(b *testing.B) {
 		g := groupedBench(b, name)
 		cl := cluster.V100x8()
 		model := cost.Default(cl)
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+		classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 		for _, workers := range []int{1, 4, 8} {
 			opt := strategy.DefaultEnumOptions(8)
 			opt.Workers = workers
 			b.Run(fmt.Sprintf("model=%s/workers=%d", name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, _, err := strategy.SearchFolded(g, classes, model, opt, cl.MemoryPerGP); err != nil {
+					if _, _, err := strategy.SearchFolded(context.Background(), g, classes, model, opt, cl.MemoryPerGP); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -153,7 +154,7 @@ func BenchmarkEnumerateTransformerLayer(b *testing.B) {
 	g := groupedBench(b, "t5-100M")
 	cl := cluster.V100x8()
 	model := cost.Default(cl)
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	var layer *mining.Class
 	for _, c := range classes {
 		if layer == nil || c.Size() > layer.Size() {
@@ -163,7 +164,7 @@ func BenchmarkEnumerateTransformerLayer(b *testing.B) {
 	opt := strategy.DefaultEnumOptions(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		strategy.EnumerateInstance(g, layer.Representative(), model, opt)
+		strategy.EnumerateInstance(context.Background(), g, layer.Representative(), model, opt)
 	}
 }
 

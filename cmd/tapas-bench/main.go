@@ -1,10 +1,11 @@
 // Command tapas-bench regenerates the paper's tables and figures on the
-// simulated substrate.
+// simulated substrate. Ctrl-C cancels the run; -timeout bounds it.
 //
 // Usage:
 //
 //	tapas-bench -exp all          # every experiment, full fidelity
 //	tapas-bench -exp fig6 -quick  # one experiment, trimmed sweeps
+//	tapas-bench -timeout 10m -exp all
 //	tapas-bench -list             # enumerate experiment ids
 package main
 
@@ -14,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"tapas/internal/cli"
 	"tapas/internal/experiments"
 )
 
@@ -21,6 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1, tab1, fig5, fig6, fig7, fig8, fig9, fig10, tab2) or 'all'")
 	quick := flag.Bool("quick", false, "trim sweeps and budgets for a fast run")
 	workers := flag.Int("workers", 0, "strategy-search worker goroutines (0 = GOMAXPROCS, 1 = serial; results are identical except fig8's time-budgeted ES column)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -31,13 +34,16 @@ func main() {
 		return
 	}
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
 	cfg := experiments.Config{Quick: *quick, Workers: *workers}
 	run := func(g experiments.Generator) {
 		fmt.Printf("==== %s ====\n", g.Title)
 		start := time.Now()
-		if err := g.Run(os.Stdout, cfg); err != nil {
+		if err := g.Run(ctx, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", g.ID, err)
-			os.Exit(1)
+			os.Exit(cli.ExitCode(err))
 		}
 		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}

@@ -1,5 +1,6 @@
 // Command tapas-export derives a strategy and writes it as JSON or as a
-// Graphviz DOT drawing of the annotated GraphNode graph.
+// Graphviz DOT drawing of the annotated GraphNode graph. Ctrl-C cancels
+// the search; -timeout bounds it.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ import (
 	"os"
 
 	"tapas"
+	"tapas/internal/cli"
 	"tapas/internal/export"
 	"tapas/internal/sim"
 )
@@ -22,20 +24,25 @@ func main() {
 	gpus := flag.Int("gpus", 8, "total GPU count")
 	format := flag.String("format", "json", "output format: json, dot, or trace (Chrome tracing timeline)")
 	baseline := flag.String("baseline", "", "export a baseline plan instead of the TAPAS result")
+	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 	flag.Parse()
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	eng := tapas.NewEngine()
 	var (
 		res *tapas.Result
 		err error
 	)
 	if *baseline != "" {
-		res, err = tapas.Baseline(*baseline, *model, *gpus)
+		res, err = eng.Baseline(ctx, *baseline, *model, *gpus)
 	} else {
-		res, err = tapas.Search(*model, *gpus)
+		res, err = eng.Search(ctx, *model, *gpus)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 
 	switch *format {

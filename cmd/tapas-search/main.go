@@ -1,13 +1,15 @@
 // Command tapas-search derives a tensor-parallel strategy for one of the
 // registered models and reports the plan, its predicted cost and the
-// simulated training performance.
+// simulated training performance. Ctrl-C cancels an in-flight search
+// cleanly; -timeout bounds it; -progress streams live pipeline events to
+// stderr.
 //
 // Usage:
 //
 //	tapas-search -model t5-770M -gpus 8
 //	tapas-search -model t5-770M,moe-1.3B,bert-large -gpus 8   # batch via SearchAll
 //	tapas-search -model resnet-228M -gpus 16 -baseline megatron
-//	tapas-search -workers 4 -model t5-1.4B -gpus 32
+//	tapas-search -workers 4 -timeout 2m -progress -model t5-1.4B -gpus 32
 //	tapas-search -list
 package main
 
@@ -16,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"tapas"
+	"tapas/internal/cli"
 	"tapas/internal/graphio"
 )
 
@@ -28,6 +32,8 @@ func main() {
 	baseline := flag.String("baseline", "", "derive with a baseline planner instead of TAPAS (dp, deepspeed, megatron, ffn-only, mha-only, gshard, alpa, flexflow)")
 	exhaustive := flag.Bool("es", false, "use exhaustive search (TAPAS-ES) instead of subgraph pruning")
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial; the plan is identical either way)")
+	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "stream live search progress to stderr")
 	list := flag.Bool("list", false, "list registered models and exit")
 	verbose := flag.Bool("v", false, "print the per-GraphNode pattern assignment")
 	flag.Parse()
@@ -38,6 +44,20 @@ func main() {
 		}
 		return
 	}
+
+	// Ctrl-C (or SIGTERM from a supervisor) cancels the in-flight search;
+	// -timeout layers a deadline on top of the same context.
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	engOpts := []tapas.Option{
+		tapas.WithWorkers(*workers),
+		tapas.WithExhaustive(*exhaustive),
+	}
+	if *progress {
+		engOpts = append(engOpts, tapas.WithProgress(printProgress))
+	}
+	eng := tapas.NewEngine(engOpts...)
 
 	var names []string
 	for _, n := range strings.Split(*model, ",") {
@@ -53,12 +73,11 @@ func main() {
 		os.Exit(2)
 	}
 	if len(names) > 1 {
-		opts := tapas.Options{Exhaustive: *exhaustive, Workers: *workers}
 		specs := make([]tapas.SearchSpec, len(names))
 		for i, n := range names {
-			specs[i] = tapas.SearchSpec{Model: n, GPUs: *gpus, Options: &opts}
+			specs[i] = tapas.SearchSpec{Model: n, GPUs: *gpus}
 		}
-		results, err := tapas.SearchAll(specs)
+		results, err := eng.SearchAll(ctx, specs)
 		for _, res := range results {
 			if res == nil {
 				continue
@@ -71,8 +90,12 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			// One line per failed spec, so a partial failure cannot hide
+			// inside a joined message.
+			for _, e := range splitJoined(err) {
+				fmt.Fprintln(os.Stderr, "error:", e)
+			}
+			os.Exit(cli.ExitCode(err))
 		}
 		return
 	}
@@ -95,18 +118,18 @@ func main() {
 			os.Exit(1)
 		}
 		if *baseline != "" {
-			res, err = tapas.BaselineGraph(*baseline, g, *gpus)
+			res, err = eng.BaselineGraph(ctx, *baseline, g, *gpus)
 		} else {
-			res, err = tapas.SearchGraph(g, *gpus, tapas.Options{Exhaustive: *exhaustive, Workers: *workers})
+			res, err = eng.SearchGraph(ctx, g, *gpus)
 		}
 	case *baseline != "":
-		res, err = tapas.Baseline(*baseline, *model, *gpus)
+		res, err = eng.Baseline(ctx, *baseline, *model, *gpus)
 	default:
-		res, err = tapas.Search(*model, *gpus, tapas.Options{Exhaustive: *exhaustive, Workers: *workers})
+		res, err = eng.Search(ctx, *model, *gpus)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 
 	system := "TAPAS"
@@ -129,6 +152,30 @@ func main() {
 		fmt.Println()
 		printAssignment(res)
 	}
+}
+
+// printProgress renders one live pipeline event on stderr.
+func printProgress(ev tapas.ProgressEvent) {
+	switch {
+	case ev.Kind == tapas.PhaseProgress:
+		fmt.Fprintf(os.Stderr, "[%8s] %s/%d: %s %d/%d classes, %d strategies examined\n",
+			ev.Elapsed.Round(time.Millisecond), ev.Model, ev.GPUs, ev.Phase, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+	case ev.Kind == tapas.PhaseExit && ev.Phase == tapas.PhaseSearch:
+		fmt.Fprintf(os.Stderr, "[%8s] %s/%d: %s done (%d classes, %d examined)\n",
+			ev.Elapsed.Round(time.Millisecond), ev.Model, ev.GPUs, ev.Phase, ev.ClassesTotal, ev.Examined)
+	case ev.Kind == tapas.PhaseEnter:
+		fmt.Fprintf(os.Stderr, "[%8s] %s/%d: %s...\n",
+			ev.Elapsed.Round(time.Millisecond), ev.Model, ev.GPUs, ev.Phase)
+	}
+}
+
+// splitJoined unpacks an errors.Join result into its parts (or returns
+// the error itself when it is not a joined error).
+func splitJoined(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
 }
 
 // printAssignment dumps the per-GraphNode pattern assignment of a result.

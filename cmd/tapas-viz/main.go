@@ -1,6 +1,7 @@
 // Command tapas-viz renders the sharding strategies of a model's repeated
 // layer the way the paper's Figure 9 draws them, plus the full
-// per-GraphNode SRC expressions of a selected plan.
+// per-GraphNode SRC expressions of a selected plan. Ctrl-C cancels the
+// underlying searches; -timeout bounds them.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"tapas"
+	"tapas/internal/cli"
 	"tapas/internal/experiments"
 )
 
@@ -21,7 +23,11 @@ func main() {
 	model := flag.String("model", "t5-100M", "model to visualize")
 	plan := flag.String("plan", "", "show one plan's full assignment (tapas, dp, megatron, ffn-only, mha-only, gshard)")
 	src := flag.Bool("src", false, "print SRC expressions per GraphNode")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *plan == "" {
 		g, ok := experiments.Find("fig9")
@@ -29,25 +35,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "figure 9 generator missing")
 			os.Exit(1)
 		}
-		if err := g.Run(os.Stdout, experiments.Config{}); err != nil {
+		if err := g.Run(ctx, os.Stdout, experiments.Config{}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(cli.ExitCode(err))
 		}
 		return
 	}
 
+	eng := tapas.NewEngine()
 	var (
 		res *tapas.Result
 		err error
 	)
 	if *plan == "tapas" {
-		res, err = tapas.Search(*model, 8)
+		res, err = eng.Search(ctx, *model, 8)
 	} else {
-		res, err = tapas.Baseline(*plan, *model, 8)
+		res, err = eng.Baseline(ctx, *plan, *model, 8)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 	fmt.Printf("%s on 8 GPUs — %s\n", *model, res.Strategy.Describe())
 	if *src {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -16,8 +17,11 @@ import (
 func main() {
 	fmt.Println("== wide-classifier ResNet ==")
 
+	ctx := context.Background()
+	eng := tapas.NewEngine()
+
 	for _, model := range []string{"resnet-26M", "resnet-228M", "resnet-843M"} {
-		res, err := tapas.Search(model, 8)
+		res, err := eng.Search(ctx, model, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -31,11 +35,11 @@ func main() {
 			}
 		}
 
-		dp, err := tapas.Baseline("dp", model, 8)
+		dp, err := eng.Baseline(ctx, "dp", model, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ds, err := tapas.Baseline("deepspeed", model, 8)
+		ds, err := eng.Baseline(ctx, "deepspeed", model, 8)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,11 +39,13 @@ func main() {
 			p.Name, p.SRC, model.PatternCost(p).Total()*1e3, naive.PatternCost(p).Total()*1e3)
 	}
 
-	// Whole-model plans: predicted cost vs simulated time.
+	// Whole-model plans: predicted cost vs simulated time. The Engine is
+	// pinned to the 2-node cluster with a functional option.
+	ctx := context.Background()
+	eng := tapas.NewEngine(tapas.WithCluster(cl))
 	fmt.Println("\nT5-770M plans on 16 GPUs (cost model prediction vs simulator):")
-	opts := tapas.Options{Cluster: cl}
 	for _, plan := range []string{"dp", "deepspeed", "megatron", "ffn-only", "mha-only"} {
-		r, err := tapas.Baseline(plan, "t5-770M", 16, opts)
+		r, err := eng.Baseline(ctx, plan, "t5-770M", 16)
 		if err != nil {
 			log.Fatal(err)
 		}

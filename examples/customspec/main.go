@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,15 +35,18 @@ func main() {
 	fmt.Printf("parsed %s: %d ops, %d layers, %.1fM params\n",
 		g.Name, st.V, st.L, float64(st.Params)/1e6)
 
+	ctx := context.Background()
+
 	// Show the folding the repeat block enables.
 	gg, err := ir.Group(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+	classes := mining.Fold(gg, mining.Mine(ctx, gg, mining.DefaultOptions()))
 	fmt.Printf("folding: %d GraphNodes → %d unique subgraphs\n", len(gg.Nodes), len(classes))
 
-	res, err := tapas.SearchGraph(g, 8)
+	eng := tapas.NewEngine()
+	res, err := eng.SearchGraph(ctx, g, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

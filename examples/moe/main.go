@@ -2,12 +2,15 @@
 // evaluation. TAPAS must discover expert-level parallelism (all-to-all
 // token routing into sharded experts) without being told the model is an
 // MoE, and on clusters with more devices than experts it can nest tensor
-// parallelism inside the expert split.
+// parallelism inside the expert split. The Engine streams live progress
+// while the searches run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"tapas"
 )
@@ -15,8 +18,18 @@ import (
 func main() {
 	fmt.Println("== GShard-MoE strategy derivation ==")
 
+	// Watch the pipeline work: phase transitions and per-class progress
+	// land on stderr as the search runs.
+	ctx := context.Background()
+	eng := tapas.NewEngine(tapas.WithProgress(func(ev tapas.ProgressEvent) {
+		if ev.Kind == tapas.PhaseProgress {
+			fmt.Fprintf(os.Stderr, "  [%s %d GPUs] %d/%d classes, %d strategies examined\n",
+				ev.Model, ev.GPUs, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+		}
+	}))
+
 	for _, gpus := range []int{8, 32} {
-		res, err := tapas.Search("moe-1.3B", gpus) // 16 experts
+		res, err := eng.Search(ctx, "moe-1.3B", gpus) // 16 experts
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -28,7 +41,7 @@ func main() {
 	// Compare with the expert-engineered plans on one node.
 	fmt.Println("\nbaselines on 8 GPUs:")
 	for _, b := range []string{"gshard", "dp", "deepspeed"} {
-		r, err := tapas.Baseline(b, "moe-1.3B", 8)
+		r, err := eng.Baseline(ctx, b, "moe-1.3B", 8)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,15 @@
 // Pipeline example: the paper's §5.6 extension — pipeline-parallel stage
 // selection aligned to the mined subgraphs, with GPipe-style bubble
 // accounting, combined with the simulated testbed's multi-node topology.
+// The pure tensor-parallel plan from the Engine anchors the comparison.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"tapas"
 	"tapas/internal/cluster"
 	"tapas/internal/ir"
 	"tapas/internal/mining"
@@ -17,6 +20,8 @@ import (
 func main() {
 	fmt.Println("== pipeline-parallel stage selection (paper §5.6) ==")
 
+	ctx := context.Background()
+
 	src, err := models.Build("t5-770M")
 	if err != nil {
 		log.Fatal(err)
@@ -25,10 +30,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(ctx, g, mining.DefaultOptions()))
 
 	cl := cluster.V100Nodes(4)
 	opt := pipeline.DefaultSimOptions(cl)
+
+	// Reference point: the Engine's flat tensor-parallel plan across all
+	// 32 GPUs, no pipelining.
+	eng := tapas.NewEngine(tapas.WithCluster(cl))
+	flat, err := eng.Search(ctx, "t5-770M", cl.TotalGPUs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nflat tensor-parallel plan on %s: %.3fs/iter (%s)\n",
+		cl, flat.Report.IterationTime, flat.Strategy.Describe())
 
 	fmt.Printf("\n%s on %s:\n", src.Name, cl)
 	fmt.Printf("%6s %12s %10s %10s %12s\n", "stages", "iter-time", "bubble", "imbalance", "mem/stage")

@@ -1,20 +1,27 @@
 // Quickstart: derive a tensor-parallel strategy for a transformer in a
-// few lines and inspect what TAPAS found.
+// few lines and inspect what TAPAS found — including the Engine's result
+// cache answering the repeat search in microseconds.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"tapas"
 )
 
 func main() {
+	// One Engine per deployment: concurrency-safe, cancellable, caching.
+	ctx := context.Background()
+	eng := tapas.NewEngine()
+
 	// Search a 770M-parameter T5 on one 8-GPU V100 node. The pipeline
 	// groups the graph into GraphNodes, mines the repeated transformer
 	// layers, searches each unique subgraph once, and assembles a valid
 	// global plan.
-	res, err := tapas.Search("t5-770M", 8)
+	res, err := eng.Search(ctx, "t5-770M", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,8 +33,17 @@ func main() {
 		res.TotalTime.Round(1e6), res.UniqueGraphs, len(res.Strategy.Graph.Nodes))
 	fmt.Printf("perf:   %s\n", res.Report)
 
+	// The second identical search hits the LRU result cache.
+	start := time.Now()
+	again, err := eng.Search(ctx, "t5-770M", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repeat: cache hit=%v in %v (cold search took %v)\n",
+		again.CacheHit, time.Since(start).Round(time.Microsecond), res.TotalTime.Round(1e6))
+
 	// Compare against plain data parallelism on the same cluster.
-	dp, err := tapas.Baseline("dp", "t5-770M", 8)
+	dp, err := eng.Baseline(ctx, "dp", "t5-770M", 8)
 	if err != nil {
 		log.Fatal(err)
 	}

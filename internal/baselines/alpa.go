@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,7 +43,11 @@ type AlpaStats struct {
 // superlinearly with the (unfolded) graph, reproducing the search-time gap
 // of Figures 1 and 6 from first principles rather than hard-coded
 // constants.
-func AlpaSearch(g *ir.GNGraph, w int, model *cost.Model, opt AlpaOptions) (*strategy.Strategy, *AlpaStats, error) {
+//
+// Cancelling ctx behaves like hitting the time budget: the intra-op pass
+// stops and the dynamic program runs on the segments scored so far (or
+// fails if none were).
+func AlpaSearch(ctx context.Context, g *ir.GNGraph, w int, model *cost.Model, opt AlpaOptions) (*strategy.Strategy, *AlpaStats, error) {
 	start := time.Now()
 	stats := &AlpaStats{}
 	nodes := g.TopoOrder()
@@ -63,19 +68,34 @@ func AlpaSearch(g *ir.GNGraph, w int, model *cost.Model, opt AlpaOptions) (*stra
 		TopK:          4,
 		AllowReshard:  true,
 	}
+	score := func(i, j int) {
+		cands, es := strategy.EnumerateInstance(ctx, g, nodes[i:j], model, enumOpt)
+		stats.Segments++
+		stats.Examined += es.Examined
+		if len(cands) > 0 {
+			segBest[[2]int{i, j}] = segResult{cands[0], cands[0].Cost.Total()}
+		}
+	}
+	// Width-1 segments first: they are cheap (one menu per node) and
+	// guarantee the dynamic program below always closes, so an expired
+	// budget degrades to a per-node segmentation instead of failing —
+	// the documented best-so-far contract.
 	timedOut := false
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			timedOut = true
+			break
+		}
+		score(i, i+1)
+	}
+	// Wider windows as the budget allows.
 	for i := 0; i < n && !timedOut; i++ {
-		for j := i + 1; j <= n && j-i <= opt.MaxSegment; j++ {
-			if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		for j := i + 2; j <= n && j-i <= opt.MaxSegment; j++ {
+			if ctx.Err() != nil || (opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget) {
 				timedOut = true
 				break
 			}
-			cands, es := strategy.EnumerateInstance(g, nodes[i:j], model, enumOpt)
-			stats.Segments++
-			stats.Examined += es.Examined
-			if len(cands) > 0 {
-				segBest[[2]int{i, j}] = segResult{cands[0], cands[0].Cost.Total()}
-			}
+			score(i, j)
 		}
 	}
 	stats.TimedOut = timedOut
@@ -99,6 +119,12 @@ func AlpaSearch(g *ir.GNGraph, w int, model *cost.Model, opt AlpaOptions) (*stra
 		}
 	}
 	if back[n] == -1 {
+		// Distinguish "cancelled before the width-1 pass covered the
+		// chain" from a genuine infeasibility, so interrupts propagate as
+		// context errors rather than search failures.
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		return nil, stats, fmt.Errorf("alpa: no feasible segmentation")
 	}
 
@@ -155,11 +181,4 @@ func AlpaSearch(g *ir.GNGraph, w int, model *cost.Model, opt AlpaOptions) (*stra
 	s.Cost = model.StrategyCost(s.Patterns(), events)
 	stats.Elapsed = time.Since(start)
 	return s, stats, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -173,7 +174,7 @@ func TestAlpaSearchFindsValidPlanSlower(t *testing.T) {
 	opt := DefaultAlpaOptions()
 	opt.MaxSegment = 12
 	opt.InnerBudget = 32
-	s, stats, err := AlpaSearch(g, 8, m, opt)
+	s, stats, err := AlpaSearch(context.Background(), g, 8, m, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,9 +186,9 @@ func TestAlpaSearchFindsValidPlanSlower(t *testing.T) {
 	}
 
 	// TAPAS on the same model must search much faster (the Figure 6 gap).
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	t0 := time.Now()
-	_, _, err = strategy.SearchFolded(g, classes, m, strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
+	_, _, err = strategy.SearchFolded(context.Background(), g, classes, m, strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestFlexFlowSearchImprovesOnInit(t *testing.T) {
 	}
 	opt := DefaultFlexFlowOptions()
 	opt.Budget = 500
-	s, stats, err := FlexFlowSearch(g, 8, m, opt)
+	s, stats, err := FlexFlowSearch(context.Background(), g, 8, m, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,11 +229,11 @@ func TestFlexFlowDeterministicWithSeed(t *testing.T) {
 	m := cost.Default(cluster.V100x8())
 	opt := DefaultFlexFlowOptions()
 	opt.Budget = 200
-	a, _, err := FlexFlowSearch(g, 8, m, opt)
+	a, _, err := FlexFlowSearch(context.Background(), g, 8, m, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := FlexFlowSearch(g, 8, m, opt)
+	b, _, err := FlexFlowSearch(context.Background(), g, 8, m, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -31,14 +32,18 @@ type FlexFlowStats struct {
 	Proposals int
 	Accepted  int
 	Elapsed   time.Duration
+	Canceled  bool // the chain was cut short by context cancellation
 }
 
 // FlexFlowSearch emulates FlexFlow's Markov-Chain Monte-Carlo strategy
 // search: starting from pure data parallelism, it proposes random
 // single-node pattern changes and accepts them with Metropolis odds on the
 // cost-model score, evaluating every proposal by a full O(V+E) validation
-// — the O(BV+BE) behaviour of Table 1.
-func FlexFlowSearch(g *ir.GNGraph, w int, model *cost.Model, opt FlexFlowOptions) (*strategy.Strategy, *FlexFlowStats, error) {
+// — the O(BV+BE) behaviour of Table 1. Cancelling ctx ends the chain
+// early with stats.Canceled set and returns the best plan found so far
+// (callers that must abort outright, like the Engine, discard it and
+// report the context error instead).
+func FlexFlowSearch(ctx context.Context, g *ir.GNGraph, w int, model *cost.Model, opt FlexFlowOptions) (*strategy.Strategy, *FlexFlowStats, error) {
 	start := time.Now()
 	stats := &FlexFlowStats{}
 	rng := rand.New(rand.NewSource(opt.Seed))
@@ -84,6 +89,10 @@ func FlexFlowSearch(g *ir.GNGraph, w int, model *cost.Model, opt FlexFlowOptions
 	}
 
 	for it := 0; it < opt.Budget; it++ {
+		if it&0xff == 0 && ctx.Err() != nil {
+			stats.Canceled = true
+			break // return the best accepted plan so far
+		}
 		stats.Proposals++
 		i := rng.Intn(len(nodes))
 		menu := menus[i]

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"tapas/internal/cluster"
@@ -80,7 +81,7 @@ func TestFlexFlowBudgetDefaults(t *testing.T) {
 	g := grouped(t, "resnet-26M")
 	m := cost.Default(cluster.V100x8())
 	opt := DefaultFlexFlowOptions() // Budget 0 → 40·V
-	_, stats, err := FlexFlowSearch(g, 8, m, opt)
+	_, stats, err := FlexFlowSearch(context.Background(), g, 8, m, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestAlpaTimeBudgetReturnsBestSoFar(t *testing.T) {
 	m := cost.Default(cluster.V100x8())
 	opt := DefaultAlpaOptions()
 	opt.TimeBudget = 1 // effectively immediate timeout
-	if _, stats, err := AlpaSearch(g, 8, m, opt); err == nil {
+	if _, stats, err := AlpaSearch(context.Background(), g, 8, m, opt); err == nil {
 		// With an immediate timeout the DP table may still close via the
 		// first segments; if it returns a plan, it must be valid.
 		_ = stats

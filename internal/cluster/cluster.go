@@ -76,6 +76,17 @@ func (c *Cluster) ComputeTime(fl int64, utilization float64) float64 {
 	return float64(fl) / (c.PeakFLOPS * utilization)
 }
 
+// Signature returns a canonical identity string for the cluster: every
+// field that feeds the cost model and simulator (topology, memory, peak
+// FLOPS and both link tiers), but not the display name. Two clusters with
+// equal signatures price every strategy identically, so the signature is a
+// stable component of search-result cache keys.
+func (c *Cluster) Signature() string {
+	return fmt.Sprintf("m%d:n%d:mem%d:flops%g:intra(%g,%g):inter(%g,%g)",
+		c.NumNodes, c.GPUsPerNode, c.MemoryPerGP, c.PeakFLOPS,
+		c.Intra.Latency, c.Intra.Bandwidth, c.Inter.Latency, c.Inter.Bandwidth)
+}
+
 // Validate checks the cluster description for sanity.
 func (c *Cluster) Validate() error {
 	if c.NumNodes < 1 || c.GPUsPerNode < 1 {

@@ -1,0 +1,33 @@
+package cluster
+
+import "testing"
+
+func TestSignatureIdentifiesCostRelevantFields(t *testing.T) {
+	a, b := V100Nodes(2), V100Nodes(2)
+	if a.Signature() != b.Signature() {
+		t.Error("identical presets must share a signature")
+	}
+
+	// The display name is cosmetic.
+	b.Name = "renamed"
+	if a.Signature() != b.Signature() {
+		t.Error("renaming a cluster must not change its signature")
+	}
+
+	// Every cost-relevant field must move the signature.
+	mutations := []func(*Cluster){
+		func(c *Cluster) { c.NumNodes++ },
+		func(c *Cluster) { c.GPUsPerNode++ },
+		func(c *Cluster) { c.MemoryPerGP *= 2 },
+		func(c *Cluster) { c.PeakFLOPS *= 2 },
+		func(c *Cluster) { c.Intra.Bandwidth *= 2 },
+		func(c *Cluster) { c.Inter.Latency *= 2 },
+	}
+	for i, mutate := range mutations {
+		c := V100Nodes(2)
+		mutate(c)
+		if c.Signature() == a.Signature() {
+			t.Errorf("mutation %d did not change the signature", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -38,7 +39,10 @@ type Config struct {
 type Generator struct {
 	ID    string // e.g. "fig6"
 	Title string
-	Run   func(w io.Writer, cfg Config) error
+	// Run regenerates the experiment, writing rows to w. Cancelling ctx
+	// aborts the underlying searches; the partial output written so far
+	// stays on w and Run returns the context error.
+	Run func(ctx context.Context, w io.Writer, cfg Config) error
 }
 
 // All returns the generators in paper order.
@@ -81,18 +85,18 @@ func groupGraph(g *graph.Graph) (*ir.GNGraph, error) { return ir.Group(g) }
 // tapasSearch runs mining + folded search and reports elapsed search time
 // (mining + enumeration + assembly, matching the paper's definition of
 // search time).
-func tapasSearch(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, time.Duration, error) {
+func tapasSearch(ctx context.Context, gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, time.Duration, error) {
 	model := cost.Default(cl)
 	start := time.Now()
-	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+	classes := mining.Fold(gg, mining.Mine(ctx, gg, mining.DefaultOptions()))
 	opt := strategy.DefaultEnumOptions(cl.TotalGPUs())
 	opt.Workers = cfg.Workers
-	s, _, err := strategy.SearchFolded(gg, classes, model, opt, cl.MemoryPerGP)
+	s, _, err := strategy.SearchFolded(ctx, gg, classes, model, opt, cl.MemoryPerGP)
 	return s, time.Since(start), err
 }
 
 // alpaSearch runs the Alpa-like baseline with budgets scaled by fidelity.
-func alpaSearch(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, *baselines.AlpaStats, error) {
+func alpaSearch(ctx context.Context, gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Strategy, *baselines.AlpaStats, error) {
 	model := cost.Default(cl)
 	opt := baselines.DefaultAlpaOptions()
 	if cfg.Quick {
@@ -100,7 +104,7 @@ func alpaSearch(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (*strategy.Stra
 		opt.InnerBudget = 16
 		opt.TimeBudget = 5 * time.Second
 	}
-	return baselines.AlpaSearch(gg, cl.TotalGPUs(), model, opt)
+	return baselines.AlpaSearch(ctx, gg, cl.TotalGPUs(), model, opt)
 }
 
 // simulate runs the training-step simulator.

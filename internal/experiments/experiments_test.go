@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func runQuick(t *testing.T, id string) string {
 		t.Fatalf("generator %s missing", id)
 	}
 	var sb strings.Builder
-	if err := g.Run(&sb, Config{Quick: true}); err != nil {
+	if err := g.Run(context.Background(), &sb, Config{Quick: true}); err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}
 	return sb.String()

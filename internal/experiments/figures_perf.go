@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -17,7 +18,7 @@ import (
 // computation/communication time breakdown of four tensor-parallel plans
 // of T5-large on 8 and 16 workers. Inter-node communication should emerge
 // as the dominant term at 16 workers.
-func Figure5(w io.Writer, cfg Config) error {
+func Figure5(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 5: time breakdown for TP schedules of T5-large")
 	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "plan", "compute", "comm", "iter")
 
@@ -46,7 +47,7 @@ func Figure5(w io.Writer, cfg Config) error {
 // Figure7 reproduces the cross-framework throughput comparison on 8 GPUs
 // with OOM marks: DP, DeepSpeed, Megatron (transformers), the Alpa-like
 // searcher and TAPAS across every model-size scaling point.
-func Figure7(w io.Writer, cfg Config) error {
+func Figure7(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 7: throughput across frameworks on 8 GPUs (TFLOPS/GPU, × = OOM)")
 	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s %10s\n",
 		"model", "DP", "DeepSpeed", "Megatron", "Alpa", "TAPAS")
@@ -83,12 +84,12 @@ func Figure7(w io.Writer, cfg Config) error {
 				}
 				cells = append(cells, throughputCell(simulate(s, cl)))
 			}
-			as, _, err := alpaSearch(gg, cl, cfg)
+			as, _, err := alpaSearch(ctx, gg, cl, cfg)
 			if err != nil {
 				return err
 			}
 			cells = append(cells, throughputCell(simulate(as, cl)))
-			ts, _, err := tapasSearch(gg, cl, cfg)
+			ts, _, err := tapasSearch(ctx, gg, cl, cfg)
 			if err != nil {
 				return err
 			}
@@ -125,7 +126,7 @@ func weakScaledGraph(family string, gpus int) (*ir.GNGraph, error) {
 // data parallelism against TAPAS with exhaustive search (ES, under a time
 // budget like the paper's 120-minute cap) and TAPAS with subgraph pruning
 // (GP).
-func Figure8(w io.Writer, cfg Config) error {
+func Figure8(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 8: weak scaling (iteration time, × = OOM)")
 	fmt.Fprintf(w, "%-12s %6s %10s %10s %10s\n", "family", "GPUs", "DP", "TAPAS-ES", "TAPAS-GP")
 
@@ -154,13 +155,13 @@ func Figure8(w io.Writer, cfg Config) error {
 			esOpt.MaxCandidates = 1 << 15
 			esOpt.TimeBudget = esBudget
 			esOpt.Workers = cfg.Workers
-			es, _, err := strategy.SearchExhaustive(gg, model, esOpt, cl.MemoryPerGP)
+			es, _, err := strategy.SearchExhaustive(ctx, gg, model, esOpt, cl.MemoryPerGP)
 			esCell := "budget"
 			if err == nil {
 				esCell = iterCell(simulate(es, cl))
 			}
 
-			gp, _, err := tapasSearch(gg, cl, cfg)
+			gp, _, err := tapasSearch(ctx, gg, cl, cfg)
 			if err != nil {
 				return err
 			}
@@ -175,7 +176,7 @@ func Figure8(w io.Writer, cfg Config) error {
 // layer the way the paper draws them: per-projection markers for
 // column-wise parallel (C), row-wise parallel (R), replicated (*) and
 // batch-split (B) weights.
-func Figure9(w io.Writer, cfg Config) error {
+func Figure9(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 9: visualization of sharding strategies (one transformer layer)")
 	fmt.Fprintln(w, "# markers: C = column-split, R = row-split, * = replicate, B = batch-split(DP)")
 	fmt.Fprintf(w, "%-14s %3s %3s %3s %4s | %3s %5s\n", "plan", "Q", "K", "V", "Out", "Up", "Down")
@@ -222,7 +223,7 @@ func Figure9(w io.Writer, cfg Config) error {
 		}
 		render(plan, s)
 	}
-	ts, _, err := tapasSearch(gg, cl, cfg)
+	ts, _, err := tapasSearch(ctx, gg, cl, cfg)
 	if err != nil {
 		return err
 	}
@@ -236,7 +237,7 @@ func Figure9(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		tb, _, err := tapasSearch(big, cl, cfg)
+		tb, _, err := tapasSearch(ctx, big, cl, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,7 +13,7 @@ import (
 // representative size per family, TAPAS and the Alpa-like baseline each
 // report their strategy-derivation time and the simulated training
 // throughput of the plan they found.
-func Figure1(w io.Writer, cfg Config) error {
+func Figure1(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 1: search time vs training throughput (8 GPUs)")
 	fmt.Fprintf(w, "%-14s %-8s %14s %14s\n", "model", "system", "search-time", "TFLOPS/GPU")
 
@@ -26,13 +27,13 @@ func Figure1(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		ts, tdur, err := tapasSearch(gg, cl, cfg)
+		ts, tdur, err := tapasSearch(ctx, gg, cl, cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%-14s %-8s %14s %14s\n", name, "TAPAS", fmtDuration(tdur), throughputCell(simulate(ts, cl)))
 
-		as, astats, err := alpaSearch(gg, cl, cfg)
+		as, astats, err := alpaSearch(ctx, gg, cl, cfg)
 		if err != nil {
 			return err
 		}
@@ -44,7 +45,7 @@ func Figure1(w io.Writer, cfg Config) error {
 // Table1 reproduces the complexity table: the analytic complexity classes
 // of FlexFlow, Alpa and TAPAS, instantiated with the measured E, V, L and
 // C of the evaluation models.
-func Table1(w io.Writer, cfg Config) error {
+func Table1(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Table 1: complexities of selected auto-parallel frameworks")
 	fmt.Fprintln(w, "framework   search-space      search-algorithm            validation   overall")
 	fmt.Fprintln(w, "FlexFlow    N(4E,4V)          O(B) MCMC                   O(V+E)       O(BV+BE)")
@@ -66,7 +67,10 @@ func Table1(w io.Writer, cfg Config) error {
 		v, e := gg.Stats()
 		ops := len(gg.Src.Nodes)
 		sup := mining.AutoMinSupport(gg)
-		classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+		classes := mining.Fold(gg, mining.Mine(ctx, gg, mining.DefaultOptions()))
+		if err := ctx.Err(); err != nil {
+			return err // partial mining would misreport the class counts
+		}
 		c := 0
 		if v > 0 {
 			c = ops / v
@@ -79,7 +83,7 @@ func Table1(w io.Writer, cfg Config) error {
 // Figure6 reproduces the end-to-end search time sweep: TAPAS vs the
 // Alpa-like baseline across the paper's model-size scaling points for
 // ResNet (width), T5 (depth) and GShard-MoE (width+depth).
-func Figure6(w io.Writer, cfg Config) error {
+func Figure6(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 6: end-to-end search time under different frameworks (8 GPUs)")
 	fmt.Fprintf(w, "%-16s %14s %14s %10s\n", "model", "Alpa", "TAPAS", "speedup")
 
@@ -103,11 +107,11 @@ func Figure6(w io.Writer, cfg Config) error {
 			if err != nil {
 				return err
 			}
-			_, tdur, err := tapasSearch(gg, cl, cfg)
+			_, tdur, err := tapasSearch(ctx, gg, cl, cfg)
 			if err != nil {
 				return err
 			}
-			_, astats, err := alpaSearch(gg, cl, cfg)
+			_, astats, err := alpaSearch(ctx, gg, cl, cfg)
 			if err != nil {
 				return err
 			}
@@ -125,7 +129,7 @@ func Figure6(w io.Writer, cfg Config) error {
 
 // Figure10 reproduces the subgraph-pruning micro-benchmark: the number of
 // unique subgraphs (classes) and the mining time as minSize sweeps.
-func Figure10(w io.Writer, cfg Config) error {
+func Figure10(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Figure 10: subgraph pruning vs minimum subgraph size")
 	names := []string{"t5-770M", "resnet152-100K", "moe-1.3B"}
 	sizes := []int{1, 2, 4, 8, 16, 24, 32, 48, 64}
@@ -144,7 +148,10 @@ func Figure10(w io.Writer, cfg Config) error {
 		for _, ms := range sizes {
 			opt := mining.DefaultOptions()
 			opt.MinSize = ms
-			res := mining.Mine(gg, opt)
+			res := mining.Mine(ctx, gg, opt)
+			if err := ctx.Err(); err != nil {
+				return err // partial mining would misreport the sweep
+			}
 			classes := mining.Fold(gg, res)
 			fmt.Fprintf(w, "%8d %12d %14s\n", ms, len(classes), fmtDuration(res.Elapsed))
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -47,7 +48,7 @@ func channelParallel(gg *ir.GNGraph, w int, model *cost.Model) (*strategy.Strate
 // the same amount of compute reduction", as the paper puts it — and the
 // near-ties among such candidates are exactly where the CF/GO/EC
 // refinements decide the ranking.
-func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[string]*strategy.Strategy, error) {
+func table2Candidates(ctx context.Context, gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[string]*strategy.Strategy, error) {
 	model := cost.Default(cl)
 	w := cl.TotalGPUs()
 	out := map[string]*strategy.Strategy{}
@@ -84,7 +85,7 @@ func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[stri
 			return nil, err
 		}
 	}
-	ts, _, err := tapasSearch(gg, cl, cfg)
+	ts, _, err := tapasSearch(ctx, gg, cl, cfg)
 	if err := add("TAPAS", ts, err); err != nil {
 		return nil, err
 	}
@@ -94,7 +95,10 @@ func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[stri
 	opt.MaxCandidates = 1024
 	opt.TopK = 48
 	opt.Workers = cfg.Workers
-	cands, _ := strategy.EnumerateInstance(gg, gg.TopoOrder(), model, opt)
+	cands, _ := strategy.EnumerateInstance(ctx, gg, gg.TopoOrder(), model, opt)
+	if err := ctx.Err(); err != nil {
+		return nil, err // a truncated candidate pool would skew the metrics
+	}
 	for i, c := range cands {
 		assign := make(map[*ir.GraphNode]*ir.Pattern, len(gg.Nodes))
 		for j, gn := range gg.TopoOrder() {
@@ -140,7 +144,7 @@ func table2Candidates(gg *ir.GNGraph, cl *cluster.Cluster, cfg Config) (map[stri
 // α–β baseline, +constant filter, +gradient overlap, +collective
 // efficiency) and compared against the simulator's ground-truth ranking
 // via Accuracy@1, Accuracy@5 and mean reciprocal rank.
-func Table2(w io.Writer, cfg Config) error {
+func Table2(ctx context.Context, w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "# Table 2: ablation of cost-model optimizations")
 
 	archs := table2Architectures(cfg)
@@ -169,7 +173,7 @@ func Table2(w io.Writer, cfg Config) error {
 		if err != nil {
 			return err
 		}
-		cands, err := table2Candidates(gg, cl, cfg)
+		cands, err := table2Candidates(ctx, gg, cl, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", arch, err)
 		}
@@ -230,5 +234,5 @@ func DebugTable2Candidates(arch string, cl *cluster.Cluster) (map[string]*strate
 	if err != nil {
 		return nil, err
 	}
-	return table2Candidates(gg, cl, Config{})
+	return table2Candidates(context.Background(), gg, cl, Config{})
 }

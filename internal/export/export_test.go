@@ -2,6 +2,7 @@ package export
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -145,8 +146,8 @@ func TestRehydrateSearchResult(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := cluster.V100x8()
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-	s, _, err := strategy.SearchFolded(g, classes, cost.Default(cl), strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+	s, _, err := strategy.SearchFolded(context.Background(), g, classes, cost.Default(cl), strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package graph
+
+import "testing"
+
+// buildFingerprintGraph constructs a small two-layer MLP-ish graph; name
+// lets the test vary cosmetic identifiers without touching structure.
+func buildFingerprintGraph(name string, hidden int64) *Graph {
+	b := NewBuilder(name)
+	x := b.Input(name+"_x", F32, NewShape(8, 64))
+	h := b.Dense(name+"_fc1", x, hidden, OpReLU)
+	b.Dense(name+"_fc2", h, 10, OpIdentity)
+	return b.G
+}
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	a := buildFingerprintGraph("a", 128).Fingerprint()
+	b := buildFingerprintGraph("a", 128).Fingerprint()
+	if a != b {
+		t.Errorf("two builds of the same graph fingerprint differently:\n%s\n%s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("fingerprint should be 64 hex chars, got %d", len(a))
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := buildFingerprintGraph("a", 128).Fingerprint()
+	b := buildFingerprintGraph("renamed", 128).Fingerprint()
+	if a != b {
+		t.Error("fingerprint must be structural: node/tensor names should not matter")
+	}
+}
+
+func TestFingerprintSeesStructure(t *testing.T) {
+	base := buildFingerprintGraph("a", 128).Fingerprint()
+	if got := buildFingerprintGraph("a", 256).Fingerprint(); got == base {
+		t.Error("changing a layer width must change the fingerprint")
+	}
+
+	// An extra node changes the hash.
+	g := buildFingerprintGraph("a", 128)
+	b := &Builder{G: g}
+	b.Dense("extra", g.Nodes[len(g.Nodes)-1].Outputs[0], 10, OpIdentity)
+	if g.Fingerprint() == base {
+		t.Error("appending a node must change the fingerprint")
+	}
+}

@@ -1,6 +1,7 @@
 package graphio
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestParsedGraphMinesAndFolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := mining.Fold(gg, mining.Mine(gg, mining.DefaultOptions()))
+	classes := mining.Fold(gg, mining.Mine(context.Background(), gg, mining.DefaultOptions()))
 	if errs := mining.CoverageCheck(gg, classes); len(errs) != 0 {
 		t.Fatalf("coverage: %v", errs[0])
 	}

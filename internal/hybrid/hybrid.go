@@ -10,6 +10,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 
 	"tapas/internal/cluster"
@@ -124,13 +125,16 @@ func Simulate(p *Plan, c *cluster.Cluster, cfg sim.Config) Report {
 // Search factorizes the cluster into every dp × tp split with tp dividing
 // the per-node GPU count (so TP groups stay on NVLink), runs the folded
 // TAPAS search per tp, simulates each hybrid, and returns the fastest
-// memory-feasible plan.
-func Search(g *ir.GNGraph, c *cluster.Cluster, cfg sim.Config) (*Plan, Report, error) {
+// memory-feasible plan. Cancelling ctx aborts the factorization sweep.
+func Search(ctx context.Context, g *ir.GNGraph, c *cluster.Cluster, cfg sim.Config) (*Plan, Report, error) {
 	total := c.TotalGPUs()
 	var (
 		best    *Plan
 		bestRep Report
 	)
+	// The mined classes depend only on the graph, not on tp — fold once
+	// for the whole factorization sweep.
+	classes := mining.Fold(g, mining.Mine(ctx, g, mining.DefaultOptions()))
 	for tp := 1; tp <= c.GPUsPerNode; tp *= 2 {
 		if total%tp != 0 {
 			continue
@@ -138,9 +142,11 @@ func Search(g *ir.GNGraph, c *cluster.Cluster, cfg sim.Config) (*Plan, Report, e
 		dp := total / tp
 		sub := subCluster(c, tp)
 		model := cost.Default(sub)
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-		s, _, err := strategy.SearchFolded(g, classes, model, strategy.DefaultEnumOptions(tp), sub.MemoryPerGP)
+		s, _, err := strategy.SearchFolded(ctx, g, classes, model, strategy.DefaultEnumOptions(tp), sub.MemoryPerGP)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, Report{}, err
+			}
 			continue
 		}
 		plan := &Plan{TP: s, TPWidth: tp, DPWidth: dp}

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"testing"
 
 	"tapas/internal/cluster"
@@ -37,7 +38,7 @@ func TestSubCluster(t *testing.T) {
 func TestSearchFactorizes(t *testing.T) {
 	g := groupedModel(t, "t5-300M")
 	c := cluster.V100Nodes(2) // 16 GPUs
-	plan, rep, err := Search(g, c, sim.DefaultConfig(c))
+	plan, rep, err := Search(context.Background(), g, c, sim.DefaultConfig(c))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestHybridOuterSyncCostsSomething(t *testing.T) {
 	// Same TP width, different DP widths: more replicas must add outer
 	// gradient traffic.
 	mkPlan := func(tp, dp int) Report {
-		plan, _, err := Search(g, c, cfg)
+		plan, _, err := Search(context.Background(), g, c, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestHybridBeatsOrMatchesPureTP(t *testing.T) {
 	g := groupedModel(t, "t5-300M")
 	c := cluster.V100Nodes(2)
 	cfg := sim.DefaultConfig(c)
-	plan, rep, err := Search(g, c, cfg)
+	plan, rep, err := Search(context.Background(), g, c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestHybridMemoryScalesWithTP(t *testing.T) {
 	g := groupedModel(t, "t5-770M")
 	c := cluster.V100Nodes(2)
 	cfg := sim.DefaultConfig(c)
-	plan, rep, err := Search(g, c, cfg)
+	plan, rep, err := Search(context.Background(), g, c, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -200,7 +201,12 @@ func AutoMinSupport(g *ir.GNGraph) int {
 // candidates, counts support, then iteratively grows frequent patterns by
 // one adjacent node until no pattern stays frequent, returning all
 // frequent subgraphs with at least MinSize nodes.
-func Mine(g *ir.GNGraph, opt Options) *Result {
+//
+// Cancelling ctx stops the Apriori level expansion early and returns the
+// subgraphs mined so far; callers that must abort outright should check
+// ctx.Err() after Mine returns (Fold degrades gracefully on a partial
+// result — unmined regions simply stay unfolded).
+func Mine(ctx context.Context, g *ir.GNGraph, opt Options) *Result {
 	start := time.Now()
 	if opt.MinSupport <= 0 {
 		opt.MinSupport = AutoMinSupport(g)
@@ -235,7 +241,7 @@ func Mine(g *ir.GNGraph, opt Options) *Result {
 	// neighbor of member i corresponds across instances; instances where
 	// the replay diverges (block boundaries) simply drop out of the
 	// support count.
-	for k := 2; k <= opt.MaxSize && len(level) > 0; k++ {
+	for k := 2; k <= opt.MaxSize && len(level) > 0 && ctx.Err() == nil; k++ {
 		next := make(map[uint64][]Instance)
 		nextSeen := make(map[uint64]map[uint64]bool) // pattern → instance keys
 		for _, instances := range level {

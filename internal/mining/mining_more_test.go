@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"testing"
 
 	"tapas/internal/ir"
@@ -39,7 +40,7 @@ func TestFoldAlignsWithLayerBoundaries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := Fold(g, Mine(g, DefaultOptions()))
+	classes := Fold(g, Mine(context.Background(), g, DefaultOptions()))
 	var dominant *Class
 	for _, c := range classes {
 		if dominant == nil || len(c.Instances)*c.Size() > len(dominant.Instances)*dominant.Size() {
@@ -71,7 +72,7 @@ func TestFoldReleasesSingleInstancePatterns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := Fold(g, Mine(g, DefaultOptions()))
+	classes := Fold(g, Mine(context.Background(), g, DefaultOptions()))
 	for _, c := range classes {
 		if c.Size() > 1 && len(c.Instances) < 2 {
 			t.Errorf("multi-node class with a single instance survived: size=%d", c.Size())
@@ -91,7 +92,7 @@ func TestMineSublinearInDepth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return len(Fold(g, Mine(g, DefaultOptions())))
+		return len(Fold(g, Mine(context.Background(), g, DefaultOptions())))
 	}
 	small, large := count("t5-200M"), count("t5-1.4B")
 	if large > small+4 {

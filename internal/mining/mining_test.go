@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestMineChainFindsRepeats(t *testing.T) {
 	g := chainGraph(t, 8)
 	opt := DefaultOptions()
 	opt.MinSize = 1
-	res := Mine(g, opt)
+	res := Mine(context.Background(), g, opt)
 	if len(res.Frequent) == 0 {
 		t.Fatal("no frequent subgraphs in an 8× repeated chain")
 	}
@@ -50,7 +51,7 @@ func TestMineRespectsMinSupport(t *testing.T) {
 	opt := DefaultOptions()
 	opt.MinSize = 1
 	opt.MinSupport = 4 // more than the 3 occurrences
-	res := Mine(g, opt)
+	res := Mine(context.Background(), g, opt)
 	for _, s := range res.Frequent {
 		if s.Support() < 4 {
 			t.Errorf("pattern with support %d < minSupport emitted", s.Support())
@@ -62,7 +63,7 @@ func TestMineRespectsMinSize(t *testing.T) {
 	g := chainGraph(t, 8)
 	opt := DefaultOptions()
 	opt.MinSize = 3
-	res := Mine(g, opt)
+	res := Mine(context.Background(), g, opt)
 	for _, s := range res.Frequent {
 		if s.Size < 3 {
 			t.Errorf("pattern of size %d < minSize emitted", s.Size)
@@ -78,7 +79,7 @@ func TestMineT5FoldsToFewClasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := Mine(g, DefaultOptions())
+	res := Mine(context.Background(), g, DefaultOptions())
 	classes := Fold(g, res)
 
 	if errs := CoverageCheck(g, classes); len(errs) != 0 {
@@ -110,7 +111,7 @@ func TestFoldDisjointAndComplete(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		classes := Fold(g, Mine(g, DefaultOptions()))
+		classes := Fold(g, Mine(context.Background(), g, DefaultOptions()))
 		if errs := CoverageCheck(g, classes); len(errs) != 0 {
 			t.Errorf("%s: coverage errors: %v", name, errs[:min(3, len(errs))])
 		}
@@ -129,7 +130,7 @@ func TestMineDeterministic(t *testing.T) {
 	g := chainGraph(t, 6)
 	opt := DefaultOptions()
 	opt.MinSize = 1
-	a, b := Mine(g, opt), Mine(g, opt)
+	a, b := Mine(context.Background(), g, opt), Mine(context.Background(), g, opt)
 	if len(a.Frequent) != len(b.Frequent) {
 		t.Fatalf("non-deterministic result sizes: %d vs %d", len(a.Frequent), len(b.Frequent))
 	}
@@ -148,7 +149,7 @@ func TestMineGrowthStopsAtRepeatBoundary(t *testing.T) {
 	opt := DefaultOptions()
 	opt.MinSize = 1
 	opt.MinSupport = 5
-	res := Mine(g, opt)
+	res := Mine(context.Background(), g, opt)
 	for _, s := range res.Frequent {
 		if s.Size > 1 {
 			t.Errorf("pattern of size %d should not be frequent at support 5", s.Size)
@@ -158,7 +159,7 @@ func TestMineGrowthStopsAtRepeatBoundary(t *testing.T) {
 
 func TestMineElapsedRecorded(t *testing.T) {
 	g := chainGraph(t, 4)
-	res := Mine(g, DefaultOptions())
+	res := Mine(context.Background(), g, DefaultOptions())
 	if res.Elapsed <= 0 {
 		t.Error("Elapsed must be positive")
 	}
@@ -182,11 +183,4 @@ func TestCanonicalSigDistinguishesStructure(t *testing.T) {
 	if s0 == s1 {
 		t.Error("different dense widths should have different signatures")
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

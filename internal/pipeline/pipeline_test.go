@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"tapas/internal/cluster"
@@ -19,7 +20,7 @@ func minedModel(t testing.TB, name string) (*ir.GNGraph, []*mining.Class) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	return g, classes
 }
 

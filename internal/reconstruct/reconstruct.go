@@ -25,13 +25,6 @@ type ParallelGraph struct {
 	Strategy *strategy.Strategy
 }
 
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // collectiveKind maps a comm.Kind onto the graph operator vocabulary.
 func collectiveKind(k comm.Kind) (graph.OpKind, bool) {
 	switch k {
@@ -142,7 +135,7 @@ func Reconstruct(s *strategy.Strategy) (*ParallelGraph, error) {
 		if !ok {
 			continue
 		}
-		shape := graph.NewShape(maxI64(e.Bytes/4, 1))
+		shape := graph.NewShape(max(e.Bytes/4, 1))
 		cin := graph.NewTensor(fmt.Sprintf("reshard_%d_buf", i), graph.Input, graph.F32, shape)
 		cout := graph.NewTensor(fmt.Sprintf("reshard_%d_out", i), graph.Activation, graph.F32, shape)
 		n := b.OpMulti(ck, fmt.Sprintf("reshard_%d_%s", i, e.Kind),

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func ablationSetup(b *testing.B) (*ir.GNGraph, []*mining.Class, *cost.Model, int
 	if err != nil {
 		b.Fatal(err)
 	}
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	cl := cluster.V100x8()
 	return g, classes, cost.Default(cl), cl.MemoryPerGP
 }
@@ -43,7 +44,7 @@ func BenchmarkAblationEnumBudget(b *testing.B) {
 			opt.MaxCandidates = budget
 			var lastCost float64
 			for i := 0; i < b.N; i++ {
-				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				s, _, err := SearchFolded(context.Background(), g, classes, model, opt, mem)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -62,7 +63,7 @@ func BenchmarkAblationTopK(b *testing.B) {
 			opt.TopK = topk
 			var lastCost float64
 			for i := 0; i < b.N; i++ {
-				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				s, _, err := SearchFolded(context.Background(), g, classes, model, opt, mem)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -85,7 +86,7 @@ func BenchmarkAblationSeeds(b *testing.B) {
 			opt.DisableSeeds = disable
 			var lastCost float64
 			for i := 0; i < b.N; i++ {
-				s, _, err := SearchFolded(g, classes, model, opt, mem)
+				s, _, err := SearchFolded(context.Background(), g, classes, model, opt, mem)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -102,7 +103,7 @@ func BenchmarkAblationFoldingVsUnfolded(b *testing.B) {
 	g, classes, model, mem := ablationSetup(b)
 	b.Run("folded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), mem); err != nil {
+			if _, _, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(8), mem); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -111,7 +112,7 @@ func BenchmarkAblationFoldingVsUnfolded(b *testing.B) {
 		opt := DefaultEnumOptions(8)
 		opt.MaxCandidates = 4096
 		for i := 0; i < b.N; i++ {
-			if _, _, err := SearchExhaustive(g, model, opt, mem); err != nil {
+			if _, _, err := SearchExhaustive(context.Background(), g, model, opt, mem); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -130,12 +131,12 @@ func TestSeedsImproveMemoryConstrainedPlans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	cl := cluster.V100x8()
 	model := cost.Default(cl)
 
 	with := DefaultEnumOptions(8)
-	sWith, _, err := SearchFolded(g, classes, model, with, cl.MemoryPerGP)
+	sWith, _, err := SearchFolded(context.Background(), g, classes, model, with, cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestSeedsImproveMemoryConstrainedPlans(t *testing.T) {
 
 	without := DefaultEnumOptions(8)
 	without.DisableSeeds = true
-	sWithout, _, err := SearchFolded(g, classes, model, without, cl.MemoryPerGP)
+	sWithout, _, err := SearchFolded(context.Background(), g, classes, model, without, cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}

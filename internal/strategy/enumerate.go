@@ -51,6 +51,14 @@ type EnumOptions struct {
 	// TimeBudget: which subtrees the deadline cuts off depends on timing,
 	// under any worker count.
 	Workers int
+	// Progress, when non-nil, receives live SearchFolded progress after
+	// each per-class enumeration finishes: classes completed so far, the
+	// class total, and the cumulative number of complete strategies
+	// examined. Calls are serialized (never concurrent with each other)
+	// but may arrive from any worker goroutine; the callback must return
+	// quickly and must not call back into the search. Progress never
+	// affects the selected strategy.
+	Progress func(classesDone, classesTotal, examined int)
 }
 
 // DefaultEnumOptions returns the budgets used by the TAPAS search.
@@ -65,6 +73,7 @@ type EnumStats struct {
 	Pruned    int  // prefixes early-stopped by the symbolic shape check
 	TimedOut  bool // enumeration hit the time budget
 	Truncated bool // enumeration hit MaxCandidates
+	Canceled  bool // enumeration aborted by context cancellation
 }
 
 // merge folds another worker's effort counters into s.
@@ -73,11 +82,13 @@ func (s *EnumStats) merge(o EnumStats) {
 	s.Pruned += o.Pruned
 	s.TimedOut = s.TimedOut || o.TimedOut
 	s.Truncated = s.Truncated || o.Truncated
+	s.Canceled = s.Canceled || o.Canceled
 }
 
 // enumShared is the immutable context of one EnumerateInstance call,
 // shared read-only by every enumeration worker.
 type enumShared struct {
+	ctx      context.Context
 	g        *ir.GNGraph
 	instance []*ir.GraphNode
 	member   map[*ir.GraphNode]int
@@ -96,6 +107,7 @@ type enumState struct {
 	out      []*Candidate
 	assigned []*ir.Pattern
 	events   [][]comm.Event
+	steps    uint // dfs call counter throttling the context poll
 }
 
 func newEnumState(sh *enumShared) *enumState {
@@ -192,6 +204,13 @@ func (s *enumState) complete() {
 // strategies exist. Returns the number of candidates produced.
 func (s *enumState) dfs(i, budget int) int {
 	if budget <= 0 {
+		return 0
+	}
+	// Poll the context every 256 tree steps: cheap enough for the hot
+	// path, frequent enough that cancellation lands within microseconds.
+	s.steps++
+	if s.steps&0xff == 0 && s.ctx.Err() != nil {
+		s.stats.Canceled = true
 		return 0
 	}
 	if s.opt.TimeBudget > 0 && time.Since(s.start) > s.opt.TimeBudget {
@@ -294,7 +313,10 @@ func splitTasks(sh *enumShared, target int) ([]prefixTask, EnumStats) {
 // that fan out across a bounded worker pool; the returned candidates and
 // stats are identical to the serial run for every worker count, unless a
 // TimeBudget is set (deadline cuts are inherently timing-dependent).
-func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) ([]*Candidate, EnumStats) {
+//
+// Cancelling ctx aborts the walk promptly: the stats report Canceled and
+// the (partial) candidate list must be discarded by the caller.
+func EnumerateInstance(ctx context.Context, g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) ([]*Candidate, EnumStats) {
 	member := make(map[*ir.GraphNode]int, len(instance))
 	for i, gn := range instance {
 		member[gn] = i
@@ -318,6 +340,7 @@ func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Mode
 	}
 
 	sh := &enumShared{
+		ctx:      ctx,
 		g:        g,
 		instance: instance,
 		member:   member,
@@ -339,15 +362,22 @@ func EnumerateInstance(g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Mode
 	} else {
 		tasks, split := splitTasks(sh, 4*workers)
 		stats.merge(split)
-		states, _ := parallel.Map(context.Background(), workers, tasks, func(_ context.Context, i int, t prefixTask) (*enumState, error) {
+		states, _ := parallel.Map(ctx, workers, tasks, func(_ context.Context, i int, t prefixTask) (*enumState, error) {
 			st := &enumState{enumShared: sh, assigned: t.assigned, events: t.events}
 			st.dfs(t.depth, t.budget)
 			return st, nil
 		})
 		for _, st := range states {
+			if st == nil {
+				continue // task skipped by cancellation
+			}
 			stats.merge(st.stats)
 			out = append(out, st.out...)
 		}
+	}
+	if ctx.Err() != nil {
+		stats.Canceled = true
+		return nil, stats
 	}
 
 	// Seeded candidates: coherent whole-instance assignments built by

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -61,12 +62,12 @@ func TestPropertyRandomNetsSearchable(t *testing.T) {
 			t.Logf("seed %d: group: %v", seed, err)
 			return false
 		}
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+		classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 		if errs := mining.CoverageCheck(g, classes); len(errs) != 0 {
 			t.Logf("seed %d: fold: %v", seed, errs[0])
 			return false
 		}
-		s, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
+		s, _, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
 		if err != nil {
 			t.Logf("seed %d: search: %v", seed, err)
 			return false
@@ -99,8 +100,8 @@ func TestPropertySearchNeverBeatenByItsOwnCandidatePool(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-		s, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
+		classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+		s, _, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
 		if err != nil {
 			return false
 		}
@@ -142,7 +143,7 @@ func TestPropertyEnumerationCandidatesAllValid(t *testing.T) {
 		}
 		opt := DefaultEnumOptions(8)
 		opt.MaxCandidates = 128
-		cands, _ := EnumerateInstance(g, g.TopoOrder(), model, opt)
+		cands, _ := EnumerateInstance(context.Background(), g, g.TopoOrder(), model, opt)
 		if len(cands) == 0 {
 			return false
 		}
@@ -173,12 +174,12 @@ func TestPropertyDeterministicSearch(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-		a, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
+		classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+		a, _, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
 		if err != nil {
 			return false
 		}
-		b, _, err := SearchFolded(g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
+		b, _, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(8), cl.MemoryPerGP)
 		if err != nil {
 			return false
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"tapas/internal/cost"
@@ -23,6 +24,7 @@ type SearchStats struct {
 	Pruned       int
 	TimedOut     bool
 	Truncated    bool
+	Canceled     bool
 }
 
 // merge folds one class's enumeration effort into the search totals.
@@ -31,6 +33,7 @@ func (s *SearchStats) merge(es EnumStats) {
 	s.Pruned += es.Pruned
 	s.TimedOut = s.TimedOut || es.TimedOut
 	s.Truncated = s.Truncated || es.Truncated
+	s.Canceled = s.Canceled || es.Canceled
 }
 
 // SearchFolded runs TAPAS strategy exploration over the folded search
@@ -39,7 +42,11 @@ func (s *SearchStats) merge(es EnumStats) {
 // run concurrently on opt.Workers goroutines (0 = GOMAXPROCS); the
 // selected strategy is bit-identical for every worker count (absent a
 // TimeBudget, whose deadline cuts are timing-dependent).
-func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
+//
+// Cancelling ctx aborts enumeration, assembly and repair at the next
+// check point and returns ctx's error; opt.Progress (if set) observes
+// per-class completion as the enumeration fan-out drains.
+func SearchFolded(ctx context.Context, g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
 	stats := &SearchStats{Classes: len(classes)}
 
 	// Processing order: classes covering the most nodes first (the
@@ -74,15 +81,42 @@ func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt
 		cands []*Candidate
 		es    EnumStats
 	}
+	// Progress accounting: a mutex both orders the (done, examined)
+	// snapshots and serializes the user callback, so observers see a
+	// monotonic stream without locking of their own.
+	var (
+		progMu       sync.Mutex
+		progDone     int
+		progExamined int
+	)
+	reportClass := func(es EnumStats) {
+		if opt.Progress == nil {
+			return
+		}
+		progMu.Lock()
+		progDone++
+		progExamined += es.Examined
+		opt.Progress(progDone, len(ordered), progExamined)
+		progMu.Unlock()
+	}
 	workers := parallel.Workers(opt.Workers)
-	enums, err := parallel.Map(context.Background(), workers, ordered,
-		func(_ context.Context, i int, c *mining.Class) (classEnum, error) {
+	enums, err := parallel.Map(ctx, workers, ordered,
+		func(cctx context.Context, i int, c *mining.Class) (classEnum, error) {
 			copt := opt
 			copt.Workers = 1
 			if i < 30 {
 				copt.Workers = max(1, workers>>i)
 			}
-			cs, es := EnumerateInstance(g, c.Representative(), model, copt)
+			cs, es := EnumerateInstance(cctx, g, c.Representative(), model, copt)
+			if cctx.Err() != nil {
+				// Aborted mid-enumeration: either the parent ctx was
+				// cancelled (the caller's ctx check below reports it) or a
+				// sibling class already failed (Map keeps that genuine
+				// error). Returning nil here keeps the abort from
+				// masquerading as this class's own failure.
+				return classEnum{es: es}, nil
+			}
+			reportClass(es)
 			if len(cs) == 0 {
 				return classEnum{es: es}, fmt.Errorf("strategy: no valid candidate for class %d (size %d)", i, c.Size())
 			}
@@ -94,6 +128,10 @@ func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt
 		cands[i] = e.cands
 	}
 	stats.EnumTime = time.Since(t0)
+	if cerr := ctx.Err(); cerr != nil {
+		stats.Canceled = true
+		return nil, stats, cerr
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -118,6 +156,10 @@ func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt
 	chosen := make([]int, len(ordered))
 
 	for ci, c := range ordered {
+		if err := ctx.Err(); err != nil {
+			stats.AssembleTime = time.Since(t1)
+			return nil, stats, err
+		}
 		var feasible []scored
 		for _, cand := range cands[ci] {
 			patts, ok := applyCandidate(c, cand, opt.W)
@@ -232,6 +274,10 @@ func SearchFolded(g *ir.GNGraph, classes []*mining.Class, model *cost.Model, opt
 	// cost increase to a lighter, boundary-compatible candidate.
 	if memLimit > 0 {
 		for iter := 0; iter < 4*len(ordered); iter++ {
+			if err := ctx.Err(); err != nil {
+				stats.AssembleTime = time.Since(t1)
+				return nil, stats, err
+			}
 			if MemoryPerDevice(assign) <= memLimit {
 				break
 			}
@@ -331,13 +377,21 @@ func applyCandidate(c *mining.Class, cand *Candidate, w int) (map[*ir.GraphNode]
 // the TAPAS-ES configuration of Figure 8. The time budget mirrors the
 // paper's 120-minute cap on exhaustive search. The single decision tree
 // is split into deterministic prefix tasks across opt.Workers goroutines.
-func SearchExhaustive(g *ir.GNGraph, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
+// Cancelling ctx aborts the enumeration and returns ctx's error.
+func SearchExhaustive(ctx context.Context, g *ir.GNGraph, model *cost.Model, opt EnumOptions, memLimit int64) (*Strategy, *SearchStats, error) {
 	stats := &SearchStats{Classes: 1}
 	t0 := time.Now()
-	cs, es := EnumerateInstance(g, g.TopoOrder(), model, opt)
+	cs, es := EnumerateInstance(ctx, g, g.TopoOrder(), model, opt)
 	stats.EnumTime = time.Since(t0)
 	stats.Examined, stats.Pruned = es.Examined, es.Pruned
 	stats.TimedOut, stats.Truncated = es.TimedOut, es.Truncated
+	stats.Canceled = es.Canceled
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	if opt.Progress != nil {
+		opt.Progress(1, 1, es.Examined)
+	}
 	if len(cs) == 0 {
 		return nil, stats, fmt.Errorf("strategy: exhaustive search found no valid plan")
 	}

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,11 +19,11 @@ func raceSearch(t *testing.T, model string, w, workers, maxCands int) (*Strategy
 	g := groupModel(t, model)
 	cl := cluster.V100GPUs(w)
 	m := cost.Default(cl)
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	opt := DefaultEnumOptions(w)
 	opt.MaxCandidates = maxCands
 	opt.Workers = workers
-	s, st, err := SearchFolded(g, classes, m, opt, cl.MemoryPerGP)
+	s, st, err := SearchFolded(context.Background(), g, classes, m, opt, cl.MemoryPerGP)
 	if err != nil {
 		t.Fatalf("SearchFolded(%s, workers=%d): %v", model, workers, err)
 	}
@@ -63,7 +64,7 @@ func TestSearchExhaustiveParallelRace(t *testing.T) {
 	var baseStats *SearchStats
 	for _, workers := range []int{1, 8} {
 		opt.Workers = workers
-		s, st, err := SearchExhaustive(g, m, opt, cl.MemoryPerGP)
+		s, st, err := SearchExhaustive(context.Background(), g, m, opt, cl.MemoryPerGP)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -87,7 +88,7 @@ func TestEnumerateInstanceWorkerSweep(t *testing.T) {
 	g := groupModel(t, "t5-100M")
 	cl := cluster.V100GPUs(8)
 	m := cost.Default(cl)
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	var layer *mining.Class
 	for _, c := range classes {
 		if layer == nil || c.Size() > layer.Size() {
@@ -98,11 +99,11 @@ func TestEnumerateInstanceWorkerSweep(t *testing.T) {
 	opt := DefaultEnumOptions(8)
 	opt.MaxCandidates = 512
 	opt.Workers = 1
-	want, wantStats := EnumerateInstance(g, layer.Representative(), m, opt)
+	want, wantStats := EnumerateInstance(context.Background(), g, layer.Representative(), m, opt)
 
 	for _, workers := range []int{2, 3, 8, 32} {
 		opt.Workers = workers
-		got, gotStats := EnumerateInstance(g, layer.Representative(), m, opt)
+		got, gotStats := EnumerateInstance(context.Background(), g, layer.Representative(), m, opt)
 		if len(got) != len(want) {
 			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(want))
 		}

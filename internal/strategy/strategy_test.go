@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -31,8 +32,8 @@ func searchModel(t testing.TB, name string, w int) (*Strategy, *SearchStats) {
 	g := groupModel(t, name)
 	cl := cluster.V100GPUs(w)
 	model := cost.Default(cl)
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-	s, st, err := SearchFolded(g, classes, model, DefaultEnumOptions(w), cl.MemoryPerGP)
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+	s, st, err := SearchFolded(context.Background(), g, classes, model, DefaultEnumOptions(w), cl.MemoryPerGP)
 	if err != nil {
 		t.Fatalf("SearchFolded(%s): %v", name, err)
 	}
@@ -77,7 +78,7 @@ func TestEnumerateDenseChainValidatesAllEdges(t *testing.T) {
 	m := cost.Default(cl)
 	opt := DefaultEnumOptions(8)
 	opt.AllowReshard = false
-	cands, stats := EnumerateInstance(g, g.TopoOrder(), m, opt)
+	cands, stats := EnumerateInstance(context.Background(), g, g.TopoOrder(), m, opt)
 	if len(cands) == 0 {
 		t.Fatal("no candidates for a 3-dense chain")
 	}
@@ -102,7 +103,7 @@ func TestEnumerateEarlyStopPrunes(t *testing.T) {
 	g := groupModel(t, "t5-100M")
 	cl := cluster.V100x8()
 	m := cost.Default(cl)
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	var layer *mining.Class
 	for _, c := range classes {
 		if c.Size() > 3 {
@@ -115,7 +116,7 @@ func TestEnumerateEarlyStopPrunes(t *testing.T) {
 	}
 	opt := DefaultEnumOptions(8)
 	opt.AllowReshard = false
-	_, stats := EnumerateInstance(g, layer.Representative(), m, opt)
+	_, stats := EnumerateInstance(context.Background(), g, layer.Representative(), m, opt)
 	if stats.Pruned < stats.Examined {
 		t.Errorf("pruned (%d) should dominate examined (%d) without resharding", stats.Pruned, stats.Examined)
 	}
@@ -176,14 +177,14 @@ func TestSearchExhaustiveMatchesFoldedOnSmallModel(t *testing.T) {
 	cl := cluster.V100x8()
 	m := cost.Default(cl)
 
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
-	gp, _, err := SearchFolded(g, classes, m, DefaultEnumOptions(8), cl.MemoryPerGP)
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
+	gp, _, err := SearchFolded(context.Background(), g, classes, m, DefaultEnumOptions(8), cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opt := DefaultEnumOptions(8)
 	opt.MaxCandidates = 1 << 15
-	es, _, err := SearchExhaustive(g, m, opt, cl.MemoryPerGP)
+	es, _, err := SearchExhaustive(context.Background(), g, m, opt, cl.MemoryPerGP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestSearchExhaustiveTimeBudget(t *testing.T) {
 	opt.MaxCandidates = 1 << 20
 	opt.TimeBudget = 50 * time.Millisecond
 	start := time.Now()
-	_, stats, err := SearchExhaustive(g, m, opt, cl.MemoryPerGP)
+	_, stats, err := SearchExhaustive(context.Background(), g, m, opt, cl.MemoryPerGP)
 	if err != nil {
 		t.Fatalf("budgeted exhaustive search should still return a plan: %v", err)
 	}

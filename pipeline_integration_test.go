@@ -1,6 +1,7 @@
 package tapas
 
 import (
+	"context"
 	"testing"
 
 	"tapas/internal/export"
@@ -87,7 +88,7 @@ func TestPipelinePlusTensorParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := mining.Fold(g, mining.Mine(g, mining.DefaultOptions()))
+	classes := mining.Fold(g, mining.Mine(context.Background(), g, mining.DefaultOptions()))
 	plan, err := pipeline.Partition(g, classes, 2)
 	if err != nil {
 		t.Fatal(err)

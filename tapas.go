@@ -11,49 +11,85 @@
 //  5. survivors are ranked by the communication-based cost model, and
 //  6. the winner is reconstructed into a per-device parallel graph.
 //
-// Quick start:
+// # Quick start
 //
-//	res, err := tapas.Search("t5-770M", 8)
+// The API is built around Engine: a reusable, concurrency-safe handle
+// configured once with functional options, serving context-first,
+// cancellable searches.
+//
+//	eng := tapas.NewEngine()
+//	res, err := eng.Search(ctx, "t5-770M", 8)
 //	if err != nil { ... }
 //	fmt.Println(res.Strategy.Describe())
 //	fmt.Println(res.Report)   // simulated iteration time, TFLOPS/GPU
 //
+// # Caching
+//
+// The Engine holds an LRU result cache keyed by (structural graph
+// fingerprint, cluster signature, full option set). A repeated search for
+// the same key returns the memoized Result in microseconds with CacheHit
+// set; WithCache(n) sizes the cache and WithCache(0) disables it. Cached
+// Results share their Strategy/Parallel structures across hits — treat
+// every Result handed out by the Engine as immutable.
+//
+// # Cancellation
+//
+// Every Engine method takes a context. Cancellation and deadlines
+// propagate end-to-end — subgraph mining, per-class enumeration, the
+// intra-class decision-tree split, assembly and repair — and the search
+// returns promptly with an error wrapping the context's error. CLIs get
+// ctrl-C handling by deriving the context with signal.NotifyContext, and
+// per-request deadlines with context.WithTimeout.
+//
+// # Observability
+//
+// WithProgress(fn) streams live progress events while searches run:
+// phase enter/exit (group, mine, search, reconstruct, simulate), classes
+// enumerated, and candidates examined. Calls are serialized; with
+// concurrent searches the streams interleave, keyed by Model/GPUs.
+//
+// # Determinism
+//
 // The search hot path is parallel: per-class enumerations (and the
 // decision tree of a single large class) fan out across a bounded worker
-// pool. Options.Workers selects the pool size — zero means GOMAXPROCS, 1
+// pool. WithWorkers selects the pool size — zero means GOMAXPROCS, 1
 // forces the serial path — and the selected strategy is bit-identical for
 // every worker count, so parallelism is purely a wall-clock optimization.
-// (The exception is a search bounded by TimeBudget: what a deadline cuts
-// off is timing-dependent, serial or parallel.)
+// (The exception is a search bounded by WithTimeBudget: what a deadline
+// cuts off is timing-dependent, serial or parallel.)
 //
-// SearchAll is the batch entry point: it runs many (model, GPU-count)
-// searches concurrently and returns results positionally, one per
-// SearchSpec, with per-spec errors joined into the second return value.
+// Engine.SearchAll is the batch entry point: it runs many (model,
+// GPU-count) searches concurrently and returns results positionally, one
+// per SearchSpec, with per-spec errors joined into the second return
+// value.
 //
 //	specs := []tapas.SearchSpec{{Model: "t5-770M", GPUs: 8}, {Model: "moe-1.3B", GPUs: 16}}
-//	results, err := tapas.SearchAll(specs)
+//	results, err := eng.SearchAll(ctx, specs)
+//
+// The top-level functions Search, SearchGraph, SearchAll, Baseline and
+// BaselineGraph are deprecated wrappers over a lazily-initialized default
+// Engine, kept for existing callers; new code should construct an Engine
+// and pass a context.
 package tapas
 
 import (
 	"context"
-	"errors"
-	"fmt"
+	"sync"
 	"time"
 
-	"tapas/internal/baselines"
 	"tapas/internal/cluster"
 	"tapas/internal/cost"
 	"tapas/internal/graph"
-	"tapas/internal/ir"
 	"tapas/internal/mining"
 	"tapas/internal/models"
-	"tapas/internal/parallel"
 	"tapas/internal/reconstruct"
 	"tapas/internal/sim"
 	"tapas/internal/strategy"
 )
 
-// Options configure a search.
+// Options configure a search issued through the deprecated top-level
+// functions. New code should configure an Engine with functional options
+// instead; every field here has a With* equivalent.
 type Options struct {
 	// Cluster overrides the default V100 testbed preset for the GPU
 	// count.
@@ -90,6 +126,12 @@ type Result struct {
 	// Report is the simulated training iteration on the cluster.
 	Report sim.Report
 
+	// CacheHit reports that this Result was served from the Engine's
+	// result cache: the timing fields below describe the original cold
+	// computation, and Strategy/Parallel are shared with other hits for
+	// the same key (treat them as read-only).
+	CacheHit bool
+
 	// Search-time breakdown (the paper's headline metric).
 	GroupTime    time.Duration
 	MineTime     time.Duration
@@ -111,92 +153,48 @@ func BuildModel(name string) (*graph.Graph, error) { return models.Build(name) }
 // count (V100 SXM2 32 GB nodes of 8, joined by 100 Gbps Ethernet).
 func NewCluster(gpus int) *cluster.Cluster { return cluster.V100GPUs(gpus) }
 
+// defaultEngine serves the deprecated top-level functions, created on
+// first use. Legacy calls bypass its result cache (their contract hands
+// every caller a fresh, mutable Result) but still share its model
+// fingerprint memo and configuration plumbing.
+var defaultEngine = sync.OnceValue(func() *Engine { return NewEngine() })
+
+// DefaultEngine returns the process-wide Engine behind the deprecated
+// top-level functions, for callers migrating incrementally (e.g. to
+// observe its cache or issue context-first calls alongside legacy ones).
+func DefaultEngine() *Engine { return defaultEngine() }
+
 // Search runs the full TAPAS pipeline on a registered model.
+//
+// Deprecated: use Engine.Search, which takes a context for
+// cancellation and serves repeat searches from the result cache. This
+// wrapper bypasses the cache, preserving the historical contract that
+// every call returns a fresh, caller-owned Result.
 func Search(modelName string, gpus int, opts ...Options) (*Result, error) {
-	g, err := models.Build(modelName)
-	if err != nil {
-		return nil, err
+	e := defaultEngine()
+	cfg := e.base
+	if len(opts) > 0 {
+		cfg = e.base.overlay(opts[0])
 	}
-	res, err := SearchGraph(g, gpus, opts...)
-	if err != nil {
-		return nil, err
-	}
-	res.ModelName = modelName
-	return res, nil
+	cfg.skipCache = true // preserve the caller-owned, mutable Result contract
+	return e.searchModel(context.Background(), modelName, gpus, cfg)
 }
 
 // SearchGraph runs the full TAPAS pipeline on an arbitrary computational
 // graph.
+//
+// Deprecated: use Engine.SearchGraph, which takes a context for
+// cancellation and serves repeat searches from the result cache. This
+// wrapper bypasses the cache, preserving the historical contract that
+// every call returns a fresh, caller-owned Result.
 func SearchGraph(g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
-	var opt Options
+	e := defaultEngine()
+	cfg := e.base
 	if len(opts) > 0 {
-		opt = opts[0]
+		cfg = e.base.overlay(opts[0])
 	}
-	cl := opt.Cluster
-	if cl == nil {
-		cl = cluster.V100GPUs(gpus)
-	}
-	model := opt.CostModel
-	if model == nil {
-		model = cost.Default(cl)
-	}
-	enum := strategy.DefaultEnumOptions(gpus)
-	if opt.Enum != nil {
-		enum = *opt.Enum
-	}
-	if opt.TimeBudget > 0 {
-		enum.TimeBudget = opt.TimeBudget
-	}
-	if opt.Workers != 0 {
-		enum.Workers = opt.Workers
-	}
-	mopt := mining.DefaultOptions()
-	if opt.Mining != nil {
-		mopt = *opt.Mining
-	}
-
-	res := &Result{GPUs: gpus, ModelName: g.Name}
-	start := time.Now()
-
-	t0 := time.Now()
-	gg, err := ir.Group(g)
-	if err != nil {
-		return nil, fmt.Errorf("tapas: grouping failed: %w", err)
-	}
-	res.GroupTime = time.Since(t0)
-
-	var s *strategy.Strategy
-	var stats *strategy.SearchStats
-	if opt.Exhaustive {
-		enum.MaxCandidates = maxInt(enum.MaxCandidates, 1<<15)
-		s, stats, err = strategy.SearchExhaustive(gg, model, enum, cl.MemoryPerGP)
-		res.UniqueGraphs = len(gg.Nodes)
-	} else {
-		t1 := time.Now()
-		mres := mining.Mine(gg, mopt)
-		classes := mining.Fold(gg, mres)
-		res.MineTime = time.Since(t1)
-		res.UniqueGraphs = len(classes)
-		s, stats, err = strategy.SearchFolded(gg, classes, model, enum, cl.MemoryPerGP)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("tapas: strategy search failed: %w", err)
-	}
-	res.SearchTime = stats.EnumTime + stats.AssembleTime
-	res.Classes = stats.Classes
-	res.Examined = stats.Examined
-	res.Pruned = stats.Pruned
-
-	pg, err := reconstruct.Reconstruct(s)
-	if err != nil {
-		return nil, fmt.Errorf("tapas: reconstruction failed: %w", err)
-	}
-
-	res.Strategy = s
-	res.Parallel = pg
-	res.Report = sim.Run(s, sim.DefaultConfig(cl))
-	res.TotalTime = time.Since(start)
-	return res, nil
+	cfg.skipCache = true // preserve the caller-owned, mutable Result contract
+	return e.searchGraph(context.Background(), g.Name, g, gpus, cfg)
 }
 
 // SearchSpec names one search of a batch: a registered model (or a
@@ -217,38 +215,17 @@ type SearchSpec struct {
 	Options *Options
 }
 
-// SearchAll runs many searches concurrently across a bounded worker pool
-// — the serving shape for a fleet of (model, cluster) configurations. The
-// returned slice is positional: results[i] answers specs[i] and is nil
-// exactly when that spec failed. The error joins every per-spec failure
-// (nil when all succeed); one failing spec never aborts the others. Each
-// individual search is deterministic, so a batch run returns exactly what
-// sequential Search calls would have.
+// SearchAll runs many searches concurrently across a bounded worker pool.
+//
+// Deprecated: use Engine.SearchAll, which takes a context for
+// cancellation and serves repeat searches from the result cache. This
+// wrapper bypasses the cache, preserving the historical contract that
+// every call returns fresh, caller-owned Results.
 func SearchAll(specs []SearchSpec) ([]*Result, error) {
-	// Each search's inner pool defaults to an even share of the machine:
-	// batch-level concurrency × per-search workers ≈ GOMAXPROCS, rather
-	// than GOMAXPROCS². Worker counts never affect results, only pacing.
-	share := parallel.Workers(0) / maxInt(1, len(specs))
-	results, errs := parallel.MapAll(context.Background(), 0, specs,
-		func(_ context.Context, i int, spec SearchSpec) (*Result, error) {
-			var opt Options
-			if spec.Options != nil {
-				opt = *spec.Options
-			}
-			if opt.Workers == 0 {
-				opt.Workers = maxInt(1, share)
-			}
-			if spec.Graph != nil {
-				return SearchGraph(spec.Graph, spec.GPUs, opt)
-			}
-			return Search(spec.Model, spec.GPUs, opt)
-		})
-	for i, err := range errs {
-		if err != nil {
-			errs[i] = fmt.Errorf("tapas: spec %d (%s on %d GPUs): %w", i, specName(specs[i]), specs[i].GPUs, err)
-		}
-	}
-	return results, errors.Join(errs...)
+	e := defaultEngine()
+	cfg := e.base
+	cfg.skipCache = true // preserve the caller-owned, mutable Result contract
+	return e.searchAll(context.Background(), specs, cfg)
 }
 
 // specName renders the model identity of a spec for error messages.
@@ -266,85 +243,37 @@ func Baselines() []string {
 
 // Baseline derives a plan for the model with one of the paper's
 // comparison systems and simulates it on the same cluster preset.
+//
+// Deprecated: use Engine.Baseline, which takes a context for
+// cancellation and serves repeat searches from the result cache. This
+// wrapper bypasses the cache, preserving the historical contract that
+// every call returns a fresh, caller-owned Result.
 func Baseline(name, modelName string, gpus int, opts ...Options) (*Result, error) {
 	g, err := models.Build(modelName)
 	if err != nil {
 		return nil, err
 	}
-	res, err := BaselineGraph(name, g, gpus, opts...)
-	if err != nil {
-		return nil, err
+	e := defaultEngine()
+	cfg := e.base
+	if len(opts) > 0 {
+		cfg = e.base.overlay(opts[0])
 	}
-	res.ModelName = modelName
-	return res, nil
+	cfg.skipCache = true // preserve the caller-owned, mutable Result contract
+	return e.baselineGraph(context.Background(), name, modelName, g, gpus, cfg)
 }
 
 // BaselineGraph is Baseline for an arbitrary graph.
+//
+// Deprecated: use Engine.BaselineGraph, which takes a context for
+// cancellation and serves repeat searches from the result cache. This
+// wrapper bypasses the cache, preserving the historical contract that
+// every call returns a fresh, caller-owned Result.
 func BaselineGraph(name string, g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
-	var opt Options
+	e := defaultEngine()
+	cfg := e.base
 	if len(opts) > 0 {
-		opt = opts[0]
+		cfg = e.base.overlay(opts[0])
 	}
-	cl := opt.Cluster
-	if cl == nil {
-		cl = cluster.V100GPUs(gpus)
-	}
-	model := opt.CostModel
-	if model == nil {
-		model = cost.Default(cl)
-	}
-
-	res := &Result{GPUs: gpus, ModelName: g.Name}
-	start := time.Now()
-	gg, err := ir.Group(g)
-	if err != nil {
-		return nil, err
-	}
-
-	var s *strategy.Strategy
-	switch name {
-	case "dp", "data-parallel":
-		s, err = baselines.DataParallel(gg, gpus, model)
-	case "deepspeed", "zero2":
-		s, err = baselines.DeepSpeed(gg, gpus, model)
-	case "megatron":
-		s, err = baselines.Megatron(gg, gpus, model)
-	case "ffn-only":
-		s, err = baselines.FFNOnly(gg, gpus, model)
-	case "mha-only":
-		s, err = baselines.MHAOnly(gg, gpus, model)
-	case "gshard":
-		s, err = baselines.GShardExpert(gg, gpus, model)
-	case "alpa":
-		var stats *baselines.AlpaStats
-		s, stats, err = baselines.AlpaSearch(gg, gpus, model, baselines.DefaultAlpaOptions())
-		if stats != nil {
-			res.SearchTime = stats.Elapsed
-			res.Examined = stats.Examined
-		}
-	case "flexflow":
-		var stats *baselines.FlexFlowStats
-		s, stats, err = baselines.FlexFlowSearch(gg, gpus, model, baselines.DefaultFlexFlowOptions())
-		if stats != nil {
-			res.SearchTime = stats.Elapsed
-			res.Examined = stats.Proposals
-		}
-	default:
-		return nil, fmt.Errorf("tapas: unknown baseline %q (available: %v)", name, Baselines())
-	}
-	if err != nil {
-		return nil, fmt.Errorf("tapas: baseline %s failed: %w", name, err)
-	}
-
-	res.Strategy = s
-	res.Report = sim.Run(s, sim.DefaultConfig(cl))
-	res.TotalTime = time.Since(start)
-	return res, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	cfg.skipCache = true // preserve the caller-owned, mutable Result contract
+	return e.baselineGraph(context.Background(), name, g.Name, g, gpus, cfg)
 }
