@@ -10,10 +10,12 @@
 //	tapas-search -model t5-770M,moe-1.3B,bert-large -gpus 8   # batch via SearchAll
 //	tapas-search -model resnet-228M -gpus 16 -baseline megatron
 //	tapas-search -workers 4 -timeout 2m -progress -model t5-1.4B -gpus 32
+//	tapas-search -serve-addr http://localhost:8080 -model t5-770M -gpus 8   # remote daemon
 //	tapas-search -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"tapas"
 	"tapas/internal/cli"
 	"tapas/internal/graphio"
+	"tapas/service"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "search worker goroutines (0 = GOMAXPROCS, 1 = serial; the plan is identical either way)")
 	timeout := flag.Duration("timeout", 0, "abort the search after this duration (0 = no limit)")
 	progress := flag.Bool("progress", false, "stream live search progress to stderr")
+	serveAddr := flag.String("serve-addr", "", "post the search to a tapas-serve daemon at this base URL instead of searching in-process")
 	list := flag.Bool("list", false, "list registered models and exit")
 	verbose := flag.Bool("v", false, "print the per-GraphNode pattern assignment")
 	flag.Parse()
@@ -49,6 +53,15 @@ func main() {
 	// -timeout layers a deadline on top of the same context.
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+
+	if *serveAddr != "" {
+		if *baseline != "" || strings.Contains(*model, ",") {
+			fmt.Fprintln(os.Stderr, "-serve-addr supports a single TAPAS search (no -baseline, no comma batch)")
+			os.Exit(2)
+		}
+		runRemote(ctx, *serveAddr, *model, *spec, *gpus, *workers, *exhaustive, *progress, *verbose)
+		return
+	}
 
 	engOpts := []tapas.Option{
 		tapas.WithWorkers(*workers),
@@ -151,6 +164,100 @@ func main() {
 	if *verbose {
 		fmt.Println()
 		printAssignment(res)
+	}
+}
+
+// runRemote posts the search to a tapas-serve daemon. With -progress it
+// goes through the async job API and streams live SSE events to stderr;
+// otherwise it is one synchronous POST /v1/search.
+func runRemote(ctx context.Context, addr, model, spec string, gpus, workers int, exhaustive, progress, verbose bool) {
+	c := service.NewClient(addr)
+	req := service.SearchRequest{
+		Model:      model,
+		GPUs:       gpus,
+		Workers:    workers,
+		Exhaustive: exhaustive,
+	}
+	if spec != "" {
+		body, err := os.ReadFile(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		req.Model = ""
+		req.Spec = string(body)
+	}
+
+	var (
+		resp *service.SearchResponse
+		err  error
+	)
+	if progress {
+		resp, err = runRemoteJob(ctx, c, req)
+	} else {
+		resp, err = c.Search(ctx, req)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cli.ExitCode(err))
+	}
+	printResponse(resp, verbose)
+}
+
+// runRemoteJob drives the async path: submit, stream events, fetch the
+// embedded result.
+func runRemoteJob(ctx context.Context, c *service.Client, req service.SearchRequest) (*service.SearchResponse, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s\n", st.ID)
+	err = c.StreamEvents(ctx, st.ID, func(ev service.JobEvent) error {
+		switch ev.Type {
+		case service.EventState:
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", ev.JobID, ev.State)
+		case service.EventProgress:
+			fmt.Fprintf(os.Stderr, "[%8s] %s %s %d/%d classes, %d strategies examined\n",
+				time.Duration(ev.ElapsedMS)*time.Millisecond, ev.Phase, ev.Kind, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != service.JobDone {
+		return nil, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	return final.Result, nil
+}
+
+// printResponse renders a daemon response in the local output format.
+func printResponse(resp *service.SearchResponse, verbose bool) {
+	system := "TAPAS"
+	served := "cold"
+	if resp.CacheHit {
+		served = "served from cache"
+	}
+	fmt.Printf("model:        %s on %d GPUs (%s, remote, %s)\n", resp.Model, resp.GPUs, system, served)
+	fmt.Printf("plan:         %s\n", resp.PlanSummary)
+	fmt.Printf("search time:  total=%.3fs (group=%.3fs mine=%.3fs search=%.3fs)\n",
+		resp.Timing.TotalSeconds, resp.Timing.GroupSeconds, resp.Timing.MineSeconds, resp.Timing.SearchSeconds)
+	fmt.Printf("search space: %d unique subgraphs, %d strategies examined, %d pruned\n",
+		resp.Timing.UniqueGraphs, resp.Timing.Examined, resp.Timing.Pruned)
+	fmt.Printf("cost model:   %.4fs/iter predicted\n", resp.CostSeconds)
+	fmt.Printf("simulated:    %.3fs/iter, %.2f TFLOPS/GPU\n",
+		resp.Report.IterationSeconds, resp.Report.TFLOPSPerGPU)
+	fmt.Printf("memory:       %.2f GiB/device (limit 32 GiB)\n", float64(resp.MemBytesPerDevice)/(1<<30))
+	if verbose && resp.Plan != nil {
+		fmt.Println()
+		fmt.Println("assignment:")
+		for _, a := range resp.Plan.Assignments {
+			fmt.Printf("  %-40s %-20s in=%-3s out=%-3s  %s\n", a.Name, a.Pattern, a.In, a.Out, a.SRC)
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+// Command tapas-serve is the TAPAS HTTP daemon: a long-running server
+// wrapping one shared search Engine, so the result cache and
+// singleflight dedupe serve repeat traffic in microseconds.
+//
+// Endpoints (all JSON, schema v1 — see docs/api-v1.md):
+//
+//	POST   /v1/search           synchronous search
+//	POST   /v1/jobs             submit an async job (202 + job status)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status (result embedded when done)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events SSE stream of progress + state events
+//	GET    /v1/models           registered model names
+//	GET    /v1/healthz          queue, worker and cache statistics
+//
+// SIGINT/SIGTERM drain gracefully: intake stops (new requests get JSON
+// 503 bodies), running jobs get -drain-timeout to finish, then their
+// contexts are cancelled.
+//
+// Usage:
+//
+//	tapas-serve -addr :8080
+//	tapas-serve -addr :8080 -queue 128 -job-workers 4 -cache 256 -drain-timeout 10s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tapas"
+	"tapas/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 64, "async job queue capacity (submissions beyond it get 429)")
+	jobWorkers := flag.Int("job-workers", 2, "jobs run concurrently")
+	workers := flag.Int("workers", 0, "search worker goroutines per job (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", tapas.DefaultCacheSize, "result cache entries (0 disables)")
+	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
+	progress := flag.Bool("progress", false, "log engine progress events")
+	flag.Parse()
+
+	log.SetPrefix("tapas-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	cfg := service.Config{
+		EngineOptions: []tapas.Option{
+			tapas.WithWorkers(*workers),
+			tapas.WithCache(*cache),
+		},
+		QueueSize:   *queue,
+		JobWorkers:  *jobWorkers,
+		MaxFinished: *maxFinished,
+	}
+	if *progress {
+		cfg.OnProgress = func(ev tapas.ProgressEvent) {
+			log.Printf("progress %s/%d: %s %s %d/%d examined=%d",
+				ev.Model, ev.GPUs, ev.Phase, ev.Kind, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+		}
+	}
+	svc := service.New(cfg)
+
+	// baseCtx parents every request context; cancelling it is the
+	// hard stop that unblocks still-streaming SSE handlers and
+	// still-computing sync searches once the drain deadline passes.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     newMux(svc),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (queue=%d job-workers=%d cache=%d)", *addr, *queue, *jobWorkers, *cache)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Printf("listener failed: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("shutting down: draining for up to %v", *drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+
+	// Drain the job queue and the HTTP listener concurrently: SSE
+	// streams of running jobs only end when those jobs finish, so
+	// neither drain strictly precedes the other.
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- svc.Shutdown(drainCtx) }()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain deadline passed, cancelling in-flight requests")
+		baseCancel()
+		_ = srv.Close()
+	}
+	if err := <-svcDone; err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("job drain cut short: %v", err)
+	}
+	// The listener goroutine reports http.ErrServerClosed on a clean
+	// Shutdown; consume it so nothing leaks.
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	log.Printf("bye")
+}

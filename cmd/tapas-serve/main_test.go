@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tapas/service"
+)
+
+// newTestServer boots the full handler stack over a fresh service.
+func newTestServer(t *testing.T, cfg ...service.Config) (*httptest.Server, *service.Client) {
+	t.Helper()
+	var c service.Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	svc := service.New(c)
+	srv := httptest.NewServer(newMux(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, service.NewClient(srv.URL)
+}
+
+func TestHTTPSyncSearchAndCacheHit(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	req := service.SearchRequest{Model: "t5-100M", GPUs: 8}
+
+	cold, err := c.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.SchemaVersion != service.SchemaVersion || cold.CacheHit {
+		t.Fatalf("cold response wrong: version=%d hit=%v", cold.SchemaVersion, cold.CacheHit)
+	}
+	if cold.Plan == nil || len(cold.Plan.Assignments) == 0 {
+		t.Fatal("plan missing from response")
+	}
+	warm, err := c.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("repeated POST /v1/search must be served from the cache")
+	}
+	if warm.PlanSummary != cold.PlanSummary {
+		t.Errorf("cached plan %q != cold %q", warm.PlanSummary, cold.PlanSummary)
+	}
+}
+
+func TestHTTPErrorBodies(t *testing.T) {
+	srv, c := newTestServer(t)
+	ctx := context.Background()
+
+	// Validation error → 400 with JSON body.
+	_, err := c.Search(ctx, service.SearchRequest{GPUs: 8})
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if apiErr.Message == "" {
+		t.Error("error body carried no message")
+	}
+
+	// Unknown job → 404.
+	_, err = c.Job(ctx, "job-does-not-exist")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("want 404, got %v", err)
+	}
+
+	// Malformed JSON → 400 with JSON body.
+	resp, err := http.Post(srv.URL+"/v1/search", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		t.Errorf("malformed body: no JSON error envelope (%v)", err)
+	}
+}
+
+func TestHTTPModelsAndHealth(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range models {
+		if m == "t5-100M" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("GET /v1/models missing t5-100M: %v", models)
+	}
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.QueueCapacity == 0 || health.JobWorkers == 0 {
+		t.Errorf("healthz not populated: %+v", health)
+	}
+	if health.Draining {
+		t.Error("healthz reports draining on a live server")
+	}
+}
+
+func TestHTTPAsyncJobWithSSE(t *testing.T) {
+	// One job worker, and a blocker occupying it: the job under test
+	// stays queued until the SSE stream is attached, so no progress
+	// event can be missed.
+	_, c := newTestServer(t, service.Config{JobWorkers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := c.Submit(ctx, service.SearchRequest{Model: "t5-770M", GPUs: 8}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Submit(ctx, service.SearchRequest{Model: "t5-100M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != service.JobQueued && st.State != service.JobRunning {
+		t.Fatalf("submitted job in state %s", st.State)
+	}
+
+	var progress int
+	var final service.JobEvent
+	err = c.StreamEvents(ctx, st.ID, func(ev service.JobEvent) error {
+		if ev.Type == service.EventProgress {
+			progress++
+		}
+		final = ev
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Error("SSE stream carried no progress events for a cold search")
+	}
+	if final.Type != service.EventState || final.State != service.JobDone {
+		t.Fatalf("stream ended on %+v, want done", final)
+	}
+
+	got, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != service.JobDone || got.Result == nil || got.Result.Plan == nil {
+		t.Fatalf("done job status incomplete: %+v", got)
+	}
+	if got.Result.Model != "t5-100M" {
+		t.Errorf("result model %q", got.Result.Model)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, service.SearchRequest{Model: "t5-1.4B", GPUs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.WaitDone(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.JobCancelled && final.State != service.JobDone {
+		t.Errorf("after cancel: %s", final.State)
+	}
+}
+
+func TestHTTPInlineSpecJob(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+	spec := "model wire-mlp\ninput x f32 16 128\ndense fc x 256 relu\ndense out fc 128 none\nloss l out\n"
+
+	resp, err := c.Search(ctx, service.SearchRequest{Spec: spec, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "wire-mlp" {
+		t.Errorf("spec search model = %q", resp.Model)
+	}
+}

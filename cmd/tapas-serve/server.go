@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tapas/service"
+)
+
+// maxRequestBytes bounds request bodies (inline graphio specs included).
+const maxRequestBytes = 8 << 20
+
+// newMux wires the v1 routes onto a fresh ServeMux. Split from main so
+// the handler stack is testable with httptest.
+func newMux(svc *service.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req service.SearchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := svc.Search(r.Context(), req)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req service.SearchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		st, err := svc.Submit(req)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		w.Header().Set("Location", "/v1/jobs/"+st.ID)
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": svc.Jobs()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": svc.Models()})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		stats := svc.Stats()
+		status := "ok"
+		if stats.Draining {
+			status = "draining"
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			service.Stats
+		}{Status: status, Stats: stats})
+	})
+	return mux
+}
+
+// serveEvents streams a job's events as Server-Sent Events until the
+// job reaches a terminal state (the subscription channel closes) or the
+// client disconnects.
+func serveEvents(svc *service.Service, w http.ResponseWriter, r *http.Request) {
+	ch, cancel, err := svc.Subscribe(r.PathValue("id"))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, r, fmt.Errorf("streaming unsupported by connection"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fl.Flush()
+		}
+	}
+}
+
+// decodeJSON parses the request body into dst, answering 400 on
+// malformed input. Returns false when a response was already written.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(fmt.Sprintf("invalid request body: %v", err)))
+		return false
+	}
+	return true
+}
+
+// errBody is the JSON error envelope of every non-2xx response.
+func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
+
+// writeError maps the service error taxonomy onto HTTP statuses, always
+// with a JSON body — including requests cut short by shutdown.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case service.IsBadRequest(err):
+		status = http.StatusBadRequest
+	case errors.Is(err, service.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, service.ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, service.ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The search was cut short: by the client going away, a client
+		// deadline, or the server draining. 503 tells retrying clients
+		// the truth either way.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errBody(err.Error()))
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -47,9 +47,10 @@ type Engine struct {
 	base     engineConfig
 	progress func(ProgressEvent)
 
-	mu       sync.Mutex // guards cache and inflight
+	mu       sync.Mutex // guards cache, inflight and stats
 	cache    *lruCache
 	inflight map[cacheKey]*flight // cold searches being computed right now
+	stats    CacheStats           // Entries/Capacity are filled on read
 
 	fpMu sync.Mutex
 	fps  map[string]string // registered model name → graph fingerprint
@@ -167,6 +168,32 @@ func NewEngine(opts ...Option) *Engine {
 		opt(e)
 	}
 	return e
+}
+
+// CacheStats is a point-in-time snapshot of the result cache, for health
+// endpoints and benchmark records. Hits counts requests answered from a
+// stored entry, Joined counts requests that piggybacked on an identical
+// in-flight computation, and Misses counts cold pipeline runs led on the
+// cached path (calls that bypass the cache — the deprecated free
+// functions, or WithCache(0) — are not counted).
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Joined   uint64 `json:"joined"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// CacheStats returns a snapshot of the result cache's traffic and size.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	if e.cache != nil {
+		s.Entries = e.cache.ll.Len()
+		s.Capacity = e.cache.cap
+	}
+	return s
 }
 
 // ProgressKind distinguishes the event types of a progress stream.
@@ -312,6 +339,23 @@ func (e *Engine) searchKey(fp string, gpus int, cfg engineConfig) cacheKey {
 // BaselineGraph is Baseline for an arbitrary graph.
 func (e *Engine) BaselineGraph(ctx context.Context, name string, g *graph.Graph, gpus int) (*Result, error) {
 	return e.baselineGraph(ctx, name, g.Name, g, gpus, e.base)
+}
+
+// SearchSpec runs one spec through the full cached pipeline, honoring the
+// spec's per-call Options overlaid on the engine configuration. It is the
+// per-request entry point of the serving layer: unlike the deprecated
+// free functions (which bypass the cache) and unlike SearchAll (which
+// wraps errors with batch positions), a SearchSpec call is keyed,
+// deduplicated and cached exactly like Engine.Search.
+func (e *Engine) SearchSpec(ctx context.Context, spec SearchSpec) (*Result, error) {
+	cfg := e.base
+	if spec.Options != nil {
+		cfg = e.base.overlay(*spec.Options)
+	}
+	if spec.Graph != nil {
+		return e.searchGraph(ctx, spec.Graph.Name, spec.Graph, spec.GPUs, cfg)
+	}
+	return e.searchModel(ctx, spec.Model, spec.GPUs, cfg)
 }
 
 // SearchAll runs many searches concurrently across a bounded worker pool
@@ -707,6 +751,7 @@ func (e *Engine) doCached(ctx context.Context, key cacheKey, compute func() (*Re
 			return compute()
 		}
 		if cached, ok := e.cache.get(key); ok {
+			e.stats.Hits++
 			e.mu.Unlock()
 			res := *cached
 			res.CacheHit = true
@@ -716,6 +761,7 @@ func (e *Engine) doCached(ctx context.Context, key cacheKey, compute func() (*Re
 		if !running {
 			f = &flight{done: make(chan struct{})}
 			e.inflight[key] = f
+			e.stats.Misses++
 			e.mu.Unlock()
 
 			// The deferred cleanup must run even if compute panics:
@@ -761,6 +807,9 @@ func (e *Engine) doCached(ctx context.Context, key cacheKey, compute func() (*Re
 				}
 				return nil, f.err
 			}
+			e.mu.Lock()
+			e.stats.Joined++
+			e.mu.Unlock()
 			res := *f.res
 			res.CacheHit = true
 			return &res, nil

@@ -1,0 +1,106 @@
+// Client example: drive a tapas-serve daemon over HTTP — submit an
+// async search job, stream its live progress over SSE, fetch the result,
+// and rehydrate the returned wire-form plan back into a full in-memory
+// strategy.Strategy whose cost matches the daemon's to the bit.
+//
+// Start a daemon first:
+//
+//	go run ./cmd/tapas-serve -addr :8080
+//
+// then:
+//
+//	go run ./examples/client -addr http://localhost:8080 -model t5-770M -gpus 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tapas"
+	"tapas/service"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "tapas-serve base URL")
+	model := flag.String("model", "t5-770M", "registered model name")
+	gpus := flag.Int("gpus", 8, "total GPU count")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := service.NewClient(*addr)
+
+	// Discover what the daemon serves.
+	models, err := c.Models(ctx)
+	if err != nil {
+		log.Fatalf("is tapas-serve running at %s? %v", *addr, err)
+	}
+	fmt.Printf("daemon serves %d models\n", len(models))
+
+	// Submit the search as an async job...
+	st, err := c.Submit(ctx, service.SearchRequest{Model: *model, GPUs: *gpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%s on %d GPUs)\n", st.ID, st.Model, st.GPUs)
+
+	// ...and ride its event stream: state transitions and per-class
+	// enumeration progress, pushed by the daemon as SSE. The stream
+	// closes itself after the terminal state event.
+	err = c.StreamEvents(ctx, st.ID, func(ev service.JobEvent) error {
+		switch ev.Type {
+		case service.EventState:
+			fmt.Printf("  state: %s\n", ev.State)
+			if ev.State == service.JobFailed || ev.State == service.JobCancelled {
+				return fmt.Errorf("job ended %s: %s", ev.State, ev.Error)
+			}
+		case service.EventProgress:
+			if ev.Kind == "progress" {
+				fmt.Printf("  [%6dms] %s: %d/%d classes, %d strategies examined\n",
+					ev.ElapsedMS, ev.Phase, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The terminal status embeds the full response.
+	final, err := c.Job(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != service.JobDone {
+		log.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	resp := final.Result
+	fmt.Printf("\nplan:      %s\n", resp.PlanSummary)
+	fmt.Printf("cost:      %.4fs/iter predicted, %.2f TFLOPS/GPU simulated\n",
+		resp.CostSeconds, resp.Report.TFLOPSPerGPU)
+	fmt.Printf("cache hit: %v (resubmit the same job to watch it flip)\n", resp.CacheHit)
+
+	// The plan is a versioned wire document — no internal pointers —
+	// yet it loses nothing: rehydrate it against the model graph and
+	// the full Strategy comes back, priced identically by the default
+	// cost model.
+	g, err := tapas.BuildModel(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := service.RehydratePlan(resp.Plan, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrehydrated plan v%d: %d assignments, cost %.4fs/iter\n",
+		resp.Plan.SchemaVersion, len(s.Assign), s.Cost.Total())
+	if s.Cost.Total() != resp.Plan.CostSeconds {
+		fmt.Println("MISMATCH: rehydrated cost differs from the daemon's")
+		os.Exit(1)
+	}
+	fmt.Println("cost matches the daemon's bit-for-bit — the wire plan is lossless")
+}

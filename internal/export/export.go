@@ -15,14 +15,25 @@ import (
 	"tapas/internal/strategy"
 )
 
-// StrategyJSON is the on-disk form of a parallel strategy.
+// SchemaVersion is the current wire schema of StrategyJSON. The policy:
+// additive changes (new optional fields) keep the version; any change
+// that would break an existing reader — renaming or removing a field,
+// changing a field's meaning or units — bumps it. Readers accept
+// documents at or below their own version (0 marks pre-versioning
+// documents and is read as 1).
+const SchemaVersion = 1
+
+// StrategyJSON is the on-disk and on-wire form of a parallel strategy.
+// The service package republishes it verbatim as service.PlanJSON — the
+// v1 plan DTO of the HTTP API.
 type StrategyJSON struct {
-	Model       string           `json:"model"`
-	Workers     int              `json:"workers"`
-	CostSeconds float64          `json:"cost_seconds"`
-	MemBytes    int64            `json:"mem_bytes_per_device"`
-	Assignments []AssignmentJSON `json:"assignments"`
-	Reshard     []EventJSON      `json:"reshard"`
+	SchemaVersion int              `json:"schema_version"`
+	Model         string           `json:"model"`
+	Workers       int              `json:"workers"`
+	CostSeconds   float64          `json:"cost_seconds"`
+	MemBytes      int64            `json:"mem_bytes_per_device"`
+	Assignments   []AssignmentJSON `json:"assignments"`
+	Reshard       []EventJSON      `json:"reshard"`
 }
 
 // AssignmentJSON is one GraphNode's pattern choice.
@@ -51,18 +62,20 @@ func eventJSON(e comm.Event) EventJSON {
 	return EventJSON{Kind: e.Kind.String(), Bytes: e.Bytes, Workers: e.W}
 }
 
-// WriteStrategyJSON serializes a strategy.
-func WriteStrategyJSON(w io.Writer, s *strategy.Strategy) error {
-	out := StrategyJSON{
-		Model:       s.Graph.Src.Name,
-		Workers:     s.W,
-		CostSeconds: s.Cost.Total(),
-		MemBytes:    s.MemPerDev,
+// FromStrategy renders a strategy in its wire form at the current
+// SchemaVersion.
+func FromStrategy(s *strategy.Strategy) (*StrategyJSON, error) {
+	out := &StrategyJSON{
+		SchemaVersion: SchemaVersion,
+		Model:         s.Graph.Src.Name,
+		Workers:       s.W,
+		CostSeconds:   s.Cost.Total(),
+		MemBytes:      s.MemPerDev,
 	}
 	for _, gn := range s.Graph.TopoOrder() {
 		p, ok := s.Assign[gn]
 		if !ok {
-			return fmt.Errorf("export: node %v unassigned", gn)
+			return nil, fmt.Errorf("export: node %v unassigned", gn)
 		}
 		a := AssignmentJSON{
 			Node:    gn.ID,
@@ -88,26 +101,49 @@ func WriteStrategyJSON(w io.Writer, s *strategy.Strategy) error {
 	for _, e := range s.Reshard {
 		out.Reshard = append(out.Reshard, eventJSON(e))
 	}
+	return out, nil
+}
+
+// WriteStrategyJSON serializes a strategy.
+func WriteStrategyJSON(w io.Writer, s *strategy.Strategy) error {
+	out, err := FromStrategy(s)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
 }
 
 // ReadStrategyJSON parses a serialized strategy (metadata only — the
-// original graph is needed to rehydrate pattern pointers).
+// original graph is needed to rehydrate pattern pointers). Documents
+// newer than SchemaVersion are rejected; version 0 (pre-versioning) is
+// read as version 1.
 func ReadStrategyJSON(r io.Reader) (*StrategyJSON, error) {
 	var out StrategyJSON
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
 		return nil, fmt.Errorf("export: decode strategy: %w", err)
 	}
+	if out.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("export: strategy schema_version %d is newer than supported version %d",
+			out.SchemaVersion, SchemaVersion)
+	}
+	if out.SchemaVersion == 0 {
+		out.SchemaVersion = 1
+	}
 	return &out, nil
 }
 
-// Rehydrate re-attaches a serialized strategy to its GraphNode graph,
-// reconstructing the full in-memory Strategy. The graph must be the same
-// model the strategy was searched on (checked via node count and pattern
-// availability).
-func Rehydrate(g *ir.GNGraph, sj *StrategyJSON) (*strategy.Strategy, error) {
+// Rehydrate re-attaches the serialized strategy to its GraphNode graph,
+// reconstructing the full in-memory Strategy. The graph must be
+// structurally the same model the strategy was searched on (checked via
+// node count and pattern availability; node names may differ — matching
+// is by topological node ID and pattern name).
+func (sj *StrategyJSON) Rehydrate(g *ir.GNGraph) (*strategy.Strategy, error) {
+	if sj.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("export: strategy schema_version %d is newer than supported version %d",
+			sj.SchemaVersion, SchemaVersion)
+	}
 	if len(sj.Assignments) != len(g.Nodes) {
 		return nil, fmt.Errorf("export: strategy has %d assignments, graph has %d nodes",
 			len(sj.Assignments), len(g.Nodes))
@@ -141,6 +177,12 @@ func Rehydrate(g *ir.GNGraph, sj *StrategyJSON) (*strategy.Strategy, error) {
 		Reshard:   events,
 		MemPerDev: strategy.MemoryPerDevice(assign),
 	}, nil
+}
+
+// Rehydrate is the free-function form of StrategyJSON.Rehydrate, kept
+// for existing callers.
+func Rehydrate(g *ir.GNGraph, sj *StrategyJSON) (*strategy.Strategy, error) {
+	return sj.Rehydrate(g)
 }
 
 // WriteDOT renders the GraphNode graph in Graphviz DOT form, coloring

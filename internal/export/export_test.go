@@ -6,9 +6,12 @@ import (
 	"strings"
 	"testing"
 
+	"fmt"
 	"tapas/internal/baselines"
 	"tapas/internal/cluster"
+
 	"tapas/internal/cost"
+	"tapas/internal/graph"
 	"tapas/internal/ir"
 	"tapas/internal/mining"
 	"tapas/internal/models"
@@ -90,6 +93,107 @@ func TestRehydrateRejectsWrongGraph(t *testing.T) {
 func TestReadStrategyJSONGarbage(t *testing.T) {
 	if _, err := ReadStrategyJSON(strings.NewReader("not json")); err == nil {
 		t.Error("garbage input must fail")
+	}
+}
+
+func TestSchemaVersioning(t *testing.T) {
+	_, s := megatronPlan(t)
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Error("written plan carries no schema_version")
+	}
+	sj, err := ReadStrategyJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sj.SchemaVersion != SchemaVersion {
+		t.Errorf("read version %d, want %d", sj.SchemaVersion, SchemaVersion)
+	}
+
+	// A pre-versioning document (no schema_version field) reads as v1.
+	legacy := strings.Replace(buf.String(), `"schema_version": 1,`, "", 1)
+	sj, err = ReadStrategyJSON(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy document rejected: %v", err)
+	}
+	if sj.SchemaVersion != 1 {
+		t.Errorf("legacy document read as version %d, want 1", sj.SchemaVersion)
+	}
+
+	// A document from the future is rejected, by the reader and by
+	// Rehydrate.
+	future := strings.Replace(buf.String(), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if _, err := ReadStrategyJSON(strings.NewReader(future)); err == nil {
+		t.Error("future schema_version must be rejected")
+	}
+	g, _ := megatronPlan(t)
+	sj.SchemaVersion = 99
+	if _, err := sj.Rehydrate(g); err == nil {
+		t.Error("Rehydrate must reject a future schema_version")
+	}
+}
+
+// TestRehydrateRenamedNodes: rehydration matches by topological node ID
+// and pattern name, not node names — a structurally identical graph
+// with different tensor/layer names must accept the plan and price it
+// identically.
+func TestRehydrateRenamedNodes(t *testing.T) {
+	build := func(prefix string) *ir.GNGraph {
+		b := graph.NewBuilder(prefix + "-mlp")
+		x := b.Input(prefix+"_in", graph.F32, graph.NewShape(32, 1024))
+		for i := 0; i < 4; i++ {
+			b.SetLayer(fmt.Sprintf("%s_block.%d", prefix, i))
+			h := b.Dense(fmt.Sprintf("%s_up%d", prefix, i), x, 4096, graph.OpGeLU)
+			h = b.Dense(fmt.Sprintf("%s_down%d", prefix, i), h, 1024, graph.OpIdentity)
+			x = b.Residual(fmt.Sprintf("%s_res%d", prefix, i), x, h)
+		}
+		b.SetLayer(prefix + "_head")
+		y := b.Dense(prefix+"_head", x, 1000, graph.OpIdentity)
+		b.Op(graph.OpCrossEntropy, prefix+"_loss", graph.NewShape(32), y)
+		gg, err := ir.Group(b.G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gg
+	}
+
+	orig := build("alpha")
+	cl := cluster.V100x8()
+	model := cost.Default(cl)
+	classes := mining.Fold(orig, mining.Mine(context.Background(), orig, mining.DefaultOptions()))
+	s, _, err := strategy.SearchFolded(context.Background(), orig, classes, model, strategy.DefaultEnumOptions(8), cl.MemoryPerGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStrategyJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sj, err := ReadStrategyJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	renamed := build("omega") // same structure, every name different
+	re, err := sj.Rehydrate(renamed)
+	if err != nil {
+		t.Fatalf("rehydrating onto renamed graph: %v", err)
+	}
+	if got, want := model.StrategyCost(re.Patterns(), re.Reshard).Total(), s.Cost.Total(); got != want {
+		t.Errorf("renamed-graph cost %v != original %v", got, want)
+	}
+	if re.MemPerDev != s.MemPerDev {
+		t.Errorf("renamed-graph memory %d != original %d", re.MemPerDev, s.MemPerDev)
+	}
+	// Pattern choices align position-by-position.
+	for i, gn := range renamed.Nodes {
+		if re.Assign[gn].Name != s.Assign[orig.Nodes[i]].Name {
+			t.Errorf("node %d: pattern %q != original %q", i, re.Assign[gn].Name, s.Assign[orig.Nodes[i]].Name)
+		}
 	}
 }
 

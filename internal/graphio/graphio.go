@@ -51,7 +51,7 @@ func Parse(r io.Reader) (*graph.Graph, error) {
 		b:   graph.NewBuilder("spec"),
 		env: map[string]*graph.Tensor{},
 	}
-	if err := p.run(lines, 0, len(lines)); err != nil {
+	if err := p.run(lines, 0, len(lines), 0); err != nil {
 		return nil, err
 	}
 	if err := p.b.G.Validate(); err != nil {
@@ -73,8 +73,18 @@ func (p *parser) lookup(name string, lineNo int) (*graph.Tensor, error) {
 	return t, nil
 }
 
-// run executes lines[from:to].
-func (p *parser) run(lines []string, from, to int) error {
+// define binds a tensor name. At repeat depth 0 an existing name is a
+// duplicate (rebinding is the repeat-block idiom, not a top-level one).
+func (p *parser) define(name string, t *graph.Tensor, lineNo, depth int) error {
+	if _, exists := p.env[name]; exists && depth == 0 {
+		return fmt.Errorf("graphio: line %d: duplicate tensor name %q (rebinding is only allowed inside repeat)", lineNo+1, name)
+	}
+	p.env[name] = t
+	return nil
+}
+
+// run executes lines[from:to] at the given repeat-nesting depth.
+func (p *parser) run(lines []string, from, to, depth int) error {
 	for i := from; i < to; i++ {
 		line := lines[i]
 		if line == "" {
@@ -107,7 +117,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			if err != nil {
 				return fmt.Errorf("graphio: line %d: %w", i+1, err)
 			}
-			p.env[args[0]] = p.b.Input(args[0], dt, dims)
+			if err := p.define(args[0], p.b.Input(args[0], dt, dims), i, depth); err != nil {
+				return err
+			}
 
 		case "dense":
 			if len(args) != 4 {
@@ -125,7 +137,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			if err != nil {
 				return fmt.Errorf("graphio: line %d: %w", i+1, err)
 			}
-			p.env[args[0]] = p.b.Dense(args[0], in, outF, act)
+			if err := p.define(args[0], p.b.Dense(args[0], in, outF, act), i, depth); err != nil {
+				return err
+			}
 
 		case "layernorm":
 			if len(args) != 2 {
@@ -135,7 +149,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			if err != nil {
 				return err
 			}
-			p.env[args[0]] = p.b.LayerNorm(args[0], in)
+			if err := p.define(args[0], p.b.LayerNorm(args[0], in), i, depth); err != nil {
+				return err
+			}
 
 		case "conv2d":
 			if len(args) < 6 {
@@ -150,7 +166,9 @@ func (p *parser) run(lines []string, from, to int) error {
 				return fmt.Errorf("graphio: line %d: %w", i+1, err)
 			}
 			act := len(args) > 6 && args[6] == "bnrelu"
-			p.env[args[0]] = p.b.Conv2D(args[0], in, nums[0], nums[1], nums[2], nums[3], act)
+			if err := p.define(args[0], p.b.Conv2D(args[0], in, nums[0], nums[1], nums[2], nums[3], act), i, depth); err != nil {
+				return err
+			}
 
 		case "embedding":
 			if len(args) != 4 {
@@ -167,7 +185,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			table := p.b.Weight(args[0]+"_table", graph.NewShape(nums[0], nums[1]))
 			outShape := in.Shape.Clone()
 			outShape = append(outShape, nums[1])
-			p.env[args[0]] = p.b.Op(graph.OpEmbedding, args[0], outShape, in, table)
+			if err := p.define(args[0], p.b.Op(graph.OpEmbedding, args[0], outShape, in, table), i, depth); err != nil {
+				return err
+			}
 
 		case "residual":
 			if len(args) != 3 {
@@ -181,7 +201,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			if err != nil {
 				return err
 			}
-			p.env[args[0]] = p.b.Residual(args[0], a, bb)
+			if err := p.define(args[0], p.b.Residual(args[0], a, bb), i, depth); err != nil {
+				return err
+			}
 
 		case "loss":
 			if len(args) != 2 {
@@ -195,7 +217,9 @@ func (p *parser) run(lines []string, from, to int) error {
 			if out.Rank() > 1 {
 				out = out[:out.Rank()-1]
 			}
-			p.env[args[0]] = p.b.Op(graph.OpCrossEntropy, args[0], out, in)
+			if err := p.define(args[0], p.b.Op(graph.OpCrossEntropy, args[0], out, in), i, depth); err != nil {
+				return err
+			}
 
 		case "repeat":
 			if len(args) != 2 {
@@ -211,7 +235,7 @@ func (p *parser) run(lines []string, from, to int) error {
 			}
 			for rep := 0; rep < n; rep++ {
 				p.b.SetLayer(fmt.Sprintf("%s.%d", args[1], rep))
-				if err := p.run(lines, i+1, end); err != nil {
+				if err := p.run(lines, i+1, end, depth+1); err != nil {
 					return err
 				}
 			}

@@ -149,6 +149,88 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseErrorMessages pins the diagnostics of every malformed-line
+// class: each error must name the offending line number and the
+// directive's expected shape (or the bad token), because spec authors
+// only see the message.
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want []string // substrings of the error
+	}{
+		{"model arity", "model", []string{"line 1", "model NAME"}},
+		{"layer arity", "layer a b", []string{"line 1", "layer TAG"}},
+		{"input arity", "input x f32", []string{"line 1", "input NAME DTYPE DIMS"}},
+		{"input bad dtype", "input x f64 4", []string{"line 1", `unknown dtype "f64"`}},
+		{"input negative dim", "input x f32 4 -1", []string{"line 1", `bad dimension "-1"`}},
+		{"input non-numeric dim", "input x f32 four", []string{"line 1", `bad dimension "four"`}},
+		{"dense arity", "input x f32 4 4\ndense y x 8", []string{"line 2", "dense NAME IN OUTFEATURES ACT"}},
+		{"dense bad width", "input x f32 4 4\ndense y x wide none", []string{"line 2", `bad width "wide"`}},
+		{"dense bad act", "input x f32 4 4\ndense y x 8 swish", []string{"line 2", `unknown activation "swish"`}},
+		{"layernorm arity", "input x f32 4 4\nlayernorm ln x x", []string{"line 2", "layernorm NAME IN"}},
+		{"conv2d arity", "input x f32 4 8 8 3\nconv2d c x 3 3", []string{"line 2", "conv2d NAME IN KH KW COUT STRIDE"}},
+		{"embedding arity", "input t i32 4 16\nembedding e t 100", []string{"line 2", "embedding NAME IN VOCAB DIM"}},
+		{"residual arity", "input x f32 4 4\nresidual r x", []string{"line 2", "residual NAME A B"}},
+		{"loss arity", "input x f32 4 4\nloss l", []string{"line 2", "loss NAME IN"}},
+		{"unknown tensor", "input x f32 4 4\ndense y z 8 none", []string{"line 2", `unknown tensor "z"`}},
+		{"unknown directive", "input x f32 4 4\nsoftmax s x", []string{"line 2", `unknown directive "softmax"`}},
+		{"repeat bad count", "input x f32 4 4\nrepeat zero b\ndense y x 4 none\nend", []string{"line 2", `bad repeat count "zero"`}},
+		{"repeat zero count", "input x f32 4 4\nrepeat 0 b\ndense y x 4 none\nend", []string{"line 2", `bad repeat count "0"`}},
+		{"repeat without end", "input x f32 4 4\nrepeat 2 b\ndense y x 4 none", []string{"line 2", "repeat without end"}},
+		{"end without repeat", "input x f32 4 4\nend", []string{"line 2", "end without repeat"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.spec))
+			if err == nil {
+				t.Fatalf("spec %q should fail", tc.spec)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParseDuplicateNames: reusing a tensor name outside a repeat block
+// is a duplicate (rebinding is the repeat idiom only).
+func TestParseDuplicateNames(t *testing.T) {
+	bad := []string{
+		"input x f32 4 4\ninput x f32 4 4",
+		"input x f32 4 4\ndense y x 8 none\ndense y x 8 none",
+		"input x f32 4 4\nlayernorm x x",
+		"input x f32 4 4\ndense h x 8 none\nresidual h h h",
+	}
+	for _, spec := range bad {
+		_, err := Parse(strings.NewReader(spec))
+		if err == nil {
+			t.Errorf("spec %q should fail with a duplicate-name error", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate tensor name") {
+			t.Errorf("spec %q: error %q does not mention the duplicate", spec, err)
+		}
+	}
+
+	// The repeat-block rebinding idiom must keep working, including
+	// rebinding a name first defined outside the block.
+	good := `
+model rebind-ok
+input x f32 4 64
+repeat 3 block
+  dense x x 64 relu
+  layernorm x x
+end
+dense head x 10 none
+`
+	if _, err := Parse(strings.NewReader(good)); err != nil {
+		t.Errorf("repeat-block rebinding broke: %v", err)
+	}
+}
+
 func TestParseCommentsAndBlanks(t *testing.T) {
 	spec := "\n# all comments\nmodel m\ninput x f32 2 4 # trailing\n\ndense y x 8 relu\n"
 	g, err := Parse(strings.NewReader(spec))

@@ -1,0 +1,105 @@
+package tapas
+
+import (
+	"encoding/json"
+
+	"tapas/internal/sim"
+)
+
+// ReportSummary is the wire form of a simulated training report: every
+// field of sim.Report under an explicit, stable JSON name. Times are
+// seconds, memory is bytes.
+type ReportSummary struct {
+	IterationSeconds   float64 `json:"iteration_seconds"`
+	ComputeFwdSeconds  float64 `json:"compute_fwd_seconds"`
+	ComputeBwdSeconds  float64 `json:"compute_bwd_seconds"`
+	CommFwdSeconds     float64 `json:"comm_fwd_seconds"`
+	CommBwdSeconds     float64 `json:"comm_bwd_seconds"`
+	CommExposedSeconds float64 `json:"comm_exposed_seconds"`
+	MemBytesPerDevice  int64   `json:"mem_bytes_per_device"`
+	OOM                bool    `json:"oom"`
+	TFLOPSPerGPU       float64 `json:"tflops_per_gpu"`
+}
+
+// reportSummary converts a sim.Report.
+func reportSummary(r sim.Report) ReportSummary {
+	return ReportSummary{
+		IterationSeconds:   r.IterationTime,
+		ComputeFwdSeconds:  r.ComputeFwd,
+		ComputeBwdSeconds:  r.ComputeBwd,
+		CommFwdSeconds:     r.CommFwd,
+		CommBwdSeconds:     r.CommBwd,
+		CommExposedSeconds: r.CommExposed,
+		MemBytesPerDevice:  r.MemPerDev,
+		OOM:                r.OOM,
+		TFLOPSPerGPU:       r.TFLOPSPerGPU,
+	}
+}
+
+// TimingSummary is the wire form of the search-time breakdown (the
+// paper's headline metric). Times are seconds; on a cache hit they
+// describe the original cold computation.
+type TimingSummary struct {
+	GroupSeconds  float64 `json:"group_seconds"`
+	MineSeconds   float64 `json:"mine_seconds"`
+	SearchSeconds float64 `json:"search_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	Classes       int     `json:"classes"`
+	Examined      int     `json:"examined"`
+	Pruned        int     `json:"pruned"`
+	UniqueGraphs  int     `json:"unique_graphs"`
+}
+
+// ResultSummary is the stable, wire-serializable form of a Result: plain
+// values under explicit JSON names, no internal pointer types. It is
+// what Result.MarshalJSON emits, and what crosses process boundaries —
+// the service package's SearchResponse embeds it (adding the full
+// per-node plan as a service.PlanJSON).
+type ResultSummary struct {
+	Model string `json:"model"`
+	GPUs  int    `json:"gpus"`
+	// PlanSummary is Strategy.Describe(): pattern-name counts, most
+	// frequent first. The full per-node assignment is carried by
+	// service.PlanJSON, not here.
+	PlanSummary       string        `json:"plan_summary"`
+	CostSeconds       float64       `json:"cost_seconds"`
+	MemBytesPerDevice int64         `json:"mem_bytes_per_device"`
+	CacheHit          bool          `json:"cache_hit"`
+	Report            ReportSummary `json:"report"`
+	Timing            TimingSummary `json:"timing"`
+}
+
+// Summary renders the Result in its stable wire form. It never exposes
+// the internal Strategy/Parallel pointers, so the summary of a cached
+// Result is safe to hand to any consumer.
+func (r *Result) Summary() ResultSummary {
+	s := ResultSummary{
+		Model:    r.ModelName,
+		GPUs:     r.GPUs,
+		CacheHit: r.CacheHit,
+		Report:   reportSummary(r.Report),
+		Timing: TimingSummary{
+			GroupSeconds:  r.GroupTime.Seconds(),
+			MineSeconds:   r.MineTime.Seconds(),
+			SearchSeconds: r.SearchTime.Seconds(),
+			TotalSeconds:  r.TotalTime.Seconds(),
+			Classes:       r.Classes,
+			Examined:      r.Examined,
+			Pruned:        r.Pruned,
+			UniqueGraphs:  r.UniqueGraphs,
+		},
+	}
+	if r.Strategy != nil {
+		s.PlanSummary = r.Strategy.Describe()
+		s.CostSeconds = r.Strategy.Cost.Total()
+		s.MemBytesPerDevice = r.Strategy.MemPerDev
+	}
+	return s
+}
+
+// MarshalJSON encodes the Result as its Summary — the stable wire schema
+// — instead of the raw struct, whose Strategy/Parallel fields are
+// internal pointer graphs that cannot cross a process boundary.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Summary())
+}

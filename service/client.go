@@ -1,0 +1,245 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the v1 HTTP API of a tapas-serve daemon. The zero
+// value is not usable; construct with NewClient. Methods are safe for
+// concurrent use.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30 s timeout for the
+	// unary calls; StreamEvents and WaitDone always use a timeout-free
+	// transport derived from it, bounded by their context instead.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: daemon returned %d: %s", e.StatusCode, e.Message)
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// do issues one JSON round trip. A nil in means no request body; a nil
+// out discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, reading
+// the daemon's JSON error envelope when present.
+func decodeAPIError(resp *http.Response) error {
+	var eb errorBody
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&eb); err == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+}
+
+// Search runs one synchronous search (POST /v1/search).
+func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	var out SearchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Models lists the registered model names (GET /v1/models).
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	var out struct {
+		Models []string `json:"models"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// Health fetches the daemon's health snapshot (GET /v1/healthz).
+func (c *Client) Health(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit enqueues an async job (POST /v1/jobs).
+func (c *Client) Submit(ctx context.Context, req SearchRequest) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches one job's status (GET /v1/jobs/{id}); a done job's status
+// embeds its SearchResponse.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cancel requests a job's cancellation (DELETE /v1/jobs/{id}).
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// streamClient derives a timeout-free client for long-lived requests
+// (SSE, polling), which their contexts bound instead.
+func (c *Client) streamClient() *http.Client {
+	hc := http.DefaultClient
+	if c.HTTPClient != nil {
+		hc = c.HTTPClient
+	}
+	cp := *hc
+	cp.Timeout = 0
+	return &cp
+}
+
+// StreamEvents consumes a job's SSE stream (GET /v1/jobs/{id}/events),
+// invoking fn for every event until the stream ends (the daemon closes
+// it after the terminal state event), fn returns a non-nil error
+// (returned verbatim, stopping the stream), or ctx is cancelled.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(JobEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.streamClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data strings.Builder
+	flush := func() error {
+		if data.Len() == 0 {
+			return nil
+		}
+		var ev JobEvent
+		err := json.Unmarshal([]byte(data.String()), &ev)
+		data.Reset()
+		if err != nil {
+			return fmt.Errorf("service: bad SSE payload: %w", err)
+		}
+		return fn(ev)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// event:/id:/retry: and comment lines are ignored; the
+			// payload type travels inside the JSON.
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// WaitDone polls a job until it reaches a terminal state, returning the
+// final status (State done, failed or cancelled). Prefer StreamEvents
+// when live progress matters; WaitDone is the no-SSE fallback.
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package service defines the versioned, wire-serializable contract of
+// the TAPAS serving layer — the v1 DTOs spoken by the tapas-serve HTTP
+// daemon — plus the pieces that implement it: a Service wrapping one
+// shared tapas.Engine (so the result cache and singleflight dedupe serve
+// repeat traffic), an async job queue with progress fan-out, and an HTTP
+// Client.
+//
+// # Versioning policy
+//
+// SchemaVersion names the wire schema of the request/response DTOs, and
+// every SearchResponse carries it. Additive changes (new optional
+// fields) keep the version; any change that would break an existing
+// reader — renaming or removing a field, changing a field's meaning or
+// units — bumps it and the HTTP path prefix (/v1 → /v2) together. The
+// embedded plan document is versioned independently via
+// PlanJSON.SchemaVersion, because plans are stored on disk and outlive
+// API versions.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"tapas"
+)
+
+// SchemaVersion is the current wire schema of the v1 DTOs; it is echoed
+// in every SearchResponse. See the package comment for the policy.
+const SchemaVersion = 1
+
+// SearchRequest asks for one TAPAS search: a registered model name or an
+// inline graphio spec, a GPU count, a cluster preset, and optional
+// search-option overrides. Exactly one of Model and Spec must be set.
+type SearchRequest struct {
+	// Model is a registered model name (see GET /v1/models).
+	Model string `json:"model,omitempty"`
+	// Spec is an inline model description in the graphio line language,
+	// searched instead of a registered model.
+	Spec string `json:"spec,omitempty"`
+	// GPUs is the total device count (must be ≥ 1).
+	GPUs int `json:"gpus"`
+	// Cluster selects a cluster preset: "" or "v100" for the paper's
+	// V100 testbed sized from GPUs. Unknown presets are rejected.
+	Cluster string `json:"cluster,omitempty"`
+	// Workers bounds the search worker goroutines (0 = server default).
+	// The resulting plan is identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// Exhaustive selects exhaustive search (TAPAS-ES, no folding).
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// TimeBudgetMS bounds the enumeration phase, in milliseconds
+	// (0 = no limit).
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+}
+
+// clusterPresets enumerates the accepted SearchRequest.Cluster values.
+// Both name the paper's testbed (V100 SXM2 32 GB nodes of 8, 100 GbE),
+// which is also the engine default — the preset field exists so future
+// hardware presets extend the wire contract without a version bump.
+var clusterPresets = []string{"", "v100"}
+
+// Validate checks the request's shape before any work is queued.
+func (r *SearchRequest) Validate() error {
+	if (r.Model == "") == (r.Spec == "") {
+		return badRequestf("exactly one of model and spec must be set")
+	}
+	if r.GPUs < 1 {
+		return badRequestf("gpus must be ≥ 1, got %d", r.GPUs)
+	}
+	ok := false
+	for _, p := range clusterPresets {
+		if r.Cluster == p {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return badRequestf("unknown cluster preset %q (available: %q)", r.Cluster, clusterPresets[1:])
+	}
+	if r.Workers < 0 {
+		return badRequestf("workers must be ≥ 0, got %d", r.Workers)
+	}
+	if r.TimeBudgetMS < 0 {
+		return badRequestf("time_budget_ms must be ≥ 0, got %d", r.TimeBudgetMS)
+	}
+	return nil
+}
+
+// DeviceSummary describes the per-device shape of the winning plan.
+type DeviceSummary struct {
+	// Devices is the total accelerator count the plan spans.
+	Devices int `json:"devices"`
+	// MemBytesPerDevice is the estimated per-device memory footprint.
+	MemBytesPerDevice int64 `json:"mem_bytes_per_device"`
+	// Nodes is the operator count of the graph one device executes
+	// (original operators with sharded shapes plus collectives).
+	Nodes int `json:"nodes"`
+	// Collectives is the number of communication operators inserted
+	// into the per-device graph.
+	Collectives int `json:"collectives"`
+}
+
+// SearchResponse is the v1 answer to a SearchRequest. The embedded
+// ResultSummary contributes the flat model/gpus/plan_summary/cost/
+// cache_hit/report/timing fields; Plan carries the full per-node
+// assignment, round-trippable via RehydratePlan.
+type SearchResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	tapas.ResultSummary
+	Plan    *PlanJSON      `json:"plan,omitempty"`
+	Devices *DeviceSummary `json:"devices,omitempty"`
+}
+
+// JobState names one stage of an async job's lifecycle. Transitions:
+// queued → running → done | failed | cancelled, plus queued → cancelled
+// for jobs cancelled before a worker picks them up.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobProgress is the latest observed search progress of a running job.
+type JobProgress struct {
+	Phase        string `json:"phase"`
+	ClassesDone  int    `json:"classes_done"`
+	ClassesTotal int    `json:"classes_total"`
+	Examined     int    `json:"examined"`
+	ElapsedMS    int64  `json:"elapsed_ms"`
+}
+
+// JobStatus is the wire form of one async job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Model string   `json:"model"`
+	GPUs  int      `json:"gpus"`
+
+	CreatedUnixMS  int64 `json:"created_unix_ms"`
+	StartedUnixMS  int64 `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
+
+	// Error is set when State is failed (and on cancelled jobs, the
+	// cancellation cause).
+	Error string `json:"error,omitempty"`
+	// Progress is the latest search progress (running jobs only).
+	Progress *JobProgress `json:"progress,omitempty"`
+	// Result is set when State is done.
+	Result *SearchResponse `json:"result,omitempty"`
+}
+
+// JobEventType distinguishes the two event kinds of a job's SSE stream.
+type JobEventType string
+
+const (
+	// EventState reports a lifecycle transition (the State field).
+	EventState JobEventType = "state"
+	// EventProgress reports live search progress (the phase fields).
+	EventProgress JobEventType = "progress"
+)
+
+// JobEvent is one observation on a job's event stream.
+type JobEvent struct {
+	JobID string       `json:"job_id"`
+	Type  JobEventType `json:"type"`
+
+	// State is set on EventState events; a terminal state ends the
+	// stream.
+	State JobState `json:"state,omitempty"`
+	// Error accompanies a terminal failed/cancelled state.
+	Error string `json:"error,omitempty"`
+
+	// Phase fields are set on EventProgress events.
+	Phase        string `json:"phase,omitempty"`
+	Kind         string `json:"kind,omitempty"` // enter, progress, exit
+	ClassesDone  int    `json:"classes_done,omitempty"`
+	ClassesTotal int    `json:"classes_total,omitempty"`
+	Examined     int    `json:"examined,omitempty"`
+	ElapsedMS    int64  `json:"elapsed_ms,omitempty"`
+}
+
+// Stats is the health snapshot served by GET /v1/healthz.
+type Stats struct {
+	Queued        int              `json:"queued"`
+	Running       int              `json:"running"`
+	Finished      int              `json:"finished"` // retained terminal jobs
+	QueueCapacity int              `json:"queue_capacity"`
+	JobWorkers    int              `json:"job_workers"`
+	Draining      bool             `json:"draining"`
+	Cache         tapas.CacheStats `json:"cache"`
+}
+
+// ---------------------------------------------------------------------------
+// Error taxonomy, mapped onto HTTP statuses by the daemon.
+
+var (
+	// ErrQueueFull rejects a Submit when the bounded job queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown rejects new work while the service drains
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrNotFound reports an unknown job ID (HTTP 404).
+	ErrNotFound = errors.New("service: job not found")
+)
+
+// BadRequestError marks a request the caller must fix (HTTP 400).
+type BadRequestError struct{ msg string }
+
+func (e *BadRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &BadRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsBadRequest reports whether err (or anything it wraps) is a request
+// error the caller must fix.
+func IsBadRequest(err error) bool {
+	var bre *BadRequestError
+	return errors.As(err, &bre)
+}

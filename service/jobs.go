@@ -1,0 +1,548 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tapas"
+	"tapas/internal/graph"
+)
+
+// job is one queued search and its fan-out state.
+type job struct {
+	id     string
+	req    SearchRequest
+	model  string       // display identity, also the progress route key
+	graph  *graph.Graph // parsed inline spec (nil: registered model)
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	resp     *SearchResponse
+	progress *JobProgress
+	subs     map[int]chan JobEvent
+	nextSub  int
+}
+
+// status snapshots the job in wire form.
+func (j *job) status() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:            j.id,
+		State:         j.state,
+		Model:         j.model,
+		GPUs:          j.req.GPUs,
+		CreatedUnixMS: j.created.UnixMilli(),
+		Error:         j.errMsg,
+	}
+	if !j.started.IsZero() {
+		st.StartedUnixMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedUnixMS = j.finished.UnixMilli()
+	}
+	if j.progress != nil && j.state == JobRunning {
+		p := *j.progress
+		st.Progress = &p
+	}
+	if j.state == JobDone {
+		st.Result = j.resp
+	}
+	return st
+}
+
+// broadcastLocked delivers one event to every subscriber without
+// blocking: a slow consumer drops events rather than stalling the
+// search. Callers must hold j.mu — every send and every channel close
+// happens under the job lock, which is what makes the close in
+// closeSubsLocked safe against concurrent sends.
+func (j *job) broadcastLocked(ev JobEvent) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked retires every subscriber after the terminal event.
+// Callers must hold j.mu; holding it excludes in-flight sends, so the
+// closes cannot race a broadcast.
+func (j *job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = make(map[int]chan JobEvent)
+}
+
+// noteProgress records and fans out one engine progress event.
+func (j *job) noteProgress(ev tapas.ProgressEvent) {
+	jev := JobEvent{
+		JobID:        j.id,
+		Type:         EventProgress,
+		Phase:        string(ev.Phase),
+		Kind:         ev.Kind.String(),
+		ClassesDone:  ev.ClassesDone,
+		ClassesTotal: ev.ClassesTotal,
+		Examined:     ev.Examined,
+		ElapsedMS:    ev.Elapsed.Milliseconds(),
+	}
+	j.mu.Lock()
+	j.progress = &JobProgress{
+		Phase:        string(ev.Phase),
+		ClassesDone:  ev.ClassesDone,
+		ClassesTotal: ev.ClassesTotal,
+		Examined:     ev.Examined,
+		ElapsedMS:    ev.Elapsed.Milliseconds(),
+	}
+	j.broadcastLocked(jev)
+	j.mu.Unlock()
+}
+
+// routeKey matches engine progress events (keyed by model identity and
+// GPU count) onto running jobs. Two concurrent jobs for the same key
+// both receive the interleaved stream — the cost of the engine's
+// deliberately job-agnostic progress contract.
+type routeKey struct {
+	model string
+	gpus  int
+}
+
+// jobTable owns the queue, the ID index and the progress routes.
+type jobTable struct {
+	mu          sync.Mutex
+	byID        map[string]*job
+	order       []string // submission order, for bounded retention
+	queue       chan *job
+	closed      bool
+	maxFinished int
+	seq         uint64
+
+	routeMu sync.Mutex
+	routes  map[routeKey]map[*job]struct{}
+
+	wg sync.WaitGroup // job workers
+}
+
+func newJobTable(queueSize, maxFinished int) *jobTable {
+	return &jobTable{
+		byID:        make(map[string]*job),
+		queue:       make(chan *job, queueSize),
+		maxFinished: maxFinished,
+		routes:      make(map[routeKey]map[*job]struct{}),
+	}
+}
+
+// newID mints "job-<seq>-<random>": ordered for humans, unguessable
+// enough that one client cannot trivially walk another's job IDs.
+func (t *jobTable) newID() string {
+	t.seq++
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to the ordered prefix alone rather than crashing the server.
+		return fmt.Sprintf("job-%06d", t.seq)
+	}
+	return fmt.Sprintf("job-%06d-%s", t.seq, hex.EncodeToString(b[:]))
+}
+
+// enqueue registers and queues a job, enforcing intake state, queue
+// bounds and finished-job retention. Assigns the job ID.
+func (t *jobTable) enqueue(j *job) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case t.queue <- j:
+	default:
+		return ErrQueueFull
+	}
+	t.byID[j.id] = j
+	t.order = append(t.order, j.id)
+	t.evictLocked()
+	return nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+func (t *jobTable) evictLocked() {
+	var terminal int
+	for _, id := range t.order {
+		if j := t.byID[id]; j != nil && j.terminal() {
+			terminal++
+		}
+	}
+	if terminal <= t.maxFinished {
+		return
+	}
+	kept := t.order[:0]
+	for _, id := range t.order {
+		j := t.byID[id]
+		if terminal > t.maxFinished && j != nil && j.terminal() {
+			delete(t.byID, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	t.order = kept
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// lookup resolves a job ID.
+func (t *jobTable) lookup(id string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// counts tallies job states for health reporting.
+func (t *jobTable) counts() (queued, running, finished int, draining bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, j := range t.byID {
+		j.mu.Lock()
+		switch {
+		case j.state == JobQueued:
+			queued++
+		case j.state == JobRunning:
+			running++
+		case j.state.Terminal():
+			finished++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running, finished, t.closed
+}
+
+// closeIntake stops accepting submissions and hands every still-queued
+// job to onQueued (which cancels it). Idempotent. Closing the queue
+// channel retires the workers after their current job.
+func (t *jobTable) closeIntake(onQueued func(*job)) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	var drained []*job
+	for {
+		select {
+		case j := <-t.queue:
+			drained = append(drained, j)
+			continue
+		default:
+		}
+		break
+	}
+	close(t.queue)
+	t.mu.Unlock()
+	for _, j := range drained {
+		onQueued(j)
+	}
+}
+
+// addRoute / removeRoute maintain the progress fan-out index.
+func (t *jobTable) addRoute(k routeKey, j *job) {
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	set := t.routes[k]
+	if set == nil {
+		set = make(map[*job]struct{})
+		t.routes[k] = set
+	}
+	set[j] = struct{}{}
+}
+
+func (t *jobTable) removeRoute(k routeKey, j *job) {
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	if set := t.routes[k]; set != nil {
+		delete(set, j)
+		if len(set) == 0 {
+			delete(t.routes, k)
+		}
+	}
+}
+
+// routed snapshots the jobs listening on a key.
+func (t *jobTable) routed(k routeKey) []*job {
+	t.routeMu.Lock()
+	defer t.routeMu.Unlock()
+	set := t.routes[k]
+	out := make([]*job, 0, len(set))
+	for j := range set {
+		out = append(out, j)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Service methods
+
+// Submit validates and enqueues an async search, returning its queued
+// status. Fails fast with a BadRequestError for malformed requests,
+// ErrQueueFull when the bounded queue is at capacity, and
+// ErrShuttingDown once Shutdown has begun.
+func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := s.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	// The job's model identity is also its progress route key: the
+	// registered name, or the parsed graph's name for inline specs
+	// (which is what the engine stamps on progress events).
+	model := req.Model
+	if g != nil {
+		model = g.Name
+	}
+	jctx, jcancel := context.WithCancel(s.rootCtx)
+	j := &job{
+		req:     req,
+		model:   model,
+		graph:   g,
+		ctx:     jctx,
+		cancel:  jcancel,
+		state:   JobQueued,
+		created: time.Now(),
+		subs:    make(map[int]chan JobEvent),
+	}
+	s.jobs.mu.Lock()
+	j.id = s.jobs.newID()
+	s.jobs.mu.Unlock()
+	if err := s.jobs.enqueue(j); err != nil {
+		jcancel()
+		return nil, err
+	}
+	return j.status(), nil
+}
+
+// Status reports one job.
+func (s *Service) Status(id string) (*JobStatus, error) {
+	j := s.jobs.lookup(id)
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every retained job in submission order.
+func (s *Service) Jobs() []*JobStatus {
+	s.jobs.mu.Lock()
+	ids := append([]string(nil), s.jobs.order...)
+	table := s.jobs.byID
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j := table[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.jobs.mu.Unlock()
+	out := make([]*JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Result returns a finished job's response: the SearchResponse for a
+// done job, or an error describing why none exists (not found, still
+// pending, failed, cancelled).
+func (s *Service) Result(id string) (*SearchResponse, error) {
+	j := s.jobs.lookup(id)
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobDone:
+		return j.resp, nil
+	case JobFailed:
+		return nil, fmt.Errorf("service: job %s failed: %s", id, j.errMsg)
+	case JobCancelled:
+		return nil, fmt.Errorf("service: job %s cancelled", id)
+	default:
+		return nil, fmt.Errorf("service: job %s is %s", id, j.state)
+	}
+}
+
+// Cancel requests cancellation: a queued job is cancelled immediately, a
+// running job's search context is cancelled (the job transitions once
+// the pipeline unwinds), and a terminal job is left unchanged. The
+// returned status is the state observed after the request.
+func (s *Service) Cancel(id string) (*JobStatus, error) {
+	j := s.jobs.lookup(id)
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	j.mu.Lock()
+	switch {
+	case j.state == JobQueued:
+		j.state = JobCancelled
+		j.errMsg = "cancelled by client"
+		j.finished = time.Now()
+		j.broadcastLocked(JobEvent{JobID: j.id, Type: EventState, State: JobCancelled, Error: "cancelled by client"})
+		j.closeSubsLocked()
+		j.mu.Unlock()
+		j.cancel()
+	case j.state == JobRunning:
+		j.mu.Unlock()
+		j.cancel()
+	default:
+		j.mu.Unlock()
+	}
+	return j.status(), nil
+}
+
+// Subscribe attaches to a job's event stream. The returned channel
+// first carries a state snapshot, then live progress and state events;
+// it is closed by the service after the terminal state event (or by the
+// returned cancel function). The cancel function is safe to call
+// multiple times and after the stream ends.
+func (s *Service) Subscribe(id string) (<-chan JobEvent, func(), error) {
+	j := s.jobs.lookup(id)
+	if j == nil {
+		return nil, nil, ErrNotFound
+	}
+	ch := make(chan JobEvent, 64)
+	j.mu.Lock()
+	snapshot := JobEvent{JobID: j.id, Type: EventState, State: j.state, Error: j.errMsg}
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		ch <- snapshot
+		close(ch)
+		return ch, func() {}, nil
+	}
+	subID := j.nextSub
+	j.nextSub++
+	j.subs[subID] = ch
+	ch <- snapshot // fresh buffered channel; cannot block. Sent under
+	// j.mu so finishJob cannot close ch between registration and the
+	// snapshot send.
+	j.mu.Unlock()
+	cancel := func() {
+		// Detach only — the terminal path (closeSubsLocked) is the one
+		// place channels are closed, and it cannot see a detached
+		// channel. A detached channel is simply abandoned to the GC;
+		// closing it here would race nothing today (all sends hold
+		// j.mu) but buys nothing either.
+		j.mu.Lock()
+		delete(j.subs, subID)
+		j.mu.Unlock()
+	}
+	return ch, cancel, nil
+}
+
+// WaitTerminal blocks until the job reaches a terminal state (or ctx
+// ends), returning its final status. It rides the event stream rather
+// than polling.
+func (s *Service) WaitTerminal(ctx context.Context, id string) (*JobStatus, error) {
+	ch, cancel, err := s.Subscribe(id)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case _, ok := <-ch:
+			if !ok { // stream closed: the job is terminal
+				return s.Status(id)
+			}
+		}
+	}
+}
+
+// routeProgress is the engine progress hook: tee to the configured
+// observer, then fan out to jobs listening on the event's (model, GPUs)
+// key.
+func (s *Service) routeProgress(ev tapas.ProgressEvent) {
+	if s.onProgress != nil {
+		s.onProgress(ev)
+	}
+	for _, j := range s.jobs.routed(routeKey{model: ev.Model, gpus: ev.GPUs}) {
+		j.noteProgress(ev)
+	}
+}
+
+// worker drains the job queue until closeIntake closes it.
+func (s *Service) worker() {
+	defer s.jobs.wg.Done()
+	for j := range s.jobs.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob drives one job through running to a terminal state.
+func (s *Service) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.broadcastLocked(JobEvent{JobID: j.id, Type: EventState, State: JobRunning})
+	j.mu.Unlock()
+
+	key := routeKey{model: j.model, gpus: j.req.GPUs}
+	s.jobs.addRoute(key, j)
+	resp, err := s.search(j.ctx, j.req, j.graph)
+	s.jobs.removeRoute(key, j)
+	s.finishJob(j, resp, err)
+}
+
+// finishJob moves a job to its terminal state and retires its
+// subscribers. Cancellation (explicit Cancel, or the shutdown drain) is
+// distinguished from genuine failure by the error chain.
+func (s *Service) finishJob(j *job, resp *SearchResponse, err error) {
+	j.mu.Lock()
+	if j.state.Terminal() { // e.g. cancelled-while-queued racing shutdown
+		j.mu.Unlock()
+		j.cancel()
+		return
+	}
+	var ev JobEvent
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.resp = resp
+		ev = JobEvent{JobID: j.id, Type: EventState, State: JobDone}
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrShuttingDown):
+		j.state = JobCancelled
+		j.errMsg = err.Error()
+		ev = JobEvent{JobID: j.id, Type: EventState, State: JobCancelled, Error: j.errMsg}
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		ev = JobEvent{JobID: j.id, Type: EventState, State: JobFailed, Error: j.errMsg}
+	}
+	j.finished = time.Now()
+	j.broadcastLocked(ev)
+	j.closeSubsLocked()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"tapas"
+	"tapas/internal/graph"
+	"tapas/internal/graphio"
+)
+
+// Config sizes a Service. The zero value is usable: defaults fill in.
+type Config struct {
+	// EngineOptions configure the shared tapas.Engine. Do not pass
+	// tapas.WithProgress here — the Service installs its own progress
+	// hook to fan events out to job subscribers; use OnProgress to tee.
+	EngineOptions []tapas.Option
+	// QueueSize bounds the async job queue (default 64). A Submit
+	// against a full queue fails with ErrQueueFull.
+	QueueSize int
+	// JobWorkers is the number of jobs run concurrently (default 2).
+	JobWorkers int
+	// MaxFinished bounds the terminal jobs retained for Status/Result
+	// polling (default 256, oldest evicted first).
+	MaxFinished int
+	// OnProgress, when set, observes every engine progress event in
+	// addition to the per-job fan-out.
+	OnProgress func(tapas.ProgressEvent)
+}
+
+const (
+	defaultQueueSize   = 64
+	defaultJobWorkers  = 2
+	defaultMaxFinished = 256
+)
+
+// Service implements the v1 contract over one shared tapas.Engine: a
+// synchronous Search path and an async job queue (Submit / Status /
+// Result / Cancel / Subscribe), both funneling into the engine's result
+// cache and singleflight dedupe so repeat traffic is served in
+// microseconds. Construct with New, retire with Shutdown.
+type Service struct {
+	eng        *tapas.Engine
+	onProgress func(tapas.ProgressEvent)
+
+	queueCap   int
+	jobWorkers int
+
+	jobs *jobTable
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+}
+
+// New builds a Service and starts its job workers.
+func New(cfg Config) *Service {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = defaultQueueSize
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = defaultJobWorkers
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = defaultMaxFinished
+	}
+	s := &Service{
+		queueCap:   cfg.QueueSize,
+		jobWorkers: cfg.JobWorkers,
+		onProgress: cfg.OnProgress,
+	}
+	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
+	s.jobs = newJobTable(cfg.QueueSize, cfg.MaxFinished)
+	opts := append([]tapas.Option{}, cfg.EngineOptions...)
+	opts = append(opts, tapas.WithProgress(s.routeProgress))
+	s.eng = tapas.NewEngine(opts...)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.jobs.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the shared engine (e.g. for cache statistics).
+func (s *Service) Engine() *tapas.Engine { return s.eng }
+
+// Models lists the registered model names.
+func (s *Service) Models() []string { return tapas.Models() }
+
+// Stats snapshots the service for health reporting.
+func (s *Service) Stats() Stats {
+	queued, running, finished, draining := s.jobs.counts()
+	return Stats{
+		Queued:        queued,
+		Running:       running,
+		Finished:      finished,
+		QueueCapacity: s.queueCap,
+		JobWorkers:    s.jobWorkers,
+		Draining:      draining,
+		Cache:         s.eng.CacheStats(),
+	}
+}
+
+// Search runs one request synchronously: validate, resolve the model or
+// parse the inline spec, search through the shared engine (cache,
+// singleflight), and render the v1 response.
+func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := s.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.search(ctx, req, g)
+}
+
+// resolveGraph parses an inline spec into a graph, or validates a model
+// name; a nil graph means "search the registered model by name" (which
+// lets the engine's per-model fingerprint memo skip the rebuild).
+func (s *Service) resolveGraph(req SearchRequest) (*graph.Graph, error) {
+	if req.Spec != "" {
+		g, err := graphio.Parse(strings.NewReader(req.Spec))
+		if err != nil {
+			return nil, badRequestf("invalid spec: %v", err)
+		}
+		return g, nil
+	}
+	found := false
+	for _, m := range tapas.Models() {
+		if m == req.Model {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, badRequestf("unknown model %q (see /v1/models)", req.Model)
+	}
+	return nil, nil
+}
+
+// search is the engine round shared by the sync path and job workers.
+func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph) (*SearchResponse, error) {
+	spec := tapas.SearchSpec{Model: req.Model, Graph: g, GPUs: req.GPUs}
+	if req.Workers != 0 || req.Exhaustive || req.TimeBudgetMS != 0 {
+		spec.Options = &tapas.Options{
+			Workers:    req.Workers,
+			Exhaustive: req.Exhaustive,
+			TimeBudget: time.Duration(req.TimeBudgetMS) * time.Millisecond,
+		}
+	}
+	res, err := s.eng.SearchSpec(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewSearchResponse(res)
+}
+
+// NewSearchResponse renders an engine Result as the v1 wire response.
+func NewSearchResponse(res *tapas.Result) (*SearchResponse, error) {
+	if res.Strategy == nil {
+		return nil, fmt.Errorf("service: result has no strategy")
+	}
+	plan, err := NewPlan(res.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SearchResponse{
+		SchemaVersion: SchemaVersion,
+		ResultSummary: res.Summary(),
+		Plan:          plan,
+		Devices: &DeviceSummary{
+			Devices:           res.GPUs,
+			MemBytesPerDevice: res.Strategy.MemPerDev,
+		},
+	}
+	if res.Parallel != nil && res.Parallel.PerDevice != nil {
+		resp.Devices.Nodes = len(res.Parallel.PerDevice.Nodes)
+		resp.Devices.Collectives = len(res.Parallel.Collectives)
+	}
+	return resp, nil
+}
+
+// Shutdown drains the service: new submissions fail with
+// ErrShuttingDown, queued jobs are cancelled immediately, and running
+// jobs are given until ctx expires to finish before their contexts are
+// cancelled. It returns ctx.Err() when the drain deadline cut running
+// jobs short, nil on a clean drain. Shutdown is idempotent.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.jobs.closeIntake(func(j *job) {
+		s.finishJob(j, nil, ErrShuttingDown)
+	})
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel() // cancel in-flight job searches
+		<-done
+		return ctx.Err()
+	}
+}

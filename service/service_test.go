@@ -1,0 +1,224 @@
+package service
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"tapas"
+)
+
+// tinySpec is a fast-to-search inline model for request tests.
+const tinySpec = `
+model tiny-mlp
+input x f32 32 256
+repeat 2 block
+  layernorm ln x
+  dense fc1 ln 512 gelu
+  dense fc2 fc1 256 none
+  residual x x fc2
+end
+dense head x 1000 none
+loss l head
+`
+
+func newTestService(t *testing.T) *Service {
+	t.Helper()
+	svc := New(Config{})
+	t.Cleanup(func() {
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return svc
+}
+
+func TestSearchSyncAndCacheHit(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	req := SearchRequest{Model: "t5-100M", GPUs: 8}
+
+	cold, err := svc.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", cold.SchemaVersion, SchemaVersion)
+	}
+	if cold.CacheHit {
+		t.Error("first search must not be a cache hit")
+	}
+	if cold.Model != "t5-100M" || cold.GPUs != 8 {
+		t.Errorf("identity fields wrong: %q/%d", cold.Model, cold.GPUs)
+	}
+	if cold.Plan == nil || len(cold.Plan.Assignments) == 0 {
+		t.Fatal("response must embed the full plan")
+	}
+	if cold.Plan.SchemaVersion != PlanSchemaVersion {
+		t.Errorf("plan schema_version = %d, want %d", cold.Plan.SchemaVersion, PlanSchemaVersion)
+	}
+	if cold.PlanSummary == "" || cold.CostSeconds <= 0 {
+		t.Errorf("summary fields missing: %q cost=%v", cold.PlanSummary, cold.CostSeconds)
+	}
+	if cold.Report.IterationSeconds <= 0 || cold.Report.TFLOPSPerGPU <= 0 {
+		t.Errorf("report not populated: %+v", cold.Report)
+	}
+	if cold.Devices == nil || cold.Devices.Devices != 8 || cold.Devices.Nodes == 0 {
+		t.Errorf("device summary not populated: %+v", cold.Devices)
+	}
+
+	warm, err := svc.Search(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("repeat search must be served from the engine cache")
+	}
+	if warm.PlanSummary != cold.PlanSummary {
+		t.Errorf("cached plan %q != cold plan %q", warm.PlanSummary, cold.PlanSummary)
+	}
+	stats := svc.Stats()
+	if stats.Cache.Hits == 0 || stats.Cache.Misses == 0 {
+		t.Errorf("cache stats not counting: %+v", stats.Cache)
+	}
+}
+
+func TestPlanRoundTripIdenticalCost(t *testing.T) {
+	svc := newTestService(t)
+	resp, err := svc.Search(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tapas.BuildModel("t5-100M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RehydratePlan(resp.Plan, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Cost.Total(), resp.Plan.CostSeconds; math.Abs(got-want) > 1e-12 {
+		t.Errorf("rehydrated cost %v != plan cost %v", got, want)
+	}
+	if got, want := s.MemPerDev, resp.Plan.MemBytes; got != want {
+		t.Errorf("rehydrated memory %d != plan memory %d", got, want)
+	}
+}
+
+func TestSearchInlineSpec(t *testing.T) {
+	svc := newTestService(t)
+	resp, err := svc.Search(context.Background(), SearchRequest{Spec: tinySpec, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "tiny-mlp" {
+		t.Errorf("spec search reported model %q, want tiny-mlp", resp.Model)
+	}
+	if resp.Plan == nil || resp.Plan.Workers != 4 {
+		t.Fatalf("plan missing or wrong workers: %+v", resp.Plan)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  SearchRequest
+	}{
+		{"neither model nor spec", SearchRequest{GPUs: 8}},
+		{"both model and spec", SearchRequest{Model: "t5-100M", Spec: tinySpec, GPUs: 8}},
+		{"zero gpus", SearchRequest{Model: "t5-100M"}},
+		{"negative workers", SearchRequest{Model: "t5-100M", GPUs: 8, Workers: -1}},
+		{"negative budget", SearchRequest{Model: "t5-100M", GPUs: 8, TimeBudgetMS: -5}},
+		{"unknown cluster", SearchRequest{Model: "t5-100M", GPUs: 8, Cluster: "h100"}},
+		{"unknown model", SearchRequest{Model: "nope-13B", GPUs: 8}},
+		{"malformed spec", SearchRequest{Spec: "dense x y z", GPUs: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.Search(ctx, tc.req)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !IsBadRequest(err) {
+				t.Errorf("want BadRequestError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+func TestSearchOptionsChangeCacheKey(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	base := SearchRequest{Model: "twotower-small", GPUs: 4}
+	if _, err := svc.Search(ctx, base); err != nil {
+		t.Fatal(err)
+	}
+	// Worker count is NOT part of the key: same plan, cache hit.
+	withWorkers := base
+	withWorkers.Workers = 1
+	r, err := svc.Search(ctx, withWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Error("worker count must not change the cache key")
+	}
+	// Exhaustive IS part of the key: cold search.
+	es := base
+	es.Exhaustive = true
+	r, err = svc.Search(ctx, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Error("exhaustive search must miss the folded search's cache entry")
+	}
+}
+
+// TestJobModelIdentity: a spec job's status and events carry the parsed
+// graph's name (the engine's progress key); named-model jobs carry the
+// registry name.
+func TestJobModelIdentity(t *testing.T) {
+	svc := newTestService(t)
+	st, err := svc.Submit(SearchRequest{Spec: tinySpec, GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Model != "tiny-mlp" {
+		t.Errorf("spec job model = %q, want tiny-mlp", st.Model)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "tiny-mlp" {
+		t.Errorf("spec job result model = %q", resp.Model)
+	}
+}
+
+func TestResponseJSONShape(t *testing.T) {
+	svc := newTestService(t)
+	resp, err := svc.Search(context.Background(), SearchRequest{Model: "twotower-small", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded summary must flatten: top-level keys, not nested.
+	blob := mustJSON(t, resp)
+	for _, key := range []string{
+		`"schema_version"`, `"model"`, `"gpus"`, `"cache_hit"`, `"plan_summary"`,
+		`"cost_seconds"`, `"report"`, `"timing"`, `"plan"`, `"devices"`,
+	} {
+		if !strings.Contains(blob, key) {
+			t.Errorf("response JSON missing %s:\n%s", key, blob)
+		}
+	}
+	if strings.Contains(blob, "ResultSummary") {
+		t.Error("embedded summary leaked its struct name into JSON")
+	}
+}

@@ -115,6 +115,11 @@ type Options struct {
 }
 
 // Result bundles everything a search produces.
+//
+// Result has no stable serialization of its own: Strategy and Parallel
+// are internal pointer graphs. Summary (also the MarshalJSON encoding)
+// renders the wire-safe form; the service package carries the full
+// per-node plan as a versioned PlanJSON.
 type Result struct {
 	ModelName string
 	GPUs      int
@@ -169,7 +174,10 @@ func DefaultEngine() *Engine { return defaultEngine() }
 // Deprecated: use Engine.Search, which takes a context for
 // cancellation and serves repeat searches from the result cache. This
 // wrapper bypasses the cache, preserving the historical contract that
-// every call returns a fresh, caller-owned Result.
+// every call returns a fresh, caller-owned Result. To send a Result
+// across a process boundary, serialize it with Result.Summary (or
+// json.Marshal, which emits the same stable schema) — never the raw
+// struct, whose Strategy/Parallel fields are internal pointer graphs.
 func Search(modelName string, gpus int, opts ...Options) (*Result, error) {
 	e := defaultEngine()
 	cfg := e.base
@@ -186,7 +194,10 @@ func Search(modelName string, gpus int, opts ...Options) (*Result, error) {
 // Deprecated: use Engine.SearchGraph, which takes a context for
 // cancellation and serves repeat searches from the result cache. This
 // wrapper bypasses the cache, preserving the historical contract that
-// every call returns a fresh, caller-owned Result.
+// every call returns a fresh, caller-owned Result. To send a Result
+// across a process boundary, serialize it with Result.Summary (or
+// json.Marshal, which emits the same stable schema) — never the raw
+// struct, whose Strategy/Parallel fields are internal pointer graphs.
 func SearchGraph(g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
 	e := defaultEngine()
 	cfg := e.base
@@ -220,7 +231,10 @@ type SearchSpec struct {
 // Deprecated: use Engine.SearchAll, which takes a context for
 // cancellation and serves repeat searches from the result cache. This
 // wrapper bypasses the cache, preserving the historical contract that
-// every call returns fresh, caller-owned Results.
+// every call returns fresh, caller-owned Results. To send Results
+// across a process boundary, serialize them with Result.Summary (or
+// json.Marshal, which emits the same stable schema) — never the raw
+// structs, whose Strategy/Parallel fields are internal pointer graphs.
 func SearchAll(specs []SearchSpec) ([]*Result, error) {
 	e := defaultEngine()
 	cfg := e.base
@@ -247,7 +261,10 @@ func Baselines() []string {
 // Deprecated: use Engine.Baseline, which takes a context for
 // cancellation and serves repeat searches from the result cache. This
 // wrapper bypasses the cache, preserving the historical contract that
-// every call returns a fresh, caller-owned Result.
+// every call returns a fresh, caller-owned Result. To send a Result
+// across a process boundary, serialize it with Result.Summary (or
+// json.Marshal, which emits the same stable schema) — never the raw
+// struct, whose Strategy/Parallel fields are internal pointer graphs.
 func Baseline(name, modelName string, gpus int, opts ...Options) (*Result, error) {
 	g, err := models.Build(modelName)
 	if err != nil {
@@ -267,7 +284,10 @@ func Baseline(name, modelName string, gpus int, opts ...Options) (*Result, error
 // Deprecated: use Engine.BaselineGraph, which takes a context for
 // cancellation and serves repeat searches from the result cache. This
 // wrapper bypasses the cache, preserving the historical contract that
-// every call returns a fresh, caller-owned Result.
+// every call returns a fresh, caller-owned Result. To send a Result
+// across a process boundary, serialize it with Result.Summary (or
+// json.Marshal, which emits the same stable schema) — never the raw
+// struct, whose Strategy/Parallel fields are internal pointer graphs.
 func BaselineGraph(name string, g *graph.Graph, gpus int, opts ...Options) (*Result, error) {
 	e := defaultEngine()
 	cfg := e.base
