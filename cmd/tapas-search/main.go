@@ -11,6 +11,7 @@
 //	tapas-search -model resnet-228M -gpus 16 -baseline megatron
 //	tapas-search -workers 4 -timeout 2m -progress -model t5-1.4B -gpus 32
 //	tapas-search -serve-addr http://localhost:8080 -model t5-770M -gpus 8   # remote daemon
+//	tapas-search -serve-addr http://localhost:8080 -model t5-770M,bert-large -gpus 8   # remote batch
 //	tapas-search -list
 package main
 
@@ -54,24 +55,6 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
-	if *serveAddr != "" {
-		if *baseline != "" || strings.Contains(*model, ",") {
-			fmt.Fprintln(os.Stderr, "-serve-addr supports a single TAPAS search (no -baseline, no comma batch)")
-			os.Exit(2)
-		}
-		runRemote(ctx, *serveAddr, *model, *spec, *gpus, *workers, *exhaustive, *progress, *verbose)
-		return
-	}
-
-	engOpts := []tapas.Option{
-		tapas.WithWorkers(*workers),
-		tapas.WithExhaustive(*exhaustive),
-	}
-	if *progress {
-		engOpts = append(engOpts, tapas.WithProgress(printProgress))
-	}
-	eng := tapas.NewEngine(engOpts...)
-
 	var names []string
 	for _, n := range strings.Split(*model, ",") {
 		if n = strings.TrimSpace(n); n != "" {
@@ -85,6 +68,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "a comma-separated -model batch cannot be combined with -baseline or -spec")
 		os.Exit(2)
 	}
+
+	if *serveAddr != "" {
+		if *baseline != "" {
+			fmt.Fprintln(os.Stderr, "-serve-addr supports TAPAS searches only (no -baseline)")
+			os.Exit(2)
+		}
+		if len(names) > 1 {
+			if *progress {
+				// The batch endpoint is synchronous; only single remote
+				// searches stream SSE progress.
+				fmt.Fprintln(os.Stderr, "note: -progress is ignored in remote batch mode")
+			}
+			runRemoteBatch(ctx, *serveAddr, names, *gpus, *workers, *exhaustive, *verbose)
+			return
+		}
+		runRemote(ctx, *serveAddr, *model, *spec, *gpus, *workers, *exhaustive, *progress, *verbose)
+		return
+	}
+
+	engOpts := []tapas.Option{
+		tapas.WithWorkers(*workers),
+		tapas.WithExhaustive(*exhaustive),
+	}
+	if *progress {
+		engOpts = append(engOpts, tapas.WithProgress(printProgress))
+	}
+	eng := tapas.NewEngine(engOpts...)
 	if len(names) > 1 {
 		specs := make([]tapas.SearchSpec, len(names))
 		for i, n := range names {
@@ -202,6 +212,55 @@ func runRemote(ctx context.Context, addr, model, spec string, gpus, workers int,
 		os.Exit(cli.ExitCode(err))
 	}
 	printResponse(resp, verbose)
+}
+
+// runRemoteBatch posts a comma-separated model batch to a daemon's
+// POST /v1/search:batch: positional results, one line per model, one
+// stderr line per failed item (mirroring the local batch mode).
+func runRemoteBatch(ctx context.Context, addr string, names []string, gpus, workers int, exhaustive, verbose bool) {
+	c := service.NewClient(addr)
+	reqs := make([]service.SearchRequest, len(names))
+	for i, n := range names {
+		reqs[i] = service.SearchRequest{Model: n, GPUs: gpus, Workers: workers, Exhaustive: exhaustive}
+	}
+	resp, err := c.SearchBatch(ctx, reqs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(cli.ExitCode(err))
+	}
+	if len(resp.Results) != len(names) {
+		fmt.Fprintf(os.Stderr, "daemon answered %d results for %d requests\n", len(resp.Results), len(names))
+		os.Exit(1)
+	}
+	failed := false
+	for i, item := range resp.Results {
+		if !item.OK() {
+			failed = true
+			fmt.Fprintf(os.Stderr, "error: %s on %d GPUs: %s (status %d)\n", names[i], gpus, item.Error, item.Status)
+			continue
+		}
+		r := item.Response
+		served := "cold"
+		switch {
+		case r.CacheHit:
+			served = "cache"
+		case r.StoreHit:
+			served = "store"
+		}
+		fmt.Printf("%-16s %2d GPUs  plan: %-60s  search=%.3fs  %.3fs/iter, %.2f TFLOPS/GPU (%s)\n",
+			r.Model, r.GPUs, r.PlanSummary, r.Timing.TotalSeconds,
+			r.Report.IterationSeconds, r.Report.TFLOPSPerGPU, served)
+		if verbose && r.Plan != nil {
+			fmt.Println("assignment:")
+			for _, a := range r.Plan.Assignments {
+				fmt.Printf("  %-40s %-20s in=%-3s out=%-3s  %s\n", a.Name, a.Pattern, a.In, a.Out, a.SRC)
+			}
+			fmt.Println()
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // runRemoteJob drives the async path: submit, stream events, fetch the

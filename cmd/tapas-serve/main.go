@@ -5,21 +5,28 @@
 // Endpoints (all JSON, schema v1 — see docs/api-v1.md):
 //
 //	POST   /v1/search           synchronous search
+//	POST   /v1/search:batch     many searches in one call, positional results
 //	POST   /v1/jobs             submit an async job (202 + job status)
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        job status (result embedded when done)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/jobs/{id}/events SSE stream of progress + state events
 //	GET    /v1/models           registered model names
-//	GET    /v1/healthz          queue, worker and cache statistics
+//	GET    /v1/healthz          queue, worker, cache and store statistics
+//
+// With -store-dir the daemon persists every searched plan to a
+// file-backed store and serves repeat traffic from it across restarts
+// (store_hit: true): hit precedence is memory cache → store → search.
 //
 // SIGINT/SIGTERM drain gracefully: intake stops (new requests get JSON
 // 503 bodies), running jobs get -drain-timeout to finish, then their
-// contexts are cancelled.
+// contexts are cancelled; the plan store's write-behind queue is
+// drained before exit.
 //
 // Usage:
 //
 //	tapas-serve -addr :8080
+//	tapas-serve -addr :8080 -store-dir /var/lib/tapas/plans
 //	tapas-serve -addr :8080 -queue 128 -job-workers 4 -cache 256 -drain-timeout 10s
 package main
 
@@ -38,6 +45,7 @@ import (
 
 	"tapas"
 	"tapas/service"
+	"tapas/store"
 )
 
 func main() {
@@ -46,6 +54,8 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "jobs run concurrently")
 	workers := flag.Int("workers", 0, "search worker goroutines per job (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", tapas.DefaultCacheSize, "result cache entries (0 disables)")
+	storeDir := flag.String("store-dir", "", "persistent plan store directory; searches survive restarts (empty disables)")
+	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "plan store record bound (LRU eviction past it)")
 	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
 	progress := flag.Bool("progress", false, "log engine progress events")
@@ -62,6 +72,23 @@ func main() {
 		QueueSize:   *queue,
 		JobWorkers:  *jobWorkers,
 		MaxFinished: *maxFinished,
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:        *storeDir,
+			MaxEntries: *storeMax,
+			OnCorrupt: func(path string, err error) {
+				log.Printf("store: skipping unreadable record %s: %v", path, err)
+			},
+		})
+		if err != nil {
+			log.Printf("opening plan store: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("plan store %s: %d records", *storeDir, st.Len())
+		cfg.EngineOptions = append(cfg.EngineOptions, tapas.WithStore(st))
 	}
 	if *progress {
 		cfg.OnProgress = func(ev tapas.ProgressEvent) {
@@ -120,6 +147,11 @@ func main() {
 	// Shutdown; consume it so nothing leaks.
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
+	}
+	if st != nil {
+		// Drain the write-behind queue so plans searched moments before
+		// the shutdown survive into the next process.
+		_ = st.Close()
 	}
 	log.Printf("bye")
 }

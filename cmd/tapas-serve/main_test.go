@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"tapas"
 	"tapas/service"
+	"tapas/store"
 )
 
 // newTestServer boots the full handler stack over a fresh service.
@@ -92,6 +94,134 @@ func TestHTTPErrorBodies(t *testing.T) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
 		t.Errorf("malformed body: no JSON error envelope (%v)", err)
+	}
+}
+
+// TestHTTPUnknownModelIs404: the model name space is enumerable via
+// GET /v1/models, so a miss answers 404 — not 400, not 500 — on both
+// the sync and async paths.
+func TestHTTPUnknownModelIs404(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	var apiErr *service.APIError
+	_, err := c.Search(ctx, service.SearchRequest{Model: "nope-13B", GPUs: 8})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("sync search: want 404 APIError, got %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "nope-13B") {
+		t.Errorf("error body does not name the model: %q", apiErr.Message)
+	}
+	_, err = c.Submit(ctx, service.SearchRequest{Model: "nope-13B", GPUs: 8})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("job submit: want 404 APIError, got %v", err)
+	}
+}
+
+func TestHTTPBatchSearch(t *testing.T) {
+	_, c := newTestServer(t)
+	ctx := context.Background()
+
+	resp, err := c.SearchBatch(ctx, []service.SearchRequest{
+		{Model: "t5-100M", GPUs: 8},
+		{Model: "nope-13B", GPUs: 8},
+		{GPUs: 8},
+		{Model: "twotower-small", GPUs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 4 {
+		t.Fatalf("batch returned %d items, want 4", len(resp.Results))
+	}
+	// One bad spec does not fail the batch; results stay positional.
+	if it := resp.Results[0]; !it.OK() || it.Response == nil || it.Response.Model != "t5-100M" {
+		t.Errorf("item 0: %+v", it)
+	}
+	if it := resp.Results[1]; it.OK() || it.Status != http.StatusNotFound {
+		t.Errorf("item 1 (unknown model): %+v", it)
+	}
+	if it := resp.Results[2]; it.OK() || it.Status != http.StatusBadRequest {
+		t.Errorf("item 2 (invalid): %+v", it)
+	}
+	if it := resp.Results[3]; !it.OK() || it.Response == nil || it.Response.Model != "twotower-small" {
+		t.Errorf("item 3: %+v", it)
+	}
+
+	// Envelope failures are whole-call errors.
+	var apiErr *service.APIError
+	if _, err := c.SearchBatch(ctx, nil); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: want 400, got %v", err)
+	}
+}
+
+// TestHTTPWarmRestartFromStore is the daemon-level round trip: a plan
+// searched by one server generation is served by the next from the
+// persistent store, without re-running the pipeline.
+func TestHTTPWarmRestartFromStore(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Generation 1: cold search, then a full drain (flushes the store).
+	st1, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st1)}})
+	srv1 := httptest.NewServer(newMux(svc1))
+	c1 := service.NewClient(srv1.URL)
+	cold, err := c1.Search(ctx, service.SearchRequest{Model: "t5-100M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.StoreHit || cold.CacheHit {
+		t.Fatalf("first-generation search must be cold: %+v", cold.ResultSummary)
+	}
+	srv1.Close()
+	if err := svc1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Close(); err != nil { // drains the write-behind queue
+		t.Fatal(err)
+	}
+
+	// Generation 2: fresh service over the same directory.
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	svc2 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st2)}})
+	srv2 := httptest.NewServer(newMux(svc2))
+	defer srv2.Close()
+	defer svc2.Shutdown(ctx)
+	c2 := service.NewClient(srv2.URL)
+
+	warm, err := c2.Search(ctx, service.SearchRequest{Model: "t5-100M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.StoreHit {
+		t.Fatal("second-generation search must be served from the store")
+	}
+	if warm.CacheHit {
+		t.Error("store hit mislabeled as memory-cache hit")
+	}
+	if warm.PlanSummary != cold.PlanSummary || warm.CostSeconds != cold.CostSeconds ||
+		warm.Report != cold.Report || warm.Timing != cold.Timing {
+		t.Errorf("restored response diverged:\ncold: %+v\nwarm: %+v", cold.ResultSummary, warm.ResultSummary)
+	}
+
+	// The hit is visible in /v1/healthz.
+	health, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Store == nil {
+		t.Fatal("healthz missing store stats on a store-backed daemon")
+	}
+	if health.Store.Hits != 1 || health.Store.Entries != 1 {
+		t.Errorf("healthz store stats: %+v", health.Store)
 	}
 }
 

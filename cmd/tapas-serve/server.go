@@ -1,9 +1,7 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 
@@ -23,6 +21,18 @@ func newMux(svc *service.Service) http.Handler {
 			return
 		}
 		resp, err := svc.Search(r.Context(), req)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/search:batch", func(w http.ResponseWriter, r *http.Request) {
+		var req service.BatchSearchRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := svc.SearchBatch(r.Context(), req)
 		if err != nil {
 			writeError(w, r, err)
 			return
@@ -137,25 +147,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 func errBody(msg string) map[string]string { return map[string]string{"error": msg} }
 
 // writeError maps the service error taxonomy onto HTTP statuses, always
-// with a JSON body — including requests cut short by shutdown.
+// with a JSON body — including requests cut short by shutdown. The
+// mapping itself lives in service.ErrorStatus, shared with the
+// per-item statuses of batch responses.
 func writeError(w http.ResponseWriter, r *http.Request, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case service.IsBadRequest(err):
-		status = http.StatusBadRequest
-	case errors.Is(err, service.ErrNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, service.ErrQueueFull):
-		status = http.StatusTooManyRequests
-	case errors.Is(err, service.ErrShuttingDown):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The search was cut short: by the client going away, a client
-		// deadline, or the server draining. 503 tells retrying clients
-		// the truth either way.
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, errBody(err.Error()))
+	writeJSON(w, service.ErrorStatus(err), errBody(err.Error()))
 }
 
 // writeJSON emits one JSON response.

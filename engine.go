@@ -22,6 +22,7 @@ import (
 	"tapas/internal/reconstruct"
 	"tapas/internal/sim"
 	"tapas/internal/strategy"
+	"tapas/store"
 )
 
 // Engine is the reusable, concurrency-safe entry point of the TAPAS
@@ -46,6 +47,7 @@ import (
 type Engine struct {
 	base     engineConfig
 	progress func(ProgressEvent)
+	store    *store.Store // persistent plan store (nil: not attached)
 
 	mu       sync.Mutex // guards cache, inflight and stats
 	cache    *lruCache
@@ -280,12 +282,13 @@ func (e *Engine) searchModel(ctx context.Context, modelName string, gpus int, cf
 	fp, known := e.fps[modelName]
 	e.fpMu.Unlock()
 	if known && !cfg.skipCache {
-		res, err := e.doCached(ctx, e.searchKey(fp, gpus, cfg), func() (*Result, error) {
+		key := e.searchKey(fp, gpus, cfg)
+		res, err := e.doCached(ctx, key, func() (*Result, error) {
 			g, err := models.Build(modelName)
 			if err != nil {
 				return nil, err
 			}
-			return e.runSearch(ctx, modelName, g, gpus, cfg)
+			return e.computeSearch(ctx, key, modelName, g, gpus, cfg)
 		})
 		if res != nil && res.CacheHit {
 			res.ModelName = modelName // private copy; the name is not part of the key
@@ -399,11 +402,33 @@ func (e *Engine) searchAll(ctx context.Context, specs []SearchSpec, base engineC
 			errs[i] = err
 		}
 		if err != nil {
-			errs[i] = fmt.Errorf("tapas: spec %d (%s on %d GPUs): %w", i, specName(specs[i]), specs[i].GPUs, err)
+			errs[i] = &SpecError{Index: i, Model: specName(specs[i]), GPUs: specs[i].GPUs, Err: err}
 		}
 	}
 	return results, errors.Join(errs...)
 }
+
+// SpecError attributes one failed spec of a SearchAll batch. The joined
+// error SearchAll returns unwraps into these, so batch callers (e.g.
+// the serving layer's batch endpoint) can map failures back to their
+// positional spec with errors.As instead of parsing messages.
+type SpecError struct {
+	// Index is the spec's position in the batch.
+	Index int
+	// Model is the spec's model identity (registry name or graph name).
+	Model string
+	// GPUs is the spec's device count.
+	GPUs int
+	// Err is the underlying search failure.
+	Err error
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("tapas: spec %d (%s on %d GPUs): %v", e.Index, e.Model, e.GPUs, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *SpecError) Unwrap() error { return e.Err }
 
 // ---------------------------------------------------------------------------
 // Pipeline
@@ -473,8 +498,9 @@ func (e *Engine) searchGraph(ctx context.Context, name string, g *graph.Graph, g
 	if cfg.skipCache {
 		return e.runSearch(ctx, name, g, gpus, cfg)
 	}
-	res, err := e.doCached(ctx, e.searchKey(g.Fingerprint(), gpus, cfg), func() (*Result, error) {
-		return e.runSearch(ctx, name, g, gpus, cfg)
+	key := e.searchKey(g.Fingerprint(), gpus, cfg)
+	res, err := e.doCached(ctx, key, func() (*Result, error) {
+		return e.computeSearch(ctx, key, name, g, gpus, cfg)
 	})
 	if res != nil && res.CacheHit {
 		res.ModelName = name // private copy; the name is not part of the key

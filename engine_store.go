@@ -1,0 +1,153 @@
+package tapas
+
+import (
+	"context"
+	"time"
+
+	"tapas/internal/export"
+	"tapas/internal/graph"
+	"tapas/internal/ir"
+	"tapas/internal/reconstruct"
+	"tapas/internal/sim"
+	"tapas/store"
+)
+
+// WithStore attaches a persistent plan store. On a result-cache miss
+// the Engine consults the store before searching: a stored plan is
+// rehydrated against the request's graph, re-priced under the resolved
+// cost model and re-simulated — orders of magnitude cheaper than a cold
+// search — and served with Result.StoreHit set. Cold searches persist
+// their plan write-behind (asynchronously, never stalling the caller),
+// so a restarted process answers repeat traffic warm.
+//
+// Hit precedence is memory cache → store → search. The store's
+// lifecycle belongs to the caller: open it before NewEngine, close it
+// after the engine's last search (Close drains pending writes).
+func WithStore(st *store.Store) Option {
+	return func(e *Engine) { e.store = st }
+}
+
+// StoreStats snapshots the attached plan store's traffic and size. The
+// second return is false when no store is attached.
+func (e *Engine) StoreStats() (store.Stats, bool) {
+	if e.store == nil {
+		return store.Stats{}, false
+	}
+	return e.store.Stats(), true
+}
+
+// storeKey converts a cache key into the store's wire-struct key.
+func storeKey(key cacheKey) store.Key {
+	return store.Key{
+		Kind:    key.kind,
+		Graph:   key.graph,
+		GPUs:    key.gpus,
+		Cluster: key.cluster,
+		Options: key.options,
+	}
+}
+
+// computeSearch is the cold path behind the result cache, wrapped with
+// the persistent store when one is attached: store lookup before
+// searching, write-behind persist after a successful cold search.
+func (e *Engine) computeSearch(ctx context.Context, key cacheKey, name string, g *graph.Graph, gpus int, cfg engineConfig) (*Result, error) {
+	if res, ok := e.storeLookup(key, name, g, gpus, cfg); ok {
+		return res, nil
+	}
+	res, err := e.runSearch(ctx, name, g, gpus, cfg)
+	if err == nil {
+		e.storePersist(key, res)
+	}
+	return res, err
+}
+
+// storeLookup tries to serve one keyed search from the persistent
+// store. A record that no longer rehydrates (e.g. written by a build
+// with different pattern menus) is dropped from the store so its slot
+// is reclaimed, and the caller falls through to a cold search.
+func (e *Engine) storeLookup(key cacheKey, name string, g *graph.Graph, gpus int, cfg engineConfig) (*Result, bool) {
+	if e.store == nil || key.kind != "search" {
+		return nil, false
+	}
+	sk := storeKey(key)
+	rec, ok := e.store.Get(sk)
+	if !ok {
+		return nil, false
+	}
+	res, err := e.restoreResult(rec, name, g, gpus, cfg)
+	if err != nil {
+		e.store.Delete(sk)
+		return nil, false
+	}
+	return res, true
+}
+
+// restoreResult rebuilds a full Result from a persisted record: the
+// plan is rehydrated against the request's graph (name-independent, by
+// topological node ID and pattern name), re-priced under the resolved
+// cost model, reconstructed into the per-device graph and re-simulated.
+// All of these are deterministic, so the restored Result is identical
+// to the cold one — except the hit markers, and the timing block, which
+// is restored from the record (mirroring the cache-hit contract: timing
+// describes the original cold computation).
+func (e *Engine) restoreResult(rec *store.Record, name string, g *graph.Graph, gpus int, cfg engineConfig) (*Result, error) {
+	cl, model, _, _ := cfg.resolve(gpus)
+	gg, err := ir.Group(g)
+	if err != nil {
+		return nil, err
+	}
+	s, err := rec.Plan.Rehydrate(gg)
+	if err != nil {
+		return nil, err
+	}
+	s.Cost = model.StrategyCost(s.Patterns(), s.Reshard)
+	pg, err := reconstruct.Reconstruct(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ModelName:    name,
+		GPUs:         gpus,
+		Strategy:     s,
+		Parallel:     pg,
+		StoreHit:     true,
+		GroupTime:    time.Duration(rec.Timing.GroupNS),
+		MineTime:     time.Duration(rec.Timing.MineNS),
+		SearchTime:   time.Duration(rec.Timing.SearchNS),
+		TotalTime:    time.Duration(rec.Timing.TotalNS),
+		Classes:      rec.Timing.Classes,
+		Examined:     rec.Timing.Examined,
+		Pruned:       rec.Timing.Pruned,
+		UniqueGraphs: rec.Timing.UniqueGraphs,
+	}
+	res.Report = sim.Run(s, sim.DefaultConfig(cl))
+	return res, nil
+}
+
+// storePersist queues one successful cold search for write-behind
+// persistence. Failures to render the plan are swallowed — persistence
+// is an accelerator, never a correctness dependency.
+func (e *Engine) storePersist(key cacheKey, res *Result) {
+	if e.store == nil || key.kind != "search" || res == nil || res.Strategy == nil {
+		return
+	}
+	plan, err := export.FromStrategy(res.Strategy)
+	if err != nil {
+		return
+	}
+	e.store.PutAsync(storeKey(key), &store.Record{
+		Model: res.ModelName,
+		GPUs:  res.GPUs,
+		Plan:  plan,
+		Timing: store.Timing{
+			GroupNS:      int64(res.GroupTime),
+			MineNS:       int64(res.MineTime),
+			SearchNS:     int64(res.SearchTime),
+			TotalNS:      int64(res.TotalTime),
+			Classes:      res.Classes,
+			Examined:     res.Examined,
+			Pruned:       res.Pruned,
+			UniqueGraphs: res.UniqueGraphs,
+		},
+	})
+}

@@ -134,6 +134,12 @@ func ReadStrategyJSON(r io.Reader) (*StrategyJSON, error) {
 	return &out, nil
 }
 
+// maxRehydrateWorkers bounds the worker count a plan document may
+// claim. Pattern menus are materialized per (node, W), so an absurd W
+// from a hostile or corrupted document must be rejected up front, not
+// fed to the allocator.
+const maxRehydrateWorkers = 1 << 20
+
 // Rehydrate re-attaches the serialized strategy to its GraphNode graph,
 // reconstructing the full in-memory Strategy. The graph must be
 // structurally the same model the strategy was searched on (checked via
@@ -143,6 +149,9 @@ func (sj *StrategyJSON) Rehydrate(g *ir.GNGraph) (*strategy.Strategy, error) {
 	if sj.SchemaVersion > SchemaVersion {
 		return nil, fmt.Errorf("export: strategy schema_version %d is newer than supported version %d",
 			sj.SchemaVersion, SchemaVersion)
+	}
+	if sj.Workers < 1 || sj.Workers > maxRehydrateWorkers {
+		return nil, fmt.Errorf("export: implausible worker count %d (want 1..%d)", sj.Workers, maxRehydrateWorkers)
 	}
 	if len(sj.Assignments) != len(g.Nodes) {
 		return nil, fmt.Errorf("export: strategy has %d assignments, graph has %d nodes",

@@ -60,9 +60,18 @@ func Parse(r io.Reader) (*graph.Graph, error) {
 	return p.b.G, nil
 }
 
+// maxSpecOps bounds the directives a spec may execute, counting repeat
+// expansion: nested repeats multiply, so an unbounded count is a
+// denial-of-service vector for servers parsing untrusted inline specs.
+// 65536 operators is an order of magnitude beyond the largest
+// registered model. Repeat counts above the bound are rejected before
+// their body runs at all.
+const maxSpecOps = 1 << 16
+
 type parser struct {
 	b   *graph.Builder
 	env map[string]*graph.Tensor
+	ops int // directives executed, repeat expansion included
 }
 
 func (p *parser) lookup(name string, lineNo int) (*graph.Tensor, error) {
@@ -89,6 +98,9 @@ func (p *parser) run(lines []string, from, to, depth int) error {
 		line := lines[i]
 		if line == "" {
 			continue
+		}
+		if p.ops++; p.ops > maxSpecOps {
+			return fmt.Errorf("graphio: line %d: spec expands beyond %d operations (runaway repeat?)", i+1, maxSpecOps)
 		}
 		f := strings.Fields(line)
 		cmd, args := f[0], f[1:]
@@ -228,6 +240,9 @@ func (p *parser) run(lines []string, from, to, depth int) error {
 			n, err := strconv.Atoi(args[0])
 			if err != nil || n < 1 {
 				return fmt.Errorf("graphio: line %d: bad repeat count %q", i+1, args[0])
+			}
+			if n > maxSpecOps {
+				return fmt.Errorf("graphio: line %d: repeat count %d exceeds the %d-operation budget", i+1, n, maxSpecOps)
 			}
 			end, err := matchEnd(lines, i)
 			if err != nil {

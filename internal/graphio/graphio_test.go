@@ -179,6 +179,10 @@ func TestParseErrorMessages(t *testing.T) {
 		{"repeat zero count", "input x f32 4 4\nrepeat 0 b\ndense y x 4 none\nend", []string{"line 2", `bad repeat count "0"`}},
 		{"repeat without end", "input x f32 4 4\nrepeat 2 b\ndense y x 4 none", []string{"line 2", "repeat without end"}},
 		{"end without repeat", "input x f32 4 4\nend", []string{"line 2", "end without repeat"}},
+		{"repeat count over budget", "input x f32 4 4\nrepeat 100000 b\ndense y x 4 none\nend",
+			[]string{"line 2", "repeat count 100000 exceeds"}},
+		{"nested repeat expansion over budget", "input x f32 4 4\nrepeat 1024 a\nrepeat 1024 b\ndense y x 4 none\nend\nend",
+			[]string{"spec expands beyond", "runaway repeat"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

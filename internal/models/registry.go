@@ -1,11 +1,33 @@
 package models
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"tapas/internal/graph"
 )
+
+// ErrUnknownModel is the sentinel every unknown-model failure wraps, so
+// serving layers can map the condition (e.g. to HTTP 404) with
+// errors.Is instead of parsing messages.
+var ErrUnknownModel = errors.New("unknown model")
+
+// UnknownModelError reports a model name absent from the registry. It
+// matches ErrUnknownModel under errors.Is.
+type UnknownModelError struct {
+	// Name is the model name that was requested.
+	Name string
+	// Available lists the registered model names.
+	Available []string
+}
+
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("models: unknown model %q (available: %v)", e.Name, e.Available)
+}
+
+// Is matches the ErrUnknownModel sentinel.
+func (e *UnknownModelError) Is(target error) bool { return target == ErrUnknownModel }
 
 // BuildFunc constructs a model graph.
 type BuildFunc func() *graph.Graph
@@ -49,7 +71,7 @@ func init() {
 func Build(name string) (*graph.Graph, error) {
 	f, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("models: unknown model %q (available: %v)", name, Names())
+		return nil, &UnknownModelError{Name: name, Available: Names()}
 	}
 	return f(), nil
 }

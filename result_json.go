@@ -61,12 +61,15 @@ type ResultSummary struct {
 	// PlanSummary is Strategy.Describe(): pattern-name counts, most
 	// frequent first. The full per-node assignment is carried by
 	// service.PlanJSON, not here.
-	PlanSummary       string        `json:"plan_summary"`
-	CostSeconds       float64       `json:"cost_seconds"`
-	MemBytesPerDevice int64         `json:"mem_bytes_per_device"`
-	CacheHit          bool          `json:"cache_hit"`
-	Report            ReportSummary `json:"report"`
-	Timing            TimingSummary `json:"timing"`
+	PlanSummary       string  `json:"plan_summary"`
+	CostSeconds       float64 `json:"cost_seconds"`
+	MemBytesPerDevice int64   `json:"mem_bytes_per_device"`
+	CacheHit          bool    `json:"cache_hit"`
+	// StoreHit marks a result restored from the persistent plan store
+	// rather than computed; see Result.StoreHit.
+	StoreHit bool          `json:"store_hit"`
+	Report   ReportSummary `json:"report"`
+	Timing   TimingSummary `json:"timing"`
 }
 
 // Summary renders the Result in its stable wire form. It never exposes
@@ -77,6 +80,7 @@ func (r *Result) Summary() ResultSummary {
 		Model:    r.ModelName,
 		GPUs:     r.GPUs,
 		CacheHit: r.CacheHit,
+		StoreHit: r.StoreHit,
 		Report:   reportSummary(r.Report),
 		Timing: TimingSummary{
 			GroupSeconds:  r.GroupTime.Seconds(),

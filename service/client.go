@@ -103,6 +103,18 @@ func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse
 	return &out, nil
 }
 
+// SearchBatch runs many searches in one round trip
+// (POST /v1/search:batch). Results are positional and failures are
+// per-item: inspect each item's Error/Status. The returned error covers
+// transport and envelope failures only.
+func (c *Client) SearchBatch(ctx context.Context, reqs []SearchRequest) (*BatchSearchResponse, error) {
+	var out BatchSearchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/search:batch", BatchSearchRequest{Requests: reqs}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Models lists the registered model names (GET /v1/models).
 func (c *Client) Models(ctx context.Context) ([]string, error) {
 	var out struct {

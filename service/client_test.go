@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientAPIErrorBodies: every non-2xx response must surface as an
+// *APIError carrying the status and the daemon's JSON error message —
+// and a non-JSON body must degrade to the status line, not an empty or
+// garbage message.
+func TestClientAPIErrorBodies(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/search":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "engine is busy, back off"}`)
+		case "/v1/models":
+			w.WriteHeader(http.StatusBadGateway)
+			fmt.Fprint(w, "<html>upstream sad</html>") // not the JSON envelope
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error": "no such route"}`)
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	var apiErr *APIError
+	_, err := c.Search(ctx, SearchRequest{Model: "t5-100M", GPUs: 8})
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %T: %v", err, err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Message != "engine is busy, back off" {
+		t.Errorf("JSON error body mangled: %+v", apiErr)
+	}
+
+	_, err = c.Models(ctx)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadGateway {
+		t.Fatalf("want 502 APIError, got %v", err)
+	}
+	if !strings.Contains(apiErr.Message, "502") {
+		t.Errorf("non-JSON body should fall back to the status line, got %q", apiErr.Message)
+	}
+
+	_, err = c.Job(ctx, "nope")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Errorf("want 404 APIError, got %v", err)
+	}
+}
+
+// TestClientStreamEventsMalformedSSE: a data frame that is not valid
+// JSON must fail the stream with a descriptive error instead of being
+// skipped silently or panicking.
+func TestClientStreamEventsMalformedSSE(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, "event: state\ndata: {\"job_id\":\"j1\",\"type\":\"state\",\"state\":\"running\"}\n\n")
+		fl.Flush()
+		fmt.Fprint(w, "event: progress\ndata: {this is not json}\n\n")
+		fl.Flush()
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	var events []JobEvent
+	err := c.StreamEvents(context.Background(), "j1", func(ev JobEvent) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad SSE payload") {
+		t.Fatalf("want bad-SSE-payload error, got %v", err)
+	}
+	if len(events) != 1 || events[0].State != JobRunning {
+		t.Errorf("events before the malformed frame must still be delivered: %+v", events)
+	}
+}
+
+// TestClientStreamEventsConnectionDropped: the daemon dying mid-stream
+// (connection severed without a terminal event) must surface as an
+// error — a caller that treats a clean return as "job finished" would
+// otherwise misread a crash.
+func TestClientStreamEventsConnectionDropped(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, "event: progress\ndata: {\"job_id\":\"j1\",\"type\":\"progress\",\"phase\":\"search\"}\n\n")
+		fl.Flush()
+		// Sever the TCP connection without the chunked terminator.
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("test server does not support hijacking")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	var got int
+	err := c.StreamEvents(context.Background(), "j1", func(ev JobEvent) error {
+		got++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("severed stream reported as a clean end")
+	}
+	if got != 1 {
+		t.Errorf("delivered %d events before the drop, want 1", got)
+	}
+}
+
+// TestClientStreamEventsCallbackError: an error returned by the
+// callback stops the stream and is returned verbatim.
+func TestClientStreamEventsCallbackError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: {\"job_id\":\"j1\",\"type\":\"state\",\"state\":\"running\"}\n\n")
+		w.(http.Flusher).Flush()
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	sentinel := errors.New("stop right there")
+	err := c.StreamEvents(context.Background(), "j1", func(JobEvent) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not returned verbatim: %v", err)
+	}
+}
+
+// TestClientWaitDoneCancelledJob: WaitDone resolves on any terminal
+// state — a cancelled job is a normal outcome, not an error.
+func TestClientWaitDoneCancelledJob(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		st := JobStatus{ID: "j1", State: JobRunning, Model: "t5-770M", GPUs: 8}
+		if polls.Add(1) >= 3 {
+			st.State = JobCancelled
+			st.Error = "cancelled by client"
+		}
+		writeTestJSON(w, st)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+
+	st, err := c.WaitDone(context.Background(), "j1", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCancelled || st.Error != "cancelled by client" {
+		t.Errorf("final status: %+v", st)
+	}
+	if polls.Load() < 3 {
+		t.Errorf("WaitDone stopped after %d polls, want ≥ 3", polls.Load())
+	}
+
+	// A context cancelled mid-wait surfaces as its error.
+	polls.Store(-1 << 30) // never terminal again
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.WaitDone(ctx, "j1", time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// writeTestJSON mirrors the daemon's response encoding for fake
+// servers.
+func writeTestJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	w.Write(data)
+}

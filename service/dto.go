@@ -18,10 +18,13 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
 
 	"tapas"
+	"tapas/store"
 )
 
 // SchemaVersion is the current wire schema of the v1 DTOs; it is echoed
@@ -110,6 +113,41 @@ type SearchResponse struct {
 	Devices *DeviceSummary `json:"devices,omitempty"`
 }
 
+// MaxBatchSize bounds the requests of one POST /v1/search:batch call.
+// Larger fleets should split into multiple batches (each batch is one
+// Engine.SearchAll round sharing the machine across its specs).
+const MaxBatchSize = 64
+
+// BatchSearchRequest asks for many searches in one round trip.
+type BatchSearchRequest struct {
+	// Requests are searched concurrently; results are positional.
+	Requests []SearchRequest `json:"requests"`
+}
+
+// BatchSearchItem answers one request of a batch: exactly one of
+// Response and Error is set. A failed item never fails the batch.
+type BatchSearchItem struct {
+	// Response is the item's search response, nil when the item failed.
+	Response *SearchResponse `json:"response,omitempty"`
+	// Error describes the item's failure ("" on success).
+	Error string `json:"error,omitempty"`
+	// Status is the HTTP status the item's error maps to (the same
+	// mapping a single-request call would answer with); 0 on success.
+	Status int `json:"status,omitempty"`
+}
+
+// OK reports whether the item succeeded.
+func (it *BatchSearchItem) OK() bool { return it.Error == "" }
+
+// BatchSearchResponse is the v1 answer to a batch: Results[i] answers
+// Requests[i]. The call itself only fails for envelope problems (empty
+// or oversized batch, cancelled request); per-item failures travel in
+// the items.
+type BatchSearchResponse struct {
+	SchemaVersion int               `json:"schema_version"`
+	Results       []BatchSearchItem `json:"results"`
+}
+
 // JobState names one stage of an async job's lifecycle. Transitions:
 // queued → running → done | failed | cancelled, plus queued → cancelled
 // for jobs cancelled before a worker picks them up.
@@ -196,6 +234,9 @@ type Stats struct {
 	JobWorkers    int              `json:"job_workers"`
 	Draining      bool             `json:"draining"`
 	Cache         tapas.CacheStats `json:"cache"`
+	// Store reports the persistent plan store's traffic; nil when the
+	// daemon runs without -store-dir.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -226,4 +267,33 @@ func badRequestf(format string, args ...any) error {
 func IsBadRequest(err error) bool {
 	var bre *BadRequestError
 	return errors.As(err, &bre)
+}
+
+// ErrorStatus maps the service error taxonomy onto an HTTP status: the
+// single place the daemon's top-level responses and the per-item
+// statuses of a batch agree on. nil maps to 200.
+func ErrorStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, tapas.ErrUnknownModel):
+		// An unknown model is a resource miss, not a malformed request:
+		// the name space is enumerable via GET /v1/models.
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case IsBadRequest(err):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The search was cut short: by the client going away, a client
+		// deadline, or the server draining. 503 tells retrying clients
+		// the truth either way.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -91,7 +92,7 @@ func (s *Service) Models() []string { return tapas.Models() }
 // Stats snapshots the service for health reporting.
 func (s *Service) Stats() Stats {
 	queued, running, finished, draining := s.jobs.counts()
-	return Stats{
+	st := Stats{
 		Queued:        queued,
 		Running:       running,
 		Finished:      finished,
@@ -100,6 +101,10 @@ func (s *Service) Stats() Stats {
 		Draining:      draining,
 		Cache:         s.eng.CacheStats(),
 	}
+	if ss, ok := s.eng.StoreStats(); ok {
+		st.Store = &ss
+	}
+	return st
 }
 
 // Search runs one request synchronously: validate, resolve the model or
@@ -135,13 +140,25 @@ func (s *Service) resolveGraph(req SearchRequest) (*graph.Graph, error) {
 		}
 	}
 	if !found {
-		return nil, badRequestf("unknown model %q (see /v1/models)", req.Model)
+		// Wraps the engine's typed sentinel so the daemon answers 404 —
+		// the model name space is enumerable, so a miss is a resource
+		// miss, not a malformed request.
+		return nil, fmt.Errorf("unknown model %q (see /v1/models): %w", req.Model, tapas.ErrUnknownModel)
 	}
 	return nil, nil
 }
 
 // search is the engine round shared by the sync path and job workers.
 func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph) (*SearchResponse, error) {
+	res, err := s.eng.SearchSpec(ctx, specForRequest(req, g))
+	if err != nil {
+		return nil, err
+	}
+	return NewSearchResponse(res)
+}
+
+// specForRequest renders a validated request as an engine spec.
+func specForRequest(req SearchRequest, g *graph.Graph) tapas.SearchSpec {
 	spec := tapas.SearchSpec{Model: req.Model, Graph: g, GPUs: req.GPUs}
 	if req.Workers != 0 || req.Exhaustive || req.TimeBudgetMS != 0 {
 		spec.Options = &tapas.Options{
@@ -150,11 +167,89 @@ func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph)
 			TimeBudget: time.Duration(req.TimeBudgetMS) * time.Millisecond,
 		}
 	}
-	res, err := s.eng.SearchSpec(ctx, spec)
-	if err != nil {
-		return nil, err
+	return spec
+}
+
+// SearchBatch answers many requests in one Engine.SearchAll round: the
+// whole batch shares the machine (each search gets an even share of the
+// worker budget), identical specs are deduplicated by the engine's
+// singleflight, and repeat traffic hits the cache and store exactly as
+// on the single path. Results are positional — Results[i] answers
+// Requests[i] — and failures are per-item: an invalid or failing
+// request fills its item's Error/Status and never aborts its
+// neighbors. SearchBatch itself only errors for envelope problems
+// (empty or oversized batch) or a cancelled context.
+func (s *Service) SearchBatch(ctx context.Context, req BatchSearchRequest) (*BatchSearchResponse, error) {
+	if len(req.Requests) == 0 {
+		return nil, badRequestf("batch must contain at least one request")
 	}
-	return NewSearchResponse(res)
+	if len(req.Requests) > MaxBatchSize {
+		return nil, badRequestf("batch of %d requests exceeds the limit of %d", len(req.Requests), MaxBatchSize)
+	}
+	items := make([]BatchSearchItem, len(req.Requests))
+	var (
+		specs []tapas.SearchSpec
+		pos   []int // specs[j] answers items[pos[j]]
+	)
+	for i, r := range req.Requests {
+		if err := r.Validate(); err != nil {
+			items[i] = batchErrItem(err)
+			continue
+		}
+		g, err := s.resolveGraph(r)
+		if err != nil {
+			items[i] = batchErrItem(err)
+			continue
+		}
+		specs = append(specs, specForRequest(r, g))
+		pos = append(pos, i)
+	}
+	results, err := s.eng.SearchAll(ctx, specs)
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	perSpec := make([]error, len(specs))
+	for _, one := range joinedErrors(err) {
+		var se *tapas.SpecError
+		if errors.As(one, &se) && se.Index >= 0 && se.Index < len(perSpec) {
+			// The positional index is implicit in the response array, so
+			// the item carries the underlying failure, not the batch
+			// wrapper (whose index would be the subset position anyway).
+			perSpec[se.Index] = se.Err
+		}
+	}
+	for j, i := range pos {
+		switch {
+		case results[j] != nil:
+			resp, rerr := NewSearchResponse(results[j])
+			if rerr != nil {
+				items[i] = batchErrItem(rerr)
+				continue
+			}
+			items[i] = BatchSearchItem{Response: resp}
+		case perSpec[j] != nil:
+			items[i] = batchErrItem(perSpec[j])
+		default:
+			items[i] = batchErrItem(fmt.Errorf("search produced no result"))
+		}
+	}
+	return &BatchSearchResponse{SchemaVersion: SchemaVersion, Results: items}, nil
+}
+
+// batchErrItem renders one failed batch item.
+func batchErrItem(err error) BatchSearchItem {
+	return BatchSearchItem{Error: err.Error(), Status: ErrorStatus(err)}
+}
+
+// joinedErrors unpacks an errors.Join result into its parts (nil-safe).
+func joinedErrors(err error) []error {
+	if err == nil {
+		return nil
+	}
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
 }
 
 // NewSearchResponse renders an engine Result as the v1 wire response.

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"math"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -133,7 +135,6 @@ func TestSearchValidation(t *testing.T) {
 		{"negative workers", SearchRequest{Model: "t5-100M", GPUs: 8, Workers: -1}},
 		{"negative budget", SearchRequest{Model: "t5-100M", GPUs: 8, TimeBudgetMS: -5}},
 		{"unknown cluster", SearchRequest{Model: "t5-100M", GPUs: 8, Cluster: "h100"}},
-		{"unknown model", SearchRequest{Model: "nope-13B", GPUs: 8}},
 		{"malformed spec", SearchRequest{Spec: "dense x y z", GPUs: 8}},
 	}
 	for _, tc := range cases {
@@ -146,6 +147,30 @@ func TestSearchValidation(t *testing.T) {
 				t.Errorf("want BadRequestError, got %T: %v", err, err)
 			}
 		})
+	}
+}
+
+// TestSearchUnknownModelIsNotFound pins the typed-error contract: an
+// unknown model is a resource miss (mapped to 404), distinct from a
+// malformed request (400).
+func TestSearchUnknownModelIsNotFound(t *testing.T) {
+	svc := newTestService(t)
+	_, err := svc.Search(context.Background(), SearchRequest{Model: "nope-13B", GPUs: 8})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, tapas.ErrUnknownModel) {
+		t.Errorf("want ErrUnknownModel, got %T: %v", err, err)
+	}
+	if IsBadRequest(err) {
+		t.Error("unknown model must not be classified as a bad request")
+	}
+	if got := ErrorStatus(err); got != http.StatusNotFound {
+		t.Errorf("ErrorStatus = %d, want 404", got)
+	}
+	// The async path agrees.
+	if _, err := svc.Submit(SearchRequest{Model: "nope-13B", GPUs: 8}); !errors.Is(err, tapas.ErrUnknownModel) {
+		t.Errorf("Submit: want ErrUnknownModel, got %v", err)
 	}
 }
 
@@ -175,6 +200,65 @@ func TestSearchOptionsChangeCacheKey(t *testing.T) {
 	}
 	if r.CacheHit {
 		t.Error("exhaustive search must miss the folded search's cache entry")
+	}
+}
+
+func TestSearchBatchPositionalResults(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	resp, err := svc.SearchBatch(ctx, BatchSearchRequest{Requests: []SearchRequest{
+		{Model: "t5-100M", GPUs: 8},
+		{Model: "nope-13B", GPUs: 8},        // unknown model: 404 item
+		{GPUs: 8},                           // invalid: 400 item
+		{Model: "twotower-small", GPUs: 4},  // fine
+		{Spec: tinySpec, GPUs: 4},           // inline spec
+		{Spec: "dense x y z nope", GPUs: 4}, // malformed spec: 400 item
+		{Model: "t5-100M", GPUs: 8},         // duplicate: engine dedup/cache
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d", resp.SchemaVersion)
+	}
+	if len(resp.Results) != 7 {
+		t.Fatalf("batch returned %d items, want 7", len(resp.Results))
+	}
+	for _, i := range []int{0, 3, 4, 6} {
+		it := resp.Results[i]
+		if !it.OK() || it.Response == nil {
+			t.Errorf("item %d should have succeeded: %+v", i, it)
+		}
+	}
+	if resp.Results[0].Response.Model != "t5-100M" || resp.Results[3].Response.Model != "twotower-small" ||
+		resp.Results[4].Response.Model != "tiny-mlp" {
+		t.Error("batch results are not positional")
+	}
+	if it := resp.Results[1]; it.OK() || it.Status != http.StatusNotFound || !strings.Contains(it.Error, "nope-13B") {
+		t.Errorf("unknown-model item: %+v", it)
+	}
+	if it := resp.Results[2]; it.OK() || it.Status != http.StatusBadRequest {
+		t.Errorf("invalid item: %+v", it)
+	}
+	if it := resp.Results[5]; it.OK() || it.Status != http.StatusBadRequest {
+		t.Errorf("malformed-spec item: %+v", it)
+	}
+	// The duplicate is answered from the engine (cache or singleflight
+	// join), not recomputed: same plan either way.
+	if a, b := resp.Results[0].Response, resp.Results[6].Response; a.PlanSummary != b.PlanSummary {
+		t.Errorf("duplicate items disagree: %q vs %q", a.PlanSummary, b.PlanSummary)
+	}
+}
+
+func TestSearchBatchEnvelopeValidation(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	if _, err := svc.SearchBatch(ctx, BatchSearchRequest{}); !IsBadRequest(err) {
+		t.Errorf("empty batch: want BadRequestError, got %v", err)
+	}
+	big := BatchSearchRequest{Requests: make([]SearchRequest, MaxBatchSize+1)}
+	if _, err := svc.SearchBatch(ctx, big); !IsBadRequest(err) {
+		t.Errorf("oversized batch: want BadRequestError, got %v", err)
 	}
 }
 

@@ -1,0 +1,560 @@
+// Package store persists search plans across process restarts: a
+// content-addressed, file-backed store of PlanJSON records keyed by the
+// same identity the Engine's in-memory result cache uses — structural
+// graph fingerprint × cluster signature × option set. A tapas-serve
+// daemon opened over a warm store directory answers repeat traffic
+// without re-running the search pipeline (the plan is rehydrated,
+// re-priced and re-simulated, all orders of magnitude cheaper than a
+// cold search).
+//
+// Layout: one JSON file per record under the store directory, named by
+// the SHA-256 of the record's key, so the filename is verifiable from
+// the content. Writes are atomic (temp file + rename in the same
+// directory), so a crash mid-write can never leave a half-record under
+// a live name. Open tolerates corruption: records that fail to parse,
+// carry a future schema version, or do not match their filename are
+// skipped and reported, never fatal.
+//
+// The store is bounded: beyond MaxEntries the least-recently-used
+// record is evicted (its file deleted). Recency survives restarts
+// approximately — Get touches the file's mtime, and Open rebuilds the
+// LRU order from mtimes.
+//
+// All methods are safe for concurrent use.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tapas/internal/export"
+)
+
+// RecordSchemaVersion is the current on-disk record envelope schema.
+// Additive changes keep the version; breaking changes bump it. Open
+// skips records newer than this (reported as corrupt, not fatal); the
+// embedded plan document carries its own export.SchemaVersion.
+const RecordSchemaVersion = 1
+
+// Key identifies one search outcome, mirroring the Engine's cache key:
+// every field that can change the resulting plan participates.
+type Key struct {
+	// Kind distinguishes the producing pipeline ("search").
+	Kind string `json:"kind"`
+	// Graph is the structural graph fingerprint (graph.Fingerprint).
+	Graph string `json:"graph"`
+	// GPUs is the total device count searched.
+	GPUs int `json:"gpus"`
+	// Cluster is the cluster signature (cluster.Signature).
+	Cluster string `json:"cluster"`
+	// Options is the canonical option-set signature.
+	Options string `json:"options"`
+}
+
+// ID returns the content address of the key: a hex SHA-256 over its
+// length-prefixed fields. It is the record's filename (plus ".json").
+func (k Key) ID() string {
+	h := sha256.New()
+	var buf [8]byte
+	field := func(s string) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	field(k.Kind)
+	field(k.Graph)
+	binary.LittleEndian.PutUint64(buf[:], uint64(k.GPUs))
+	h.Write(buf[:])
+	field(k.Cluster)
+	field(k.Options)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Timing is the cold search-time breakdown persisted with a plan, so a
+// store hit can report the original cost of producing it (mirroring the
+// cache-hit contract: timing describes the cold computation).
+type Timing struct {
+	GroupNS      int64 `json:"group_ns"`
+	MineNS       int64 `json:"mine_ns"`
+	SearchNS     int64 `json:"search_ns"`
+	TotalNS      int64 `json:"total_ns"`
+	Classes      int   `json:"classes"`
+	Examined     int   `json:"examined"`
+	Pruned       int   `json:"pruned"`
+	UniqueGraphs int   `json:"unique_graphs"`
+}
+
+// Record is one persisted search outcome: the versioned plan document
+// plus enough metadata to serve a repeat request without re-searching.
+type Record struct {
+	SchemaVersion int    `json:"schema_version"`
+	Key           Key    `json:"key"`
+	Model         string `json:"model"`
+	GPUs          int    `json:"gpus"`
+	// Plan is the full per-node assignment, rehydratable against any
+	// structurally identical graph (export.StrategyJSON, the same
+	// document served as service.PlanJSON).
+	Plan          *export.StrategyJSON `json:"plan"`
+	Timing        Timing               `json:"timing"`
+	CreatedUnixMS int64                `json:"created_unix_ms"`
+}
+
+// Options configure Open. Only Dir is required.
+type Options struct {
+	// Dir is the store directory, created if missing.
+	Dir string
+	// MaxEntries bounds the record count (LRU eviction past it).
+	// 0 selects DefaultMaxEntries.
+	MaxEntries int
+	// QueueSize bounds the write-behind queue of PutAsync; writes
+	// beyond it are dropped (and counted) rather than blocking a
+	// search. 0 selects DefaultQueueSize.
+	QueueSize int
+	// OnCorrupt, when set, observes every record skipped or dropped as
+	// unreadable — at Open and later (a record that fails to decode on
+	// Get) — and every failed write-behind persist. The store never
+	// fails on either; this is the report.
+	OnCorrupt func(path string, err error)
+}
+
+// Default sizing for Options zero values.
+const (
+	DefaultMaxEntries = 4096
+	DefaultQueueSize  = 256
+)
+
+// Stats is a point-in-time snapshot of store traffic, for health
+// endpoints. Corrupt counts records skipped at Open plus records
+// dropped later as unreadable or no longer rehydratable.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Corrupt   uint64 `json:"corrupt"`
+	Dropped   uint64 `json:"dropped"` // async writes dropped (queue full or store closed)
+	// WriteErrors counts write-behind persists that failed at the
+	// filesystem (disk full, permissions); the search they came from
+	// already answered, so they are reported, not fatal.
+	WriteErrors uint64 `json:"write_errors"`
+	Entries     int    `json:"entries"`
+	Capacity    int    `json:"capacity"`
+}
+
+// entry is one indexed record file.
+type entry struct {
+	id   string
+	key  Key
+	path string
+}
+
+// writeTask is one queued write-behind persist.
+type writeTask struct {
+	key Key
+	rec *Record
+}
+
+// Store is a bounded, file-backed plan store. Construct with Open,
+// retire with Close (which drains pending write-behind persists).
+type Store struct {
+	dir       string
+	max       int
+	onCorrupt func(string, error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals pending == 0, for Flush
+	index   map[string]*list.Element
+	ll      *list.List // front = most recently used
+	stats   Stats
+	pending int
+	closed  bool
+
+	queue chan writeTask
+	wg    sync.WaitGroup
+}
+
+// Open loads (or creates) the store at opts.Dir. Unreadable records are
+// skipped and reported through opts.OnCorrupt — Open only fails when
+// the directory itself cannot be created or read. Leftover temp files
+// from interrupted writes are removed.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: no directory given")
+	}
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultMaxEntries
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = DefaultQueueSize
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
+	}
+	s := &Store{
+		dir:       opts.Dir,
+		max:       opts.MaxEntries,
+		onCorrupt: opts.OnCorrupt,
+		index:     make(map[string]*list.Element),
+		ll:        list.New(),
+		queue:     make(chan writeTask, opts.QueueSize),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// load scans the directory into the in-memory index, oldest first so
+// the LRU order approximates the pre-restart recency.
+func (s *Store) load() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: read %s: %w", s.dir, err)
+	}
+	type candidate struct {
+		id    string
+		key   Key
+		path  string
+		mtime time.Time
+	}
+	var cands []candidate
+	for _, de := range ents {
+		name := de.Name()
+		path := filepath.Join(s.dir, name)
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(path) // interrupted atomic write; the rename never happened
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		key, err := s.check(id, path)
+		if err != nil {
+			s.reportCorrupt(path, err)
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			s.reportCorrupt(path, err)
+			continue
+		}
+		cands = append(cands, candidate{id: id, key: key, path: path, mtime: info.ModTime()})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime.Before(cands[j].mtime) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range cands {
+		s.index[c.id] = s.ll.PushFront(&entry{id: c.id, key: c.key, path: c.path})
+	}
+	s.evictLocked()
+	return nil
+}
+
+// check validates one record file against its content address,
+// returning its key. Only the key is kept in memory (Open must stay
+// cheap on big stores), but each record is read once in full so a
+// corrupt store is caught at startup, not at serving time.
+func (s *Store) check(id string, path string) (Key, error) {
+	rec, err := readRecord(path)
+	if err != nil {
+		return Key{}, err
+	}
+	if got := rec.Key.ID(); got != id {
+		return Key{}, fmt.Errorf("store: key hashes to %s, file named %s", got[:12], id)
+	}
+	return rec.Key, nil
+}
+
+// readRecord decodes one record file, enforcing the envelope schema.
+func readRecord(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("store: decode %s: %w", filepath.Base(path), err)
+	}
+	if rec.SchemaVersion > RecordSchemaVersion {
+		return nil, fmt.Errorf("store: record schema_version %d is newer than supported version %d",
+			rec.SchemaVersion, RecordSchemaVersion)
+	}
+	if rec.Plan == nil {
+		return nil, fmt.Errorf("store: record %s has no plan", filepath.Base(path))
+	}
+	return &rec, nil
+}
+
+// reportCorrupt counts and (when configured) reports one unusable
+// record.
+func (s *Store) reportCorrupt(path string, err error) {
+	s.mu.Lock()
+	s.stats.Corrupt++
+	s.mu.Unlock()
+	if s.onCorrupt != nil {
+		s.onCorrupt(path, err)
+	}
+}
+
+// Get looks up the record stored under k. A record that no longer
+// decodes is dropped (counted as corrupt) and reported as a miss.
+// A hit refreshes the record's recency, in memory and on disk (mtime),
+// so the LRU order survives restarts.
+func (s *Store) Get(k Key) (*Record, bool) {
+	id := k.ID()
+	s.mu.Lock()
+	el, ok := s.index[id]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	path := el.Value.(*entry).path
+	s.mu.Unlock()
+
+	rec, err := readRecord(path)
+	if err != nil {
+		s.dropEntry(id)
+		s.reportCorrupt(path, err)
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	if rec.Key != k {
+		// A hash collision, or a tampered file renamed into place.
+		s.dropEntry(id)
+		s.reportCorrupt(path, fmt.Errorf("store: record key does not match lookup key"))
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // best-effort: persist recency for the next Open
+	return rec, true
+}
+
+// Contains reports whether a record is indexed under k, without reading
+// or refreshing it.
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k.ID()]
+	return ok
+}
+
+// Put persists rec under k, atomically (temp file + rename) and
+// synchronously. The record's Key and SchemaVersion envelope fields are
+// set by the store; CreatedUnixMS is stamped when zero.
+func (s *Store) Put(k Key, rec *Record) error {
+	cp := *rec
+	cp.SchemaVersion = RecordSchemaVersion
+	cp.Key = k
+	if cp.CreatedUnixMS == 0 {
+		cp.CreatedUnixMS = time.Now().UnixMilli()
+	}
+	if cp.Plan == nil {
+		return fmt.Errorf("store: refusing to persist a record without a plan")
+	}
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode record: %w", err)
+	}
+	id := k.ID()
+	path := filepath.Join(s.dir, id+".json")
+	tmp, err := os.CreateTemp(s.dir, id+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write record: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publish record: %w", err)
+	}
+
+	s.mu.Lock()
+	if el, ok := s.index[id]; ok {
+		s.ll.MoveToFront(el)
+	} else {
+		s.index[id] = s.ll.PushFront(&entry{id: id, key: k, path: path})
+	}
+	s.stats.Puts++
+	s.evictLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// PutAsync queues a write-behind persist and returns immediately. When
+// the queue is full or the store is closed the write is dropped (and
+// counted in Stats.Dropped) rather than stalling the caller — the store
+// is an accelerator, never a bottleneck. Use Flush to wait for queued
+// writes.
+func (s *Store) PutAsync(k Key, rec *Record) {
+	s.mu.Lock()
+	if s.closed {
+		s.stats.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case s.queue <- writeTask{key: k, rec: rec}:
+		s.pending++
+	default:
+		s.stats.Dropped++
+	}
+	s.mu.Unlock()
+}
+
+// writer is the single write-behind goroutine; it drains the queue
+// until Close.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		err := s.Put(t.key, t.rec)
+		if err != nil && s.onCorrupt != nil {
+			// Report before the pending count drops, so Flush is a
+			// barrier for the report too.
+			s.onCorrupt(filepath.Join(s.dir, t.key.ID()+".json"),
+				fmt.Errorf("store: write-behind persist failed: %w", err))
+		}
+		s.mu.Lock()
+		s.pending--
+		if s.pending == 0 {
+			s.cond.Broadcast()
+		}
+		if err != nil {
+			// A failed persist (disk full, permissions) is a write
+			// error, not corruption: nothing bad is on disk.
+			s.stats.WriteErrors++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Flush blocks until every write queued by PutAsync has been persisted.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Delete removes the record stored under k (e.g. one that no longer
+// rehydrates against the current build), counting it as corrupt.
+func (s *Store) Delete(k Key) {
+	id := k.ID()
+	if s.dropEntry(id) {
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
+	}
+}
+
+// dropEntry removes one entry from the index and its file from disk.
+func (s *Store) dropEntry(id string) bool {
+	s.mu.Lock()
+	el, ok := s.index[id]
+	var path string
+	if ok {
+		path = el.Value.(*entry).path
+		s.ll.Remove(el)
+		delete(s.index, id)
+	}
+	s.mu.Unlock()
+	if ok {
+		_ = os.Remove(path)
+	}
+	return ok
+}
+
+// evictLocked deletes least-recently-used records beyond the bound.
+// Callers must hold s.mu.
+func (s *Store) evictLocked() {
+	for s.ll.Len() > s.max {
+		oldest := s.ll.Back()
+		e := oldest.Value.(*entry)
+		s.ll.Remove(oldest)
+		delete(s.index, e.id)
+		_ = os.Remove(e.path)
+		s.stats.Evictions++
+	}
+}
+
+// Stats snapshots store traffic and size.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	st.Capacity = s.max
+	return st
+}
+
+// Keys lists the keys of every indexed record, most recently used
+// first — for inspection and administration.
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Key, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Len reports the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close drains the write-behind queue and stops the writer. Further
+// PutAsync calls are dropped (counted); Get/Put keep working — Close
+// only retires the async machinery. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // writer drains buffered tasks, then exits
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

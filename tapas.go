@@ -136,6 +136,13 @@ type Result struct {
 	// computation, and Strategy/Parallel are shared with other hits for
 	// the same key (treat them as read-only).
 	CacheHit bool
+	// StoreHit reports that this Result was restored from the Engine's
+	// persistent plan store (WithStore) instead of being computed by the
+	// search pipeline: the plan was rehydrated, re-priced and
+	// re-simulated, and the timing fields describe the original cold
+	// computation that produced the stored plan. A Result can carry both
+	// flags — a store-restored Result re-served from the memory cache.
+	StoreHit bool
 
 	// Search-time breakdown (the paper's headline metric).
 	GroupTime    time.Duration
@@ -147,6 +154,13 @@ type Result struct {
 	Pruned       int
 	UniqueGraphs int
 }
+
+// ErrUnknownModel is returned (wrapped) by every entry point asked for
+// a model name absent from the registry — Engine.Search,
+// Engine.SearchSpec, SearchAll specs and BuildModel. Serving layers
+// match it with errors.Is to answer "not found" instead of a generic
+// failure.
+var ErrUnknownModel = models.ErrUnknownModel
 
 // Models lists the available model names.
 func Models() []string { return models.Names() }
