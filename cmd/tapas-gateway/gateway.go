@@ -1,0 +1,672 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tapas/internal/graphio"
+	"tapas/internal/models"
+	"tapas/internal/promtext"
+	"tapas/service"
+)
+
+// maxBodyBytes bounds one proxied request body (mirrors the daemon's
+// own limit).
+const maxBodyBytes = 8 << 20
+
+// replicaHeader names the replica that answered a proxied request — for
+// debugging, tests, and the CI smoke's routing-stability check.
+const replicaHeader = "X-Tapas-Replica"
+
+// clientHeader optionally names the rate-limit principal; without it
+// the client IP is the principal.
+const clientHeader = "X-Tapas-Client"
+
+// gatewayConfig sizes a gateway. newGateway fills defaults for zero
+// values.
+type gatewayConfig struct {
+	replicas       []string
+	vnodes         int           // virtual nodes per replica (default 64)
+	healthInterval time.Duration // active health-check period (default 2s)
+	healthTimeout  time.Duration // per-check timeout (default 2s)
+	rate           float64       // tokens/second per client; 0 disables rate limiting
+	burst          int           // bucket depth (default max(1, 2*rate))
+	jobTableSize   int           // job-owner stickiness entries (default 4096)
+	logf           func(string, ...any)
+}
+
+// replicaState is one backend daemon as the gateway sees it.
+type replicaState struct {
+	url     string
+	healthy atomic.Bool
+	lastErr atomic.Pointer[string]
+}
+
+func (r *replicaState) setErr(err error) {
+	if err == nil {
+		r.lastErr.Store(nil)
+		return
+	}
+	s := err.Error()
+	r.lastErr.Store(&s)
+}
+
+func (r *replicaState) errString() string {
+	if p := r.lastErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// gateway routes the v1 API across a fleet of tapas-serve replicas:
+// consistent-hash routing on the search identity (so each replica's
+// memory cache concentrates on its share of the key space), active
+// health checks with ring-order failover, per-client token-bucket rate
+// limiting, and job-owner stickiness for the async API.
+type gateway struct {
+	cfg      gatewayConfig
+	replicas []*replicaState
+	ring     *hashRing
+	limiter  *limiter // nil when disabled
+
+	proxy  *http.Client // no timeout: searches run long; request contexts bound it
+	health *http.Client
+
+	owners *ownerTable
+	fps    sync.Map // model name → graph fingerprint
+
+	requests    atomic.Uint64
+	rateLimited atomic.Uint64
+	failovers   atomic.Uint64
+	proxied     []atomic.Uint64 // per replica
+	proxyErrors []atomic.Uint64 // per replica
+}
+
+func newGateway(cfg gatewayConfig) *gateway {
+	if cfg.vnodes <= 0 {
+		cfg.vnodes = 64
+	}
+	if cfg.healthInterval <= 0 {
+		cfg.healthInterval = 2 * time.Second
+	}
+	if cfg.healthTimeout <= 0 {
+		cfg.healthTimeout = 2 * time.Second
+	}
+	if cfg.jobTableSize <= 0 {
+		cfg.jobTableSize = 4096
+	}
+	if cfg.logf == nil {
+		cfg.logf = func(string, ...any) {}
+	}
+	gw := &gateway{
+		cfg:         cfg,
+		ring:        newRing(len(cfg.replicas), cfg.vnodes, func(i int) string { return cfg.replicas[i] }),
+		proxy:       &http.Client{},
+		health:      &http.Client{Timeout: cfg.healthTimeout},
+		owners:      newOwnerTable(cfg.jobTableSize),
+		proxied:     make([]atomic.Uint64, len(cfg.replicas)),
+		proxyErrors: make([]atomic.Uint64, len(cfg.replicas)),
+	}
+	for _, u := range cfg.replicas {
+		rs := &replicaState{url: strings.TrimRight(u, "/")}
+		rs.healthy.Store(true) // optimistic until the first check
+		gw.replicas = append(gw.replicas, rs)
+	}
+	if cfg.rate > 0 {
+		burst := cfg.burst
+		if burst <= 0 {
+			burst = int(math.Max(1, 2*cfg.rate))
+		}
+		gw.limiter = newLimiter(cfg.rate, burst)
+	}
+	return gw
+}
+
+// handler wires the gateway's HTTP surface.
+func (gw *gateway) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", gw.keyed)
+	mux.HandleFunc("POST /v1/search:batch", gw.keyed)
+	mux.HandleFunc("POST /v1/jobs", gw.keyed)
+	mux.HandleFunc("GET /v1/jobs", gw.jobsList)
+	mux.HandleFunc("GET /v1/jobs/{id}", gw.jobByID)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", gw.jobByID)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", gw.jobByID)
+	mux.HandleFunc("GET /v1/models", gw.anyReplica)
+	mux.HandleFunc("GET /v1/healthz", gw.healthz)
+	mux.HandleFunc("GET /metrics", gw.metrics)
+	return mux
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+// routeKey computes the consistent-hash identity of one request,
+// mirroring the engine's cache key: graph fingerprint × device count ×
+// cluster preset × result-changing options. Worker counts are excluded
+// (results are worker-independent), so differently-paced requests for
+// one plan land on one replica and hit its cache. Unparseable bodies
+// hash raw — stably, so even a request the replica will 400 routes
+// consistently; batches hash as a unit.
+func (gw *gateway) routeKey(path string, body []byte) string {
+	if strings.HasSuffix(path, ":batch") {
+		return "batch:" + string(body)
+	}
+	var req service.SearchRequest
+	if err := json.Unmarshal(body, &req); err == nil {
+		if fp, ok := gw.fingerprint(req); ok {
+			return fmt.Sprintf("%s|%d|%s|%v|%d", fp, req.GPUs, req.Cluster, req.Exhaustive, req.TimeBudgetMS)
+		}
+	}
+	return "raw:" + string(body)
+}
+
+// fingerprint resolves a request's structural graph fingerprint — the
+// same identity the replicas key their caches and stores by, so routing
+// is stable under model renames and across spec-vs-model phrasing of
+// the same graph. Registered models are memoized; inline specs are
+// parsed per request (bounded by maxBodyBytes).
+func (gw *gateway) fingerprint(req service.SearchRequest) (string, bool) {
+	if req.Spec != "" {
+		g, err := graphio.Parse(strings.NewReader(req.Spec))
+		if err != nil {
+			return "", false
+		}
+		return g.Fingerprint(), true
+	}
+	if req.Model == "" {
+		return "", false
+	}
+	if v, ok := gw.fps.Load(req.Model); ok {
+		return v.(string), true
+	}
+	g, err := models.Build(req.Model)
+	if err != nil {
+		return "", false
+	}
+	fp := g.Fingerprint()
+	gw.fps.Store(req.Model, fp)
+	return fp, true
+}
+
+// candidates orders every replica for one key: the ring order, healthy
+// replicas first. Unhealthy replicas stay on the tail as a last resort —
+// if the whole fleet looks down, trying beats a blind 502.
+func (gw *gateway) candidates(key string) []int {
+	ringOrder := gw.ring.order(key)
+	out := make([]int, 0, len(ringOrder))
+	for _, i := range ringOrder {
+		if gw.replicas[i].healthy.Load() {
+			out = append(out, i)
+		}
+	}
+	for _, i := range ringOrder {
+		if !gw.replicas[i].healthy.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// healthyFirst is candidates for requests with no routing identity.
+func (gw *gateway) healthyFirst() []int {
+	out := make([]int, 0, len(gw.replicas))
+	for i, r := range gw.replicas {
+		if r.healthy.Load() {
+			out = append(out, i)
+		}
+	}
+	for i, r := range gw.replicas {
+		if !r.healthy.Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Proxying
+
+// keyed proxies one body-routed request (search, batch, job submit) to
+// its key's replica, failing over along the ring.
+func (gw *gateway) keyed(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if !gw.allow(w, r) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSONErr(w, http.StatusBadRequest, fmt.Sprintf("read request body: %v", err))
+		return
+	}
+	submit := r.URL.Path == "/v1/jobs"
+	idx, status, respBody, ok := gw.forward(w, r, body, gw.candidates(gw.routeKey(r.URL.Path, body)), false)
+	if ok && submit && status == http.StatusAccepted {
+		var st service.JobStatus
+		if err := json.Unmarshal(respBody, &st); err == nil && st.ID != "" {
+			gw.owners.put(st.ID, idx)
+		}
+	}
+}
+
+// jobByID proxies status/cancel/events for one job to the replica that
+// owns it — the one its submit was routed to — probing the fleet when
+// the owner is unknown (e.g. after a gateway restart).
+func (gw *gateway) jobByID(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if !gw.allow(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	stream := strings.HasSuffix(r.URL.Path, "/events")
+	if idx, ok := gw.owners.get(id); ok {
+		gw.forward(w, r, nil, []int{idx}, stream)
+		return
+	}
+	for _, idx := range gw.healthyFirst() {
+		resp, err := gw.send(r, gw.replicas[idx], nil)
+		if err != nil {
+			gw.noteSendFailure(idx, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode/100 == 2 {
+			// Only a successful answer proves ownership: a 5xx/503 from
+			// a replica that merely happens to be unwell must not pin
+			// the job to it.
+			gw.owners.put(id, idx)
+		}
+		gw.relay(w, r, idx, resp, stream, false)
+		return
+	}
+	writeJSONErr(w, http.StatusNotFound, fmt.Sprintf("job %q not found on any replica", id))
+}
+
+// jobsList merges every healthy replica's job listing into one fleet
+// view.
+func (gw *gateway) jobsList(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if !gw.allow(w, r) {
+		return
+	}
+	merged := make([]json.RawMessage, 0)
+	reached := false
+	for _, idx := range gw.healthyFirst() {
+		resp, err := gw.send(r, gw.replicas[idx], nil)
+		if err != nil {
+			gw.noteSendFailure(idx, err)
+			continue
+		}
+		var body struct {
+			Jobs []json.RawMessage `json:"jobs"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode/100 != 2 {
+			continue
+		}
+		reached = true
+		gw.proxied[idx].Add(1)
+		merged = append(merged, body.Jobs...)
+	}
+	if !reached {
+		writeJSONErr(w, http.StatusBadGateway, "no replica reachable")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"jobs": merged})
+}
+
+// anyReplica proxies a replica-agnostic request to whichever healthy
+// replica answers first.
+func (gw *gateway) anyReplica(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if !gw.allow(w, r) {
+		return
+	}
+	gw.forward(w, r, nil, gw.healthyFirst(), false)
+}
+
+// forward tries candidates in order until one answers, relaying its
+// response. A replica that cannot be reached is marked unhealthy
+// (passively; the active checker can restore it) and the next ring node
+// is tried — transport failures only, never an answered request.
+// Job submissions are not idempotent, so they fail over only on dial
+// errors (the request provably never reached the replica); a
+// mid-flight failure could mean the job was accepted, and replaying it
+// would enqueue a duplicate. Searches are deterministic and cached, so
+// any transport failure fails over. Returns the answering replica's
+// index, the status, and (when buffered) the response body.
+func (gw *gateway) forward(w http.ResponseWriter, r *http.Request, body []byte, cands []int, stream bool) (int, int, []byte, bool) {
+	submit := r.Method == http.MethodPost && r.URL.Path == "/v1/jobs"
+	for n, idx := range cands {
+		resp, err := gw.send(r, gw.replicas[idx], body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return 0, 0, nil, false // the client went away; nothing to answer
+			}
+			gw.noteSendFailure(idx, err)
+			if submit && !isDialError(err) {
+				writeJSONErr(w, http.StatusBadGateway,
+					fmt.Sprintf("replica %s failed mid-submit; the job may or may not be queued there", gw.replicas[idx].url))
+				return 0, 0, nil, false
+			}
+			if n < len(cands)-1 {
+				gw.failovers.Add(1)
+				gw.cfg.logf("replica %s unreachable (%v), failing over", gw.replicas[idx].url, err)
+			}
+			continue
+		}
+		status, respBody, ok := gw.relay(w, r, idx, resp, stream, body != nil && r.URL.Path == "/v1/jobs")
+		return idx, status, respBody, ok
+	}
+	writeJSONErr(w, http.StatusBadGateway, "no replica reachable")
+	return 0, 0, nil, false
+}
+
+// relay copies one replica response to the client. Buffered routes
+// return the body bytes (for the submit path's owner bookkeeping);
+// stream routes flush through, which keeps SSE live.
+func (gw *gateway) relay(w http.ResponseWriter, r *http.Request, idx int, resp *http.Response, stream, buffer bool) (int, []byte, bool) {
+	defer resp.Body.Close()
+	gw.proxied[idx].Add(1)
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if hopByHop(k) {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(replicaHeader, gw.replicas[idx].url)
+	w.WriteHeader(resp.StatusCode)
+	if stream {
+		rc := http.NewResponseController(w)
+		buf := make([]byte, 16*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				if _, werr := w.Write(buf[:n]); werr != nil {
+					return resp.StatusCode, nil, true
+				}
+				_ = rc.Flush()
+			}
+			if err != nil {
+				return resp.StatusCode, nil, true
+			}
+		}
+	}
+	if buffer {
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return resp.StatusCode, nil, false
+		}
+		_, _ = w.Write(respBody)
+		return resp.StatusCode, respBody, true
+	}
+	_, _ = io.Copy(w, resp.Body)
+	return resp.StatusCode, nil, true
+}
+
+// send issues one proxied request to a replica.
+func (gw *gateway) send(r *http.Request, rep *replicaState, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, rep.url+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range r.Header {
+		if hopByHop(k) || strings.EqualFold(k, "Host") {
+			continue
+		}
+		out.Header[k] = vs
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		prior := r.Header.Get("X-Forwarded-For")
+		if prior != "" {
+			host = prior + ", " + host
+		}
+		out.Header.Set("X-Forwarded-For", host)
+	}
+	return gw.proxy.Do(out)
+}
+
+// isDialError reports whether a transport failure happened before any
+// byte reached the replica (connection refused, no route) — the only
+// failures safe to replay for non-idempotent requests.
+func isDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// noteSendFailure records a transport failure against a replica and
+// marks it down until the active checker clears it.
+func (gw *gateway) noteSendFailure(idx int, err error) {
+	gw.proxyErrors[idx].Add(1)
+	rep := gw.replicas[idx]
+	rep.healthy.Store(false)
+	rep.setErr(err)
+}
+
+// hopByHop reports headers that must not cross a proxy.
+func hopByHop(k string) bool {
+	switch http.CanonicalHeaderKey(k) {
+	case "Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+		"Te", "Trailer", "Transfer-Encoding", "Upgrade":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Rate limiting
+
+// allow admits one request through the per-client rate limiter, or
+// answers 429 with Retry-After and reports false.
+func (gw *gateway) allow(w http.ResponseWriter, r *http.Request) bool {
+	if gw.limiter == nil {
+		return true
+	}
+	key := r.Header.Get(clientHeader)
+	if key == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		} else {
+			key = r.RemoteAddr
+		}
+	}
+	ok, wait := gw.limiter.allow(key, time.Now())
+	if ok {
+		return true
+	}
+	gw.rateLimited.Add(1)
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSONErr(w, http.StatusTooManyRequests,
+		fmt.Sprintf("rate limit exceeded for client %q, retry after %ds", key, secs))
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Health
+
+// checkAll probes every replica's /v1/healthz once.
+func (gw *gateway) checkAll(ctx context.Context) {
+	for _, rep := range gw.replicas {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/v1/healthz", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := gw.health.Do(req)
+		if err != nil {
+			if rep.healthy.CompareAndSwap(true, false) {
+				gw.cfg.logf("replica %s down: %v", rep.url, err)
+			}
+			rep.setErr(err)
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		up := resp.StatusCode/100 == 2
+		if up {
+			rep.setErr(nil)
+			if rep.healthy.CompareAndSwap(false, true) {
+				gw.cfg.logf("replica %s back up", rep.url)
+			}
+		} else {
+			if rep.healthy.CompareAndSwap(true, false) {
+				gw.cfg.logf("replica %s unhealthy: status %d", rep.url, resp.StatusCode)
+			}
+			rep.setErr(fmt.Errorf("healthz returned %d", resp.StatusCode))
+		}
+	}
+}
+
+// runHealth actively checks the fleet until ctx dies.
+func (gw *gateway) runHealth(ctx context.Context) {
+	t := time.NewTicker(gw.cfg.healthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			gw.checkAll(ctx)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// replicaHealth is one replica's row in the gateway's health view.
+type replicaHealth struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// healthz answers the gateway's fleet view: 200 while at least one
+// replica is healthy, 503 when none is.
+func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
+	reps := make([]replicaHealth, 0, len(gw.replicas))
+	healthy := 0
+	for _, rep := range gw.replicas {
+		up := rep.healthy.Load()
+		if up {
+			healthy++
+		}
+		reps = append(reps, replicaHealth{URL: rep.url, Healthy: up, LastError: rep.errString()})
+	}
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case healthy == 0:
+		status = "unavailable"
+		code = http.StatusServiceUnavailable
+	case healthy < len(gw.replicas):
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"status":             status,
+		"replicas":           reps,
+		"requests_total":     gw.requests.Load(),
+		"rate_limited_total": gw.rateLimited.Load(),
+		"failovers_total":    gw.failovers.Load(),
+	})
+}
+
+// metrics serves the gateway's route counters in Prometheus text form.
+func (gw *gateway) metrics(w http.ResponseWriter, r *http.Request) {
+	m := promtext.New()
+	m.Counter("tapas_gateway_requests_total", "Requests accepted for routing.", float64(gw.requests.Load()), nil)
+	m.Counter("tapas_gateway_rate_limited_total", "Requests answered 429 by the per-client limiter.", float64(gw.rateLimited.Load()), nil)
+	m.Counter("tapas_gateway_failovers_total", "Requests moved to the next ring node after a transport failure.", float64(gw.failovers.Load()), nil)
+	m.Gauge("tapas_gateway_job_owners", "Job-to-replica stickiness entries resident.", float64(gw.owners.len()), nil)
+	for i, rep := range gw.replicas {
+		l := promtext.Labels{"replica": rep.url}
+		m.Counter("tapas_gateway_proxied_total", "Responses relayed, per replica.", float64(gw.proxied[i].Load()), l)
+		m.Counter("tapas_gateway_proxy_errors_total", "Transport failures, per replica.", float64(gw.proxyErrors[i].Load()), l)
+		up := 0.0
+		if rep.healthy.Load() {
+			up = 1
+		}
+		m.Gauge("tapas_gateway_replica_healthy", "1 while the replica passes health checks.", up, l)
+	}
+	w.Header().Set("Content-Type", promtext.ContentType)
+	_, _ = m.WriteTo(w)
+}
+
+// writeJSONErr emits the daemon-compatible JSON error envelope.
+func writeJSONErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// ---------------------------------------------------------------------------
+// Job-owner stickiness
+
+// ownerTable remembers which replica owns each submitted job, FIFO
+// bounded (job IDs are unguessable and short-lived; on overflow or
+// gateway restart the probe path recovers ownership).
+type ownerTable struct {
+	mu    sync.Mutex
+	m     map[string]int
+	order []string
+	max   int
+}
+
+func newOwnerTable(max int) *ownerTable {
+	return &ownerTable{m: make(map[string]int), max: max}
+}
+
+func (o *ownerTable) put(id string, idx int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.m[id]; !ok {
+		o.order = append(o.order, id)
+		for len(o.order) > o.max {
+			delete(o.m, o.order[0])
+			o.order = o.order[1:]
+		}
+	}
+	o.m[id] = idx
+}
+
+func (o *ownerTable) get(id string) (int, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	idx, ok := o.m[id]
+	return idx, ok
+}
+
+func (o *ownerTable) len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.m)
+}

@@ -1,0 +1,583 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tapas"
+	"tapas/service"
+	"tapas/store"
+	"tapas/store/remotebackend"
+)
+
+// fakeReplica is a canned tapas-serve surface that records which routes
+// it answered.
+type fakeReplica struct {
+	name     string
+	srv      *httptest.Server
+	searches atomic.Int64
+	submits  atomic.Int64
+	healthy  atomic.Bool
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	f := &fakeReplica{name: name}
+	f.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		f.searches.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"schema_version":1,"served_by":%q}`, f.name)
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := f.submits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"%s-job-%d","state":"queued"}`, f.name, n)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"jobs":[{"id":"%s-job-1","state":"done"}]}`, f.name)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !strings.HasPrefix(id, f.name+"-") {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"service: job not found"}`)
+			return
+		}
+		fmt.Fprintf(w, `{"id":%q,"state":"done","served_by":%q}`, id, f.name)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !strings.HasPrefix(id, f.name+"-") {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"service: job not found"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprintf(w, "event: progress\ndata: {\"job_id\":%q,\"type\":\"progress\",\"phase\":\"search\"}\n\n", id)
+		fl.Flush()
+		fmt.Fprintf(w, "event: state\ndata: {\"job_id\":%q,\"type\":\"state\",\"state\":\"done\"}\n\n", id)
+		fl.Flush()
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"models":["t5-100M"],"served_by":%q}`, f.name)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// testGateway builds a gateway + server over the given replica URLs.
+func testGateway(t *testing.T, cfg gatewayConfig) (*gateway, *httptest.Server) {
+	t.Helper()
+	gw := newGateway(cfg)
+	srv := httptest.NewServer(gw.handler())
+	t.Cleanup(srv.Close)
+	return gw, srv
+}
+
+func postJSON(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestRoutingIsHashStable: the same search identity always lands on the
+// same replica; distinct identities spread across the fleet.
+func TestRoutingIsHashStable(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	urls := []string{fakes[0].srv.URL, fakes[1].srv.URL, fakes[2].srv.URL}
+	_, srv := testGateway(t, gatewayConfig{replicas: urls})
+
+	body := `{"model":"t5-100M","gpus":8}`
+	var first string
+	for i := 0; i < 8; i++ {
+		resp, _ := postJSON(t, srv.URL+"/v1/search", body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %d: status %d", i, resp.StatusCode)
+		}
+		rep := resp.Header.Get(replicaHeader)
+		if rep == "" {
+			t.Fatal("no X-Tapas-Replica header on a proxied response")
+		}
+		if first == "" {
+			first = rep
+		} else if rep != first {
+			t.Fatalf("request %d routed to %s, earlier ones to %s — not hash-stable", i, rep, first)
+		}
+	}
+
+	// Distinct identities spread: 12 different (model, gpus) keys must
+	// touch more than one replica.
+	seen := map[string]bool{}
+	for gpus := 1; gpus <= 12; gpus++ {
+		resp, _ := postJSON(t, srv.URL+"/v1/search", fmt.Sprintf(`{"model":"t5-100M","gpus":%d}`, gpus), nil)
+		seen[resp.Header.Get(replicaHeader)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("12 distinct keys all landed on one replica: %v", seen)
+	}
+}
+
+// TestRoutingIsStructural: the gateway routes by graph fingerprint, so
+// the same architecture spelled with different node names — or a
+// different model name — is one key: it lands on one replica and hits
+// that replica's cache.
+func TestRoutingIsStructural(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	urls := []string{fakes[0].srv.URL, fakes[1].srv.URL, fakes[2].srv.URL}
+	gw, srv := testGateway(t, gatewayConfig{replicas: urls})
+
+	specA := `model alpha\ninput x f32 16 128\ndense fc x 256 relu\ndense out fc 128 none\nloss l out\n`
+	specB := `model beta\ninput in0 f32 16 128\ndense h in0 256 relu\ndense y h 128 none\nloss cost y\n`
+	bodyA, _ := json.Marshal(map[string]any{"spec": strings.ReplaceAll(specA, `\n`, "\n"), "gpus": 4})
+	bodyB, _ := json.Marshal(map[string]any{"spec": strings.ReplaceAll(specB, `\n`, "\n"), "gpus": 4})
+
+	keyA := gw.routeKey("/v1/search", bodyA)
+	keyB := gw.routeKey("/v1/search", bodyB)
+	if strings.HasPrefix(keyA, "raw:") {
+		t.Fatalf("spec did not fingerprint: %q", keyA)
+	}
+	if keyA != keyB {
+		t.Fatalf("renamed spec changed the routing key:\nA: %s\nB: %s", keyA, keyB)
+	}
+
+	ra, _ := postJSON(t, srv.URL+"/v1/search", string(bodyA), nil)
+	rb, _ := postJSON(t, srv.URL+"/v1/search", string(bodyB), nil)
+	if ra.Header.Get(replicaHeader) != rb.Header.Get(replicaHeader) {
+		t.Error("structurally identical specs routed to different replicas")
+	}
+}
+
+// bodyWhoseRingHeadIs searches for a request body whose consistent-hash
+// home is the given replica — deterministic pressure for failover
+// tests.
+func bodyWhoseRingHeadIs(gw *gateway, head int) string {
+	for i := 0; ; i++ {
+		body := fmt.Sprintf(`{"model":"unknown-%d","gpus":8}`, i)
+		if gw.ring.order(gw.routeKey("/v1/search", []byte(body)))[0] == head {
+			return body
+		}
+	}
+}
+
+// TestFailoverToNextRingNode: a dead home replica's traffic moves to
+// the next ring node; the death is recorded for health and metrics.
+func TestFailoverToNextRingNode(t *testing.T) {
+	alive := newFakeReplica(t, "alive")
+	dead := newFakeReplica(t, "dead")
+	deadURL := dead.srv.URL
+	dead.srv.Close()
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{deadURL, alive.srv.URL}})
+
+	body := bodyWhoseRingHeadIs(gw, 0) // home = the dead replica
+	resp, data := postJSON(t, srv.URL+"/v1/search", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request answered %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(replicaHeader); got != alive.srv.URL {
+		t.Errorf("answered by %q, want the surviving replica %q", got, alive.srv.URL)
+	}
+	if gw.failovers.Load() == 0 {
+		t.Error("failover not counted")
+	}
+	if gw.replicas[0].healthy.Load() {
+		t.Error("dead replica not passively marked down")
+	}
+
+	// Same identity keeps working (now routed straight to the healthy
+	// node, which leads the candidate list).
+	resp2, _ := postJSON(t, srv.URL+"/v1/search", body, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("post-failover request answered %d", resp2.StatusCode)
+	}
+}
+
+// TestRateLimit429WithRetryAfter: a client that bursts past its bucket
+// gets 429 + Retry-After; other clients are unaffected.
+func TestRateLimit429WithRetryAfter(t *testing.T) {
+	f := newFakeReplica(t, "a")
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{f.srv.URL}, rate: 1, burst: 2})
+
+	body := `{"model":"t5-100M","gpus":8}`
+	var limited *http.Response
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, srv.URL+"/v1/search", body, map[string]string{clientHeader: "bursty"})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			limited = resp
+		}
+	}
+	if limited == nil {
+		t.Fatal("3 rapid requests against burst=2 never hit 429")
+	}
+	if ra := limited.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carried no Retry-After")
+	}
+	if gw.rateLimited.Load() == 0 {
+		t.Error("rate-limited requests not counted")
+	}
+	// A different client principal is untouched.
+	resp, _ := postJSON(t, srv.URL+"/v1/search", body, map[string]string{clientHeader: "calm"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("other client caught in the limiter: %d", resp.StatusCode)
+	}
+}
+
+// TestJobStickinessAndProbe: job status follows the submit's replica;
+// a gateway with no memory of the job (restart) probes the fleet and
+// still finds it; an unknown job is 404.
+func TestJobStickinessAndProbe(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")}
+	urls := []string{fakes[0].srv.URL, fakes[1].srv.URL, fakes[2].srv.URL}
+	_, srv := testGateway(t, gatewayConfig{replicas: urls})
+
+	resp, data := postJSON(t, srv.URL+"/v1/jobs", `{"model":"t5-100M","gpus":8}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || st.ID == "" {
+		t.Fatalf("submit response unparseable: %s", data)
+	}
+	submitReplica := resp.Header.Get(replicaHeader)
+
+	get, body := getURL(t, srv.URL+"/v1/jobs/"+st.ID)
+	if get.StatusCode != http.StatusOK || get.Header.Get(replicaHeader) != submitReplica {
+		t.Errorf("status fetched from %q (%d), want the submit replica %q",
+			get.Header.Get(replicaHeader), get.StatusCode, submitReplica)
+	}
+	if !strings.Contains(string(body), st.ID) {
+		t.Errorf("status body lost the job: %s", body)
+	}
+
+	// A fresh gateway (restart: empty owner table) probes and finds it.
+	_, srv2 := testGateway(t, gatewayConfig{replicas: urls})
+	get2, _ := getURL(t, srv2.URL+"/v1/jobs/"+st.ID)
+	if get2.StatusCode != http.StatusOK || get2.Header.Get(replicaHeader) != submitReplica {
+		t.Errorf("probe found %q (%d), want %q", get2.Header.Get(replicaHeader), get2.StatusCode, submitReplica)
+	}
+
+	// Unknown everywhere → one clean 404.
+	get3, body3 := getURL(t, srv.URL+"/v1/jobs/nope-42")
+	if get3.StatusCode != http.StatusNotFound || !strings.Contains(string(body3), "not found") {
+		t.Errorf("unknown job: %d %s", get3.StatusCode, body3)
+	}
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+// TestProbeDoesNotPinOnError: a replica that answers 5xx during an
+// ownership probe must not be recorded as the job's owner — only a
+// successful answer proves ownership.
+func TestProbeDoesNotPinOnError(t *testing.T) {
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	t.Cleanup(sick.Close)
+	owner := newFakeReplica(t, "b")
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{sick.URL, owner.srv.URL}})
+
+	// The probe hits the sick replica first (index order) and relays
+	// its error, but must not pin the job to it …
+	resp, _ := getURL(t, srv.URL+"/v1/jobs/b-job-7")
+	if resp.StatusCode == http.StatusNotFound {
+		t.Fatalf("probe swallowed the sick replica's answer: %d", resp.StatusCode)
+	}
+	if _, pinned := gw.owners.get("b-job-7"); pinned && resp.StatusCode/100 != 2 {
+		t.Fatal("job pinned to a replica that answered an error")
+	}
+	// … so once the sick replica is known-down, the probe finds the
+	// real owner.
+	gw.replicas[0].healthy.Store(false)
+	resp2, body := getURL(t, srv.URL+"/v1/jobs/b-job-7")
+	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"served_by":"b"`) {
+		t.Errorf("real owner not found after the sick replica: %d %s", resp2.StatusCode, body)
+	}
+	if idx, ok := gw.owners.get("b-job-7"); !ok || idx != 1 {
+		t.Errorf("successful probe did not record the owner: %v %v", idx, ok)
+	}
+}
+
+// TestSubmitNotReplayedMidFlight: a job submission whose connection
+// dies after reaching a replica is NOT replayed elsewhere (the job may
+// have been queued); only dial failures — provably never sent — fail
+// over.
+func TestSubmitNotReplayedMidFlight(t *testing.T) {
+	killer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("no hijack support")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Close() // the request arrived, then the replica "crashed"
+	}))
+	t.Cleanup(killer.Close)
+	second := newFakeReplica(t, "b")
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{killer.URL, second.srv.URL}})
+
+	// Make the killer the ring head for this submit.
+	var body string
+	for i := 0; ; i++ {
+		body = fmt.Sprintf(`{"model":"unknown-%d","gpus":8}`, i)
+		if gw.ring.order(gw.routeKey("/v1/jobs", []byte(body)))[0] == 0 {
+			break
+		}
+	}
+	resp, data := postJSON(t, srv.URL+"/v1/jobs", body, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("mid-flight submit failure answered %d, want 502: %s", resp.StatusCode, data)
+	}
+	if n := second.submits.Load(); n != 0 {
+		t.Errorf("submit replayed onto the second replica %d times — duplicate job risk", n)
+	}
+
+	// A dial failure (nothing ever sent) still fails over.
+	deadURL := killer.URL
+	killer.Close()
+	gw2, srv2 := testGateway(t, gatewayConfig{replicas: []string{deadURL, second.srv.URL}})
+	var body2 string
+	for i := 0; ; i++ {
+		body2 = fmt.Sprintf(`{"model":"other-%d","gpus":8}`, i)
+		if gw2.ring.order(gw2.routeKey("/v1/jobs", []byte(body2)))[0] == 0 {
+			break
+		}
+	}
+	resp2, data2 := postJSON(t, srv2.URL+"/v1/jobs", body2, nil)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Errorf("dial-failure submit did not fail over: %d %s", resp2.StatusCode, data2)
+	}
+}
+
+// TestSSEEventsProxied: the events stream passes through the gateway
+// intact (both frames, in order, as SSE).
+func TestSSEEventsProxied(t *testing.T) {
+	f := newFakeReplica(t, "a")
+	_, srv := testGateway(t, gatewayConfig{replicas: []string{f.srv.URL}})
+
+	resp, data := postJSON(t, srv.URL+"/v1/jobs", `{"model":"t5-100M","gpus":8}`, nil)
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit failed: %d %s", resp.StatusCode, data)
+	}
+	get, body := getURL(t, srv.URL+"/v1/jobs/"+st.ID+"/events")
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", get.StatusCode)
+	}
+	if ct := get.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Errorf("events content type %q", ct)
+	}
+	text := string(body)
+	if !strings.Contains(text, `"type":"progress"`) || !strings.Contains(text, `"state":"done"`) {
+		t.Errorf("stream mangled:\n%s", text)
+	}
+	if strings.Index(text, "progress") > strings.Index(text, "done") {
+		t.Error("events reordered")
+	}
+}
+
+// TestFleetHealthAndJobsMerge: the gateway health view degrades and
+// recovers with the fleet, and GET /v1/jobs merges every replica.
+func TestFleetHealthAndJobsMerge(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	b := newFakeReplica(t, "b")
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{a.srv.URL, b.srv.URL}})
+	ctx := context.Background()
+
+	gw.checkAll(ctx)
+	resp, body := getURL(t, srv.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Errorf("healthy fleet: %d %s", resp.StatusCode, body)
+	}
+
+	jresp, jbody := getURL(t, srv.URL+"/v1/jobs")
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("jobs merge: %d", jresp.StatusCode)
+	}
+	if !strings.Contains(string(jbody), "a-job-1") || !strings.Contains(string(jbody), "b-job-1") {
+		t.Errorf("fleet job listing incomplete: %s", jbody)
+	}
+
+	b.healthy.Store(false)
+	gw.checkAll(ctx)
+	resp, body = getURL(t, srv.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "degraded"`) {
+		t.Errorf("degraded fleet: %d %s", resp.StatusCode, body)
+	}
+
+	a.healthy.Store(false)
+	gw.checkAll(ctx)
+	resp, body = getURL(t, srv.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), `"status": "unavailable"`) {
+		t.Errorf("dead fleet: %d %s", resp.StatusCode, body)
+	}
+
+	// Recovery: the active checker brings a replica back.
+	a.healthy.Store(true)
+	gw.checkAll(ctx)
+	if resp, _ := getURL(t, srv.URL+"/v1/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("fleet did not recover: %d", resp.StatusCode)
+	}
+}
+
+// TestGatewayMetrics: route counters come out in Prometheus text form.
+func TestGatewayMetrics(t *testing.T) {
+	f := newFakeReplica(t, "a")
+	_, srv := testGateway(t, gatewayConfig{replicas: []string{f.srv.URL}})
+	postJSON(t, srv.URL+"/v1/search", `{"model":"t5-100M","gpus":8}`, nil)
+
+	resp, body := getURL(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE tapas_gateway_requests_total counter",
+		"tapas_gateway_requests_total 1",
+		fmt.Sprintf(`tapas_gateway_proxied_total{replica="%s"} 1`, f.srv.URL),
+		fmt.Sprintf(`tapas_gateway_replica_healthy{replica="%s"} 1`, f.srv.URL),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestCrossReplicaStoreHitThroughGateway is the acceptance round trip
+// on the real stack: replica A owns a filesystem corpus, replica B
+// shares it over the store peer protocol, the gateway fronts both. A
+// plan searched cold through the gateway is then answered with
+// store_hit by the *other* replica — after a failover, without
+// re-running the search.
+func TestCrossReplicaStoreHitThroughGateway(t *testing.T) {
+	ctx := context.Background()
+
+	// Replica A: corpus owner.
+	stA, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcA := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stA)}})
+	srvA := httptest.NewServer(service.NewHandler(svcA))
+	defer srvA.Close()
+	defer svcA.Shutdown(ctx)
+	defer stA.Close()
+
+	// Replica B: shares A's corpus remotely.
+	stB, err := store.Open(store.Options{Backend: remotebackend.New(srvA.URL), Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	srvB := httptest.NewServer(service.NewHandler(svcB))
+	defer srvB.Close()
+	defer svcB.Shutdown(ctx)
+	defer stB.Close()
+
+	gw, gwSrv := testGateway(t, gatewayConfig{replicas: []string{srvA.URL, srvB.URL}})
+
+	// Cold search through the gateway.
+	body := `{"model":"twotower-small","gpus":4}`
+	resp, data := postJSON(t, gwSrv.URL+"/v1/search", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold search: %d %s", resp.StatusCode, data)
+	}
+	var cold service.SearchResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.StoreHit || cold.CacheHit {
+		t.Fatalf("first search through the gateway must be cold: %+v", cold.ResultSummary)
+	}
+	coldReplica := resp.Header.Get(replicaHeader)
+
+	// The write-behind persist reaches the shared corpus.
+	stA.Flush()
+	stB.Flush()
+
+	// Take the answering replica down; the ring fails the same key over
+	// to the other one, which must answer from the shared store.
+	for i, rep := range gw.replicas {
+		if rep.url == coldReplica {
+			gw.replicas[i].healthy.Store(false)
+		}
+	}
+	resp2, data2 := postJSON(t, gwSrv.URL+"/v1/search", body, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("failover search: %d %s", resp2.StatusCode, data2)
+	}
+	warmReplica := resp2.Header.Get(replicaHeader)
+	if warmReplica == coldReplica {
+		t.Fatalf("failover did not move the key: still %s", warmReplica)
+	}
+	var warm service.SearchResponse
+	if err := json.Unmarshal(data2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.StoreHit {
+		t.Fatalf("replica %s re-ran the search instead of serving the shared corpus: %+v",
+			warmReplica, warm.ResultSummary)
+	}
+	if warm.PlanSummary != cold.PlanSummary || warm.Report != cold.Report || warm.CostSeconds != cold.CostSeconds {
+		t.Errorf("shared-corpus answer diverged:\ncold: %+v\nwarm: %+v", cold.ResultSummary, warm.ResultSummary)
+	}
+}

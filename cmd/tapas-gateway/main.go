@@ -1,0 +1,110 @@
+// Command tapas-gateway fronts a fleet of tapas-serve replicas with
+// one address: the horizontal scale-out tier of the serving stack.
+//
+// Requests that name a search (sync search, batch, job submit) are
+// routed by consistent hash of the search identity — graph fingerprint
+// × device count × cluster × result-changing options, the same key the
+// replicas' caches and stores use — so repeat traffic for one plan
+// always lands on the replica whose memory cache already holds it.
+// Job status/cancel/events follow the replica that owns the job.
+// Replicas are health-checked actively (/v1/healthz) and failed over
+// along the hash ring on transport errors; which replica answered is
+// reported in the X-Tapas-Replica response header.
+//
+// With -rate, each client (the X-Tapas-Client header, else the client
+// IP) gets a token bucket; requests beyond it are answered 429 with
+// Retry-After, which service.Client's GET retries honor.
+//
+// Endpoints: the proxied v1 API (/v1/search, /v1/search:batch,
+// /v1/jobs...), GET /v1/jobs (merged fleet listing), GET /v1/healthz
+// (fleet view; 503 when no replica is healthy) and GET /metrics
+// (Prometheus text).
+//
+// Usage:
+//
+//	tapas-gateway -addr :8090 -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	tapas-gateway -addr :8090 -replicas ... -rate 10 -burst 20 -health-interval 2s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated tapas-serve base URLs (required)")
+	vnodes := flag.Int("vnodes", 64, "virtual nodes per replica on the hash ring")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "active health-check period")
+	healthTimeout := flag.Duration("health-timeout", 2*time.Second, "per-replica health-check timeout")
+	rate := flag.Float64("rate", 0, "per-client request rate (tokens/second; 0 disables rate limiting)")
+	burst := flag.Int("burst", 0, "per-client burst size (0 = max(1, 2*rate))")
+	jobTable := flag.Int("job-table", 4096, "job-to-replica stickiness entries retained")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	log.SetPrefix("tapas-gateway: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Printf("no replicas given; use -replicas http://host:port,...")
+		os.Exit(2)
+	}
+
+	gw := newGateway(gatewayConfig{
+		replicas:       urls,
+		vnodes:         *vnodes,
+		healthInterval: *healthInterval,
+		healthTimeout:  *healthTimeout,
+		rate:           *rate,
+		burst:          *burst,
+		jobTableSize:   *jobTable,
+		logf:           log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	gw.checkAll(ctx) // seed health state before taking traffic
+	go gw.runHealth(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: gw.handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d replicas on %s (vnodes=%d rate=%g)", len(urls), *addr, *vnodes, *rate)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Printf("listener failed: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("shutting down: draining for up to %v", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain deadline passed, closing in-flight requests")
+		_ = srv.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("%v", err)
+	}
+	log.Printf("bye")
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter: each client key
+// holds a bucket refilled at rate tokens/second up to burst, and one
+// request spends one token. A denied request learns how long until the
+// next token — the Retry-After the gateway sends with its 429.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	clients   map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Idle buckets are swept so one-off clients cannot grow the table
+// without bound.
+const (
+	sweepEvery = 5 * time.Minute
+	idleFor    = 10 * time.Minute
+)
+
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:      rate,
+		burst:     float64(burst),
+		clients:   make(map[string]*bucket),
+		lastSweep: time.Now(),
+	}
+}
+
+// allow spends one token for key, or reports the wait until one
+// accrues.
+func (l *limiter) allow(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now.Sub(l.lastSweep) > sweepEvery {
+		for k, b := range l.clients {
+			if now.Sub(b.last) > idleFor {
+				delete(l.clients, k)
+			}
+		}
+		l.lastSweep = now
+	}
+	b, ok := l.clients[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	}
+	b.tokens += l.rate * now.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}

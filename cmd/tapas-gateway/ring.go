@@ -1,0 +1,60 @@
+package main
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// hashRing is a consistent-hash ring over replica indices with virtual
+// nodes, so adding or removing one replica remaps only ~1/N of the key
+// space (keeping the other replicas' memory caches warm) and the load
+// spreads evenly despite the replicas hashing to arbitrary points.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	n      int         // distinct replicas
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// newRing places vnodes points per replica, named by name(i).
+func newRing(n, vnodes int, name func(int) string) *hashRing {
+	r := &hashRing{n: n, points: make([]ringPoint, 0, n*vnodes)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(name(i) + "#" + strconv.Itoa(v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order returns every replica index exactly once, in ring order
+// starting at key's successor: the head is the key's home replica and
+// the tail is its failover preference list.
+func (r *hashRing) order(key string) []int {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	out := make([]int, 0, r.n)
+	for k := 0; k < len(r.points) && len(out) < r.n; k++ {
+		p := r.points[(start+k)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

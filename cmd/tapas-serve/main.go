@@ -13,10 +13,18 @@
 //	GET    /v1/jobs/{id}/events SSE stream of progress + state events
 //	GET    /v1/models           registered model names
 //	GET    /v1/healthz          queue, worker, cache and store statistics
+//	GET    /v1/store[/{id}]     store peer protocol (replicas sharing the corpus)
+//	GET    /metrics             Prometheus text metrics
 //
 // With -store-dir the daemon persists every searched plan to a
 // file-backed store and serves repeat traffic from it across restarts
 // (store_hit: true): hit precedence is memory cache → store → search.
+// The corpus doubles as the fleet's shared plan store: peers started
+// with -store-peer http://this-daemon:8080 read and write it through
+// the /v1/store endpoints, so a cold search by any replica warms all of
+// them. -store-gc-age compacts the corpus by deleting records unused
+// for longer than the bound (at open and on a timer). GET /metrics
+// exposes the cache/store/queue counters in Prometheus text form.
 //
 // SIGINT/SIGTERM drain gracefully: intake stops (new requests get JSON
 // 503 bodies), running jobs get -drain-timeout to finish, then their
@@ -46,6 +54,7 @@ import (
 	"tapas"
 	"tapas/service"
 	"tapas/store"
+	"tapas/store/remotebackend"
 )
 
 func main() {
@@ -55,7 +64,10 @@ func main() {
 	workers := flag.Int("workers", 0, "search worker goroutines per job (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", tapas.DefaultCacheSize, "result cache entries (0 disables)")
 	storeDir := flag.String("store-dir", "", "persistent plan store directory; searches survive restarts (empty disables)")
+	storePeer := flag.String("store-peer", "", "peer daemon URL whose plan corpus this replica shares (e.g. http://replica-a:8080; mutually exclusive with -store-dir)")
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "plan store record bound (LRU eviction past it)")
+	storeGCAge := flag.Duration("store-gc-age", 0, "delete store records unused for longer than this, at open and on a timer (0 disables GC)")
+	storeGCInterval := flag.Duration("store-gc-interval", 0, "store GC timer period (0 = age/4, clamped to [1s, 1h])")
 	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
 	progress := flag.Bool("progress", false, "log engine progress events")
@@ -73,21 +85,38 @@ func main() {
 		JobWorkers:  *jobWorkers,
 		MaxFinished: *maxFinished,
 	}
+	if *storeDir != "" && *storePeer != "" {
+		log.Printf("-store-dir and -store-peer are mutually exclusive: a replica either owns a corpus or shares a peer's")
+		os.Exit(2)
+	}
+	if *storePeer != "" && *storeGCAge > 0 {
+		log.Printf("-store-gc-age belongs on the corpus owner, not on a -store-peer replica")
+		os.Exit(2)
+	}
 	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		st, err = store.Open(store.Options{
+	if *storeDir != "" || *storePeer != "" {
+		opts := store.Options{
 			Dir:        *storeDir,
 			MaxEntries: *storeMax,
+			GCAge:      *storeGCAge,
+			GCInterval: *storeGCInterval,
 			OnCorrupt: func(path string, err error) {
 				log.Printf("store: skipping unreadable record %s: %v", path, err)
 			},
-		})
+		}
+		where := *storeDir
+		if *storePeer != "" {
+			opts.Backend = remotebackend.New(*storePeer)
+			opts.Shared = true
+			where = *storePeer
+		}
+		var err error
+		st, err = store.Open(opts)
 		if err != nil {
 			log.Printf("opening plan store: %v", err)
 			os.Exit(1)
 		}
-		log.Printf("plan store %s: %d records", *storeDir, st.Len())
+		log.Printf("plan store %s: %d records", where, st.Len())
 		cfg.EngineOptions = append(cfg.EngineOptions, tapas.WithStore(st))
 	}
 	if *progress {
@@ -105,7 +134,7 @@ func main() {
 	defer baseCancel()
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     newMux(svc),
+		Handler:     service.NewHandler(svc),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 

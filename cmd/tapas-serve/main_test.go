@@ -23,7 +23,7 @@ func newTestServer(t *testing.T, cfg ...service.Config) (*httptest.Server, *serv
 		c = cfg[0]
 	}
 	svc := service.New(c)
-	srv := httptest.NewServer(newMux(svc))
+	srv := httptest.NewServer(service.NewHandler(svc))
 	t.Cleanup(func() {
 		srv.Close()
 		if err := svc.Shutdown(context.Background()); err != nil {
@@ -168,7 +168,7 @@ func TestHTTPWarmRestartFromStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc1 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st1)}})
-	srv1 := httptest.NewServer(newMux(svc1))
+	srv1 := httptest.NewServer(service.NewHandler(svc1))
 	c1 := service.NewClient(srv1.URL)
 	cold, err := c1.Search(ctx, service.SearchRequest{Model: "t5-100M", GPUs: 8})
 	if err != nil {
@@ -192,7 +192,7 @@ func TestHTTPWarmRestartFromStore(t *testing.T) {
 	}
 	defer st2.Close()
 	svc2 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st2)}})
-	srv2 := httptest.NewServer(newMux(svc2))
+	srv2 := httptest.NewServer(service.NewHandler(svc2))
 	defer srv2.Close()
 	defer svc2.Shutdown(ctx)
 	c2 := service.NewClient(srv2.URL)

@@ -27,6 +27,10 @@ func WithStore(st *store.Store) Option {
 	return func(e *Engine) { e.store = st }
 }
 
+// Store returns the attached plan store (nil when none is attached) —
+// e.g. for the serving layer to mount the store's peer protocol.
+func (e *Engine) Store() *store.Store { return e.store }
+
 // StoreStats snapshots the attached plan store's traffic and size. The
 // second return is false when no store is attached.
 func (e *Engine) StoreStats() (store.Stats, bool) {

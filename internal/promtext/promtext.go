@@ -1,0 +1,127 @@
+// Package promtext renders metrics in the Prometheus text exposition
+// format (version 0.0.4) without pulling in a client library: the
+// daemons' /metrics endpoints expose counters the system already keeps
+// internally, so all that is needed is a small, correct writer — HELP/
+// TYPE headers emitted once per family, label escaping, and stable
+// output order for tests and diffing.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the value /metrics responses declare.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Labels name one sample's label set.
+type Labels map[string]string
+
+// sample is one measured value within a family.
+type sample struct {
+	labels Labels
+	value  float64
+}
+
+// family is one named metric with its type, help text and samples.
+type family struct {
+	name    string
+	typ     string
+	help    string
+	samples []sample
+}
+
+// Metrics accumulates families in insertion order. Construct with New,
+// fill with Counter/Gauge, render with WriteTo.
+type Metrics struct {
+	families []*family
+	byName   map[string]*family
+}
+
+// New returns an empty metrics set.
+func New() *Metrics {
+	return &Metrics{byName: make(map[string]*family)}
+}
+
+// Counter records one cumulative sample. Repeated calls with the same
+// name add samples (typically with distinct labels) to one family; the
+// first call's help text wins.
+func (m *Metrics) Counter(name, help string, value float64, labels Labels) {
+	m.add(name, "counter", help, value, labels)
+}
+
+// Gauge records one point-in-time sample.
+func (m *Metrics) Gauge(name, help string, value float64, labels Labels) {
+	m.add(name, "gauge", help, value, labels)
+}
+
+func (m *Metrics) add(name, typ, help string, value float64, labels Labels) {
+	f, ok := m.byName[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help}
+		m.byName[name] = f
+		m.families = append(m.families, f)
+	}
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+// WriteTo renders the exposition text: families in insertion order,
+// each sample's labels sorted by name.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, f := range m.families {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(renderLabels(s.labels))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(s.value, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// renderLabels formats one label set as {k="v",...}, names sorted.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for k := range l {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

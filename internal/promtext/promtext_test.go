@@ -1,0 +1,58 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpositionFormat(t *testing.T) {
+	m := New()
+	m.Counter("tapas_hits_total", "Cache hits.", 12, nil)
+	m.Gauge("tapas_entries", "Indexed entries.", 3, nil)
+	m.Counter("tapas_proxied_total", "Requests per replica.", 7, Labels{"replica": "http://a:8080"})
+	m.Counter("tapas_proxied_total", "ignored duplicate help", 9, Labels{"replica": "http://b:8080"})
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP tapas_hits_total Cache hits.
+# TYPE tapas_hits_total counter
+tapas_hits_total 12
+# HELP tapas_entries Indexed entries.
+# TYPE tapas_entries gauge
+tapas_entries 3
+# HELP tapas_proxied_total Requests per replica.
+# TYPE tapas_proxied_total counter
+tapas_proxied_total{replica="http://a:8080"} 7
+tapas_proxied_total{replica="http://b:8080"} 9
+`
+	if got != want {
+		t.Errorf("exposition text:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	m := New()
+	m.Gauge("x", "line\nbreak and \\slash", 1, Labels{"l": "quote\" slash\\ nl\n"})
+	var b strings.Builder
+	m.WriteTo(&b)
+	got := b.String()
+	if !strings.Contains(got, `# HELP x line\nbreak and \\slash`) {
+		t.Errorf("help not escaped: %q", got)
+	}
+	if !strings.Contains(got, `x{l="quote\" slash\\ nl\n"} 1`) {
+		t.Errorf("label not escaped: %q", got)
+	}
+}
+
+func TestLabelOrderStable(t *testing.T) {
+	m := New()
+	m.Gauge("y", "", 2, Labels{"b": "2", "a": "1", "c": "3"})
+	var b strings.Builder
+	m.WriteTo(&b)
+	if !strings.Contains(b.String(), `y{a="1",b="2",c="3"} 2`) {
+		t.Errorf("labels not sorted: %q", b.String())
+	}
+}

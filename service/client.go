@@ -5,16 +5,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
 
-// Client speaks the v1 HTTP API of a tapas-serve daemon. The zero
-// value is not usable; construct with NewClient. Methods are safe for
-// concurrent use.
+// Client speaks the v1 HTTP API of a tapas-serve daemon (or a
+// tapas-gateway fronting a fleet of them). The zero value is not
+// usable; construct with NewClient. Methods are safe for concurrent
+// use.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:8080".
 	BaseURL string
@@ -22,6 +26,20 @@ type Client struct {
 	// unary calls; StreamEvents and WaitDone always use a timeout-free
 	// transport derived from it, bounded by their context instead.
 	HTTPClient *http.Client
+	// MaxRetries bounds the extra attempts of idempotent GET requests
+	// (Job, Models, Health — and WaitDone's polling through them) after
+	// a connection error, a 5xx response, or a 429 from a gateway's
+	// rate limiter. NewClient sets 3; 0 or negative disables retrying.
+	// Non-GET requests are never retried: a search or submit that
+	// failed mid-flight may have executed.
+	MaxRetries int
+	// RetryBaseDelay seeds the capped exponential backoff between
+	// attempts (jittered; doubles per attempt). 0 selects 100ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the computed backoff. 0 selects 2s. A
+	// Retry-After header on a 429/503 response overrides the computed
+	// delay (capped at 30s).
+	RetryMaxDelay time.Duration
 }
 
 // NewClient builds a client for the daemon at baseURL.
@@ -29,6 +47,7 @@ func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL:    strings.TrimRight(baseURL, "/"),
 		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+		MaxRetries: 3,
 	}
 }
 
@@ -36,6 +55,9 @@ func NewClient(baseURL string) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server-directed backoff from a Retry-After
+	// header (0 when absent) — a gateway's rate limiter sets it on 429.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -48,21 +70,51 @@ type errorBody struct {
 }
 
 // do issues one JSON round trip. A nil in means no request body; a nil
-// out discards the response body.
+// out discards the response body. GET requests are retried on
+// transient failures (connection errors, 5xx, 429) with capped,
+// jittered exponential backoff, honoring Retry-After; other methods
+// get exactly one attempt.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var buf []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		buf, err = json.Marshal(in)
 		if err != nil {
 			return err
 		}
+	}
+	attempts := 1
+	if method == http.MethodGet && c.MaxRetries > 0 {
+		attempts += c.MaxRetries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		err := c.roundTrip(ctx, method, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt == attempts-1 || ctx.Err() != nil || !transient(err) {
+			return err
+		}
+		if werr := c.backoff(ctx, attempt, retryAfterOf(err)); werr != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// roundTrip is one request/response exchange.
+func (c *Client) roundTrip(ctx context.Context, method, path string, buf []byte, out any) error {
+	var body io.Reader
+	if buf != nil {
 		body = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -83,6 +135,57 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// transient reports whether a failed attempt is worth retrying: any
+// transport error, or a response that signals overload or a dying
+// upstream (5xx, 429). 4xx responses other than 429 are the caller's
+// bug and final.
+func transient(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	return true // connection refused, reset, timeout: the request may never have arrived
+}
+
+// retryAfterOf extracts a server-directed delay from a 429/503
+// response, 0 when absent.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// backoff sleeps before the next attempt: the server's Retry-After when
+// given (capped at 30s), otherwise capped exponential backoff with
+// jitter in [d/2, d). Returns early when ctx dies.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	var d time.Duration
+	if retryAfter > 0 {
+		d = min(retryAfter, 30*time.Second)
+	} else {
+		base := c.RetryBaseDelay
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		maxD := c.RetryMaxDelay
+		if maxD <= 0 {
+			maxD = 2 * time.Second
+		}
+		d = min(base<<attempt, maxD)
+		d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // decodeAPIError turns a non-2xx response into an *APIError, reading
 // the daemon's JSON error envelope when present.
 func decodeAPIError(resp *http.Response) error {
@@ -91,7 +194,11 @@ func decodeAPIError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&eb); err == nil && eb.Error != "" {
 		msg = eb.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return apiErr
 }
 
 // Search runs one synchronous search (POST /v1/search).

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesTransientGet: a GET that hits a dying upstream (5xx)
+// succeeds once the upstream recovers, within MaxRetries.
+func TestClientRetriesTransientGet(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		writeTestJSON(w, map[string]any{"models": []string{"t5-100M"}})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond
+
+	models, err := c.Models(context.Background())
+	if err != nil {
+		t.Fatalf("retryable failure not recovered: %v", err)
+	}
+	if len(models) != 1 || calls.Load() != 3 {
+		t.Errorf("models=%v after %d calls, want 1 model after 3 calls", models, calls.Load())
+	}
+}
+
+// TestClientRetryHonorsRetryAfter: a 429 with Retry-After waits at
+// least the directed delay before the next attempt — the contract the
+// gateway's rate limiter relies on.
+func TestClientRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeTestJSON(w, map[string]string{"error": "rate limit exceeded"})
+		default:
+			secondAt = time.Now()
+			writeTestJSON(w, &JobStatus{ID: "j1", State: JobDone})
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond // provably not the source of the wait
+
+	st, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobDone {
+		t.Errorf("final status %+v", st)
+	}
+	if wait := secondAt.Sub(firstAt); wait < 900*time.Millisecond {
+		t.Errorf("waited %v between attempts, want ≥ ~1s (Retry-After honored)", wait)
+	}
+}
+
+// TestClientDoesNotRetryPost: a search that failed mid-flight may have
+// executed — POSTs get exactly one attempt.
+func TestClientDoesNotRetryPost(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		writeTestJSON(w, map[string]string{"error": "boom"})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond
+
+	var apiErr *APIError
+	if _, err := c.Search(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8}); !errors.As(err, &apiErr) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("POST attempted %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestClientRetryStopsOnPermanentError: 4xx (other than 429) is the
+// caller's bug — no retries, fail fast.
+func TestClientRetryStopsOnPermanentError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		writeTestJSON(w, map[string]string{"error": "job not found"})
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond
+
+	var apiErr *APIError
+	if _, err := c.Job(context.Background(), "nope"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("want 404 APIError, got %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("permanent failure attempted %d times, want exactly 1", calls.Load())
+	}
+}
+
+// TestClientRetryConnectionError: a daemon that is simply not there is
+// retried and the transport error surfaces once attempts run out.
+func TestClientRetryConnectionError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	c := NewClient(url)
+	c.MaxRetries = 2
+	c.RetryBaseDelay = time.Millisecond
+
+	start := time.Now()
+	_, err := c.Models(context.Background())
+	if err == nil {
+		t.Fatal("dead daemon answered")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("retry backoff did not stay capped")
+	}
+}

@@ -34,6 +34,7 @@ func TestClientAPIErrorBodies(t *testing.T) {
 	}))
 	defer srv.Close()
 	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond // the 502 below is retried; keep the test fast
 	ctx := context.Background()
 
 	var apiErr *APIError

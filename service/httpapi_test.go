@@ -1,0 +1,135 @@
+package service_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tapas"
+	"tapas/service"
+	"tapas/store"
+	"tapas/store/remotebackend"
+)
+
+// newStoreServer boots the full daemon handler over a store-backed
+// service.
+func newStoreServer(t *testing.T) (*httptest.Server, *service.Client, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st)}})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		st.Close()
+	})
+	return srv, service.NewClient(srv.URL), st
+}
+
+// TestStorePeerEndpointsServeTheCorpus: the daemon's /v1/store surface
+// is a usable remote backend — a second service over it shares the
+// first one's corpus and answers with store_hit without re-searching.
+func TestStorePeerEndpointsServeTheCorpus(t *testing.T) {
+	srvA, ca, stA := newStoreServer(t)
+	ctx := context.Background()
+
+	cold, err := ca.Search(ctx, service.SearchRequest{Model: "twotower-small", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.StoreHit || cold.CacheHit {
+		t.Fatalf("first search must be cold: %+v", cold.ResultSummary)
+	}
+	stA.Flush() // write-behind → corpus
+
+	// Replica B shares A's corpus over the peer protocol.
+	stB, err := store.Open(store.Options{Backend: remotebackend.New(srvA.URL), Shared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	svcB := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	srvB := httptest.NewServer(service.NewHandler(svcB))
+	defer srvB.Close()
+	defer svcB.Shutdown(ctx)
+	cb := service.NewClient(srvB.URL)
+
+	warm, err := cb.Search(ctx, service.SearchRequest{Model: "twotower-small", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.StoreHit {
+		t.Fatal("replica B did not serve A's plan from the shared corpus")
+	}
+	if warm.PlanSummary != cold.PlanSummary || warm.Report != cold.Report {
+		t.Errorf("shared-corpus response diverged:\nA: %+v\nB: %+v", cold.ResultSummary, warm.ResultSummary)
+	}
+}
+
+func TestStoreEndpointsWithoutStoreAre404(t *testing.T) {
+	svc := service.New(service.Config{})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Shutdown(context.Background())
+	})
+	resp, err := http.Get(srv.URL + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/store without a store: %d, want 404", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "no plan store") {
+		t.Errorf("missing-store error body: %s", body)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves the Prometheus text form of the
+// counters /v1/healthz serves as JSON, and moves with traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, c, _ := newStoreServer(t)
+	ctx := context.Background()
+	if _, err := c.Search(ctx, service.SearchRequest{Model: "twotower-small", GPUs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(ctx, service.SearchRequest{Model: "twotower-small", GPUs: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE tapas_cache_hits_total counter",
+		"tapas_cache_hits_total 1",
+		"tapas_cache_misses_total 1",
+		"# TYPE tapas_jobs_queue_capacity gauge",
+		"# TYPE tapas_store_puts_total counter",
+		"tapas_draining 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}

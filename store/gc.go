@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"time"
+)
+
+// GC deletes every record whose backend timestamp is older than maxAge.
+// Because Get refreshes a record's timestamp, age here means "time since
+// last written or served", so GC compacts the corpus down to what is
+// actually being used — the ROADMAP's store compaction. It runs
+// automatically at Open and on a timer when Options.GCAge is set, and
+// can be called directly for an ad-hoc compaction.
+//
+// Removals are counted in Stats.GCRemoved (and the pass in
+// Stats.GCRuns). A record the backend refuses to delete is reported via
+// OnCorrupt and skipped; GC only returns an error when the backend
+// cannot be listed at all.
+//
+// GC refuses to run on a shared store: the corpus bound belongs to its
+// owner (a replica's age policy must not delete records fleet-wide).
+// Run it on the owner.
+func (s *Store) GC(maxAge time.Duration) (removed int, err error) {
+	if s.shared {
+		return 0, fmt.Errorf("store: GC on a shared corpus belongs to its owner")
+	}
+	ents, err := s.backend.List()
+	if err != nil {
+		s.mu.Lock()
+		s.stats.ReadErrors++
+		s.stats.GCRuns++
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: gc list: %w", err)
+	}
+	cutoff := time.Now().Add(-maxAge)
+	for _, ei := range ents {
+		if !ei.ModTime.Before(cutoff) {
+			continue
+		}
+		if derr := s.backend.Delete(ei.ID); derr != nil {
+			if s.onCorrupt != nil {
+				s.onCorrupt(s.describe(ei.ID), fmt.Errorf("store: gc delete: %w", derr))
+			}
+			continue
+		}
+		s.dropIndex(ei.ID)
+		removed++
+	}
+	s.mu.Lock()
+	s.stats.GCRuns++
+	s.stats.GCRemoved += uint64(removed)
+	s.mu.Unlock()
+	return removed, nil
+}
+
+// runGC is one timer-driven GC pass; failures are reported, never
+// fatal.
+func (s *Store) runGC() {
+	if _, err := s.GC(s.gcAge); err != nil && s.onCorrupt != nil {
+		s.onCorrupt("gc", err)
+	}
+}
+
+// gcInterval resolves the GC timer period: an explicit GCInterval is
+// trusted as given; the default is a quarter of the age bound, clamped
+// to [1s, 1h].
+func gcInterval(opts Options) time.Duration {
+	if opts.GCInterval > 0 {
+		return opts.GCInterval
+	}
+	iv := opts.GCAge / 4
+	if iv < time.Second {
+		iv = time.Second
+	}
+	if iv > time.Hour {
+		iv = time.Hour
+	}
+	return iv
+}
+
+// gcLoop deletes aged records on a timer until Close.
+func (s *Store) gcLoop(interval time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.runGC()
+		}
+	}
+}

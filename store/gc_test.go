@@ -1,0 +1,132 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// age rewinds a record file's mtime so GC sees it as stale.
+func age(t *testing.T, dir string, k Key, by time.Duration) {
+	t.Helper()
+	mt := time.Now().Add(-by)
+	if err := os.Chtimes(filepath.Join(dir, k.ID()+".json"), mt, mt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCRemovesAgedRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(i), testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	age(t, dir, testKey(0), 2*time.Hour)
+	age(t, dir, testKey(1), 3*time.Hour)
+
+	removed, err := s.GC(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("GC removed %d records, want 2", removed)
+	}
+	if s.Len() != 1 {
+		t.Errorf("after GC: %d indexed, want 1", s.Len())
+	}
+	if _, ok := s.Get(testKey(0)); ok {
+		t.Error("aged record survived GC")
+	}
+	if _, ok := s.Get(testKey(2)); !ok {
+		t.Error("fresh record did not survive GC")
+	}
+	st := s.Stats()
+	if st.GCRuns != 1 || st.GCRemoved != 2 {
+		t.Errorf("gc stats: runs=%d removed=%d, want 1/2", st.GCRuns, st.GCRemoved)
+	}
+}
+
+// TestGCRecencyExtendsLife: Get refreshes a record's timestamp, so GC
+// age means "unused for", not "created before" — a hot record outlives
+// the bound.
+func TestGCRecencyExtendsLife(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Put(testKey(0), testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	age(t, dir, testKey(0), 2*time.Hour)
+	if _, ok := s.Get(testKey(0)); !ok { // refreshes the mtime
+		t.Fatal("warm-up get failed")
+	}
+	if removed, err := s.GC(time.Hour); err != nil || removed != 0 {
+		t.Errorf("GC removed a just-served record (removed=%d, err=%v)", removed, err)
+	}
+}
+
+func TestGCAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	for i := 0; i < 2; i++ {
+		if err := s.Put(testKey(i), testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	age(t, dir, testKey(0), 2*time.Hour)
+
+	s2 := open(t, dir, Options{GCAge: time.Hour})
+	if s2.Len() != 1 {
+		t.Errorf("open with GCAge kept %d records, want 1", s2.Len())
+	}
+	if st := s2.Stats(); st.GCRuns != 1 || st.GCRemoved != 1 {
+		t.Errorf("gc-at-open stats: %+v", st)
+	}
+}
+
+// TestGCRefusesSharedCorpus: a replica's age policy must never delete
+// records fleet-wide — the corpus bound belongs to its owner.
+func TestGCRefusesSharedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Shared: true})
+	if err := s.Put(testKey(0), testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	age(t, dir, testKey(0), 2*time.Hour)
+	if removed, err := s.GC(time.Hour); err == nil || removed != 0 {
+		t.Errorf("GC ran on a shared corpus (removed=%d, err=%v)", removed, err)
+	}
+	if _, ok := s.Get(testKey(0)); !ok {
+		t.Error("shared-corpus record deleted by GC")
+	}
+	// Open with GCAge on a shared store ignores it (no pass, no timer).
+	s2 := open(t, dir, Options{Shared: true, GCAge: time.Hour, GCInterval: 10 * time.Millisecond})
+	time.Sleep(50 * time.Millisecond)
+	if st := s2.Stats(); st.GCRuns != 0 {
+		t.Errorf("shared open ran GC: %+v", st)
+	}
+	if _, ok := s2.Get(testKey(0)); !ok {
+		t.Error("aged shared record vanished")
+	}
+}
+
+func TestGCTimer(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{GCAge: 10 * time.Millisecond, GCInterval: 20 * time.Millisecond})
+	if err := s.Put(testKey(0), testRecord(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("timer GC never collected the aged record (stats %+v)", s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := s.Stats(); st.GCRemoved == 0 {
+		t.Errorf("timer GC removed nothing: %+v", st)
+	}
+}

@@ -1,24 +1,24 @@
-// Package store persists search plans across process restarts: a
-// content-addressed, file-backed store of PlanJSON records keyed by the
-// same identity the Engine's in-memory result cache uses — structural
-// graph fingerprint × cluster signature × option set. A tapas-serve
-// daemon opened over a warm store directory answers repeat traffic
+// Package store persists search plans across process restarts and
+// shares them across replicas: a content-addressed store of PlanJSON
+// records keyed by the same identity the Engine's in-memory result cache
+// uses — structural graph fingerprint × cluster signature × option set.
+// A tapas-serve daemon opened over a warm store answers repeat traffic
 // without re-running the search pipeline (the plan is rehydrated,
 // re-priced and re-simulated, all orders of magnitude cheaper than a
 // cold search).
 //
-// Layout: one JSON file per record under the store directory, named by
-// the SHA-256 of the record's key, so the filename is verifiable from
-// the content. Writes are atomic (temp file + rename in the same
-// directory), so a crash mid-write can never leave a half-record under
-// a live name. Open tolerates corruption: records that fail to parse,
-// carry a future schema version, or do not match their filename are
-// skipped and reported, never fatal.
+// Bytes live behind the pluggable Backend interface: the filesystem
+// backend (one JSON file per record, atomic temp+rename writes) is the
+// default, and store/remotebackend reads and writes a peer daemon's
+// corpus over HTTP so N replicas share one plan store — any cold search
+// by one replica warms all of them.
 //
-// The store is bounded: beyond MaxEntries the least-recently-used
-// record is evicted (its file deleted). Recency survives restarts
-// approximately — Get touches the file's mtime, and Open rebuilds the
-// LRU order from mtimes.
+// The Store layers policy over the backend: a bounded in-memory LRU
+// index loaded at Open (recency persisted via backend timestamps),
+// corruption-tolerant reads (records that fail to parse, carry a future
+// schema version, or do not match their content address are skipped and
+// reported, never fatal), a write-behind queue with Flush/Close drain,
+// and optional age-based GC (at Open and on a timer).
 //
 // All methods are safe for concurrent use.
 package store
@@ -29,11 +29,9 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -62,7 +60,8 @@ type Key struct {
 }
 
 // ID returns the content address of the key: a hex SHA-256 over its
-// length-prefixed fields. It is the record's filename (plus ".json").
+// length-prefixed fields. It is the record's backend id (and the
+// filesystem backend's filename, plus ".json").
 func (k Key) ID() string {
 	h := sha256.New()
 	var buf [8]byte
@@ -109,17 +108,40 @@ type Record struct {
 	CreatedUnixMS int64                `json:"created_unix_ms"`
 }
 
-// Options configure Open. Only Dir is required.
+// Options configure Open. One of Dir and Backend is required.
 type Options struct {
-	// Dir is the store directory, created if missing.
+	// Dir selects the filesystem backend at this directory (created if
+	// missing). Ignored when Backend is set.
 	Dir string
-	// MaxEntries bounds the record count (LRU eviction past it).
-	// 0 selects DefaultMaxEntries.
+	// Backend overrides the byte-level persistence — e.g. a
+	// remotebackend.Backend pointing at a peer daemon's /v1/store
+	// endpoints.
+	Backend Backend
+	// Shared marks the backend's corpus as shared with other replicas
+	// (a remote backend, or a filesystem directory on shared storage).
+	// A shared Store trusts the backend's List at Open instead of
+	// reading every record (the corpus owner already validated them),
+	// serves index misses by consulting the backend (a record a peer
+	// persisted after this Open is still a hit), tolerates an
+	// unreachable corpus at Open (it starts empty and fills lazily),
+	// and evicts only its local index entries — never the shared bytes,
+	// whose bound belongs to the corpus owner.
+	Shared bool
+	// MaxEntries bounds the indexed record count (LRU eviction past
+	// it). 0 selects DefaultMaxEntries.
 	MaxEntries int
 	// QueueSize bounds the write-behind queue of PutAsync; writes
 	// beyond it are dropped (and counted) rather than blocking a
 	// search. 0 selects DefaultQueueSize.
 	QueueSize int
+	// GCAge enables age-based garbage collection: records whose backend
+	// timestamp (last write or recency refresh) is older than GCAge are
+	// deleted at Open and then on a timer. 0 disables GC. Ignored on a
+	// shared corpus — its bound belongs to the owner (see Store.GC).
+	GCAge time.Duration
+	// GCInterval is the GC timer period; 0 selects GCAge/4, clamped to
+	// [1s, 1h].
+	GCInterval time.Duration
 	// OnCorrupt, when set, observes every record skipped or dropped as
 	// unreadable — at Open and later (a record that fails to decode on
 	// Get) — and every failed write-behind persist. The store never
@@ -133,8 +155,8 @@ const (
 	DefaultQueueSize  = 256
 )
 
-// Stats is a point-in-time snapshot of store traffic, for health
-// endpoints. Corrupt counts records skipped at Open plus records
+// Stats is a point-in-time snapshot of store traffic, for health and
+// metrics endpoints. Corrupt counts records skipped at Open plus records
 // dropped later as unreadable or no longer rehydratable.
 type Stats struct {
 	Hits      uint64 `json:"hits"`
@@ -144,18 +166,25 @@ type Stats struct {
 	Corrupt   uint64 `json:"corrupt"`
 	Dropped   uint64 `json:"dropped"` // async writes dropped (queue full or store closed)
 	// WriteErrors counts write-behind persists that failed at the
-	// filesystem (disk full, permissions); the search they came from
+	// backend (disk full, peer unreachable); the search they came from
 	// already answered, so they are reported, not fatal.
 	WriteErrors uint64 `json:"write_errors"`
-	Entries     int    `json:"entries"`
-	Capacity    int    `json:"capacity"`
+	// ReadErrors counts backend reads that failed for a reason other
+	// than the record being absent — a transient failure (network blip,
+	// permissions), answered as a miss without dropping the record.
+	ReadErrors uint64 `json:"read_errors"`
+	// GCRuns and GCRemoved count age-based GC passes and the records
+	// they deleted.
+	GCRuns    uint64 `json:"gc_runs"`
+	GCRemoved uint64 `json:"gc_removed"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
 }
 
-// entry is one indexed record file.
+// entry is one indexed record.
 type entry struct {
-	id   string
-	key  Key
-	path string
+	id  string
+	key Key
 }
 
 // writeTask is one queued write-behind persist.
@@ -164,11 +193,14 @@ type writeTask struct {
 	rec *Record
 }
 
-// Store is a bounded, file-backed plan store. Construct with Open,
+// Store is a bounded, backend-backed plan store. Construct with Open,
 // retire with Close (which drains pending write-behind persists).
 type Store struct {
-	dir       string
+	backend   Backend
+	dir       string // filesystem backend directory ("" otherwise)
+	shared    bool
 	max       int
+	gcAge     time.Duration
 	onCorrupt func(string, error)
 
 	mu      sync.Mutex
@@ -179,30 +211,38 @@ type Store struct {
 	pending int
 	closed  bool
 
-	queue chan writeTask
-	wg    sync.WaitGroup
+	queue  chan writeTask
+	gcStop chan struct{} // nil when GC is disabled
+	wg     sync.WaitGroup
 }
 
-// Open loads (or creates) the store at opts.Dir. Unreadable records are
-// skipped and reported through opts.OnCorrupt — Open only fails when
-// the directory itself cannot be created or read. Leftover temp files
-// from interrupted writes are removed.
+// Open loads (or creates) the store over opts.Backend (or the filesystem
+// backend at opts.Dir). Unreadable records are skipped and reported
+// through opts.OnCorrupt — Open only fails when the backend itself
+// cannot be created or (for exclusive corpora) listed.
 func Open(opts Options) (*Store, error) {
-	if opts.Dir == "" {
-		return nil, fmt.Errorf("store: no directory given")
-	}
 	if opts.MaxEntries <= 0 {
 		opts.MaxEntries = DefaultMaxEntries
 	}
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = DefaultQueueSize
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: create %s: %w", opts.Dir, err)
+	backend := opts.Backend
+	var dir string
+	if backend == nil {
+		fs, err := NewFS(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		backend = fs
+		dir = fs.Dir()
 	}
 	s := &Store{
-		dir:       opts.Dir,
+		backend:   backend,
+		dir:       dir,
+		shared:    opts.Shared,
 		max:       opts.MaxEntries,
+		gcAge:     opts.GCAge,
 		onCorrupt: opts.OnCorrupt,
 		index:     make(map[string]*list.Element),
 		ll:        list.New(),
@@ -212,94 +252,112 @@ func Open(opts Options) (*Store, error) {
 	if err := s.load(); err != nil {
 		return nil, err
 	}
+	if s.gcAge > 0 && !s.shared {
+		// GC never runs against a shared corpus — its bound belongs to
+		// the owner (Store.GC enforces this too).
+		s.runGC()
+		s.gcStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.gcLoop(gcInterval(opts))
+	}
 	s.wg.Add(1)
 	go s.writer()
 	return s, nil
 }
 
-// load scans the directory into the in-memory index, oldest first so
-// the LRU order approximates the pre-restart recency.
+// load scans the backend into the in-memory index, oldest first so the
+// LRU order approximates the pre-restart recency. Exclusive (non-shared)
+// corpora are validated record by record — a corrupt store is caught at
+// startup, not at serving time; shared corpora trust the owner's
+// validation and fill lazily, so a replica boots without replaying the
+// whole corpus over the wire.
 func (s *Store) load() error {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.backend.List()
 	if err != nil {
-		return fmt.Errorf("store: read %s: %w", s.dir, err)
+		if s.shared {
+			// The corpus owner may simply not be up yet; serve cold and
+			// let index misses find it once it is.
+			s.mu.Lock()
+			s.stats.ReadErrors++
+			s.mu.Unlock()
+			if s.onCorrupt != nil {
+				s.onCorrupt("list", err)
+			}
+			return nil
+		}
+		return err
 	}
-	type candidate struct {
-		id    string
-		key   Key
-		path  string
-		mtime time.Time
+	sort.Slice(ents, func(i, j int) bool { return ents[i].ModTime.Before(ents[j].ModTime) })
+	var keep []entry
+	for _, ei := range ents {
+		e := entry{id: ei.ID}
+		if !s.shared {
+			key, err := s.check(ei.ID)
+			if err != nil {
+				s.reportCorrupt(s.describe(ei.ID), err)
+				continue
+			}
+			e.key = key
+		}
+		keep = append(keep, e)
 	}
-	var cands []candidate
-	for _, de := range ents {
-		name := de.Name()
-		path := filepath.Join(s.dir, name)
-		if de.IsDir() {
-			continue
-		}
-		if strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(path) // interrupted atomic write; the rename never happened
-			continue
-		}
-		if !strings.HasSuffix(name, ".json") {
-			continue
-		}
-		id := strings.TrimSuffix(name, ".json")
-		key, err := s.check(id, path)
-		if err != nil {
-			s.reportCorrupt(path, err)
-			continue
-		}
-		info, err := de.Info()
-		if err != nil {
-			s.reportCorrupt(path, err)
-			continue
-		}
-		cands = append(cands, candidate{id: id, key: key, path: path, mtime: info.ModTime()})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].mtime.Before(cands[j].mtime) })
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range cands {
-		s.index[c.id] = s.ll.PushFront(&entry{id: c.id, key: c.key, path: c.path})
+	for i := range keep {
+		e := keep[i]
+		s.index[e.id] = s.ll.PushFront(&entry{id: e.id, key: e.key})
 	}
 	s.evictLocked()
 	return nil
 }
 
-// check validates one record file against its content address,
+// check validates one stored record against its content address,
 // returning its key. Only the key is kept in memory (Open must stay
-// cheap on big stores), but each record is read once in full so a
-// corrupt store is caught at startup, not at serving time.
-func (s *Store) check(id string, path string) (Key, error) {
-	rec, err := readRecord(path)
+// cheap on big stores).
+func (s *Store) check(id string) (Key, error) {
+	rec, err := s.readRecord(id)
 	if err != nil {
 		return Key{}, err
 	}
 	if got := rec.Key.ID(); got != id {
-		return Key{}, fmt.Errorf("store: key hashes to %s, file named %s", got[:12], id)
+		return Key{}, fmt.Errorf("store: key hashes to %s, record named %s", got[:12], id)
 	}
 	return rec.Key, nil
 }
 
-// readRecord decodes one record file, enforcing the envelope schema.
-func readRecord(path string) (*Record, error) {
-	data, err := os.ReadFile(path)
+// readRecord fetches and decodes one record from the backend.
+func (s *Store) readRecord(id string) (*Record, error) {
+	data, err := s.backend.Get(id)
 	if err != nil {
 		return nil, err
 	}
+	return decodeRecord(id, data)
+}
+
+// decodeRecord decodes one record payload, enforcing the envelope
+// schema. name is the record's display identity for error messages.
+func decodeRecord(name string, data []byte) (*Record, error) {
 	var rec Record
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, fmt.Errorf("store: decode %s: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("store: decode %s: %w", name, err)
 	}
 	if rec.SchemaVersion > RecordSchemaVersion {
 		return nil, fmt.Errorf("store: record schema_version %d is newer than supported version %d",
 			rec.SchemaVersion, RecordSchemaVersion)
 	}
 	if rec.Plan == nil {
-		return nil, fmt.Errorf("store: record %s has no plan", filepath.Base(path))
+		return nil, fmt.Errorf("store: record %s has no plan", name)
 	}
 	return &rec, nil
+}
+
+// describe names a record for corruption reports: the file path for the
+// filesystem backend, the bare id otherwise.
+func (s *Store) describe(id string) string {
+	if p, ok := s.backend.(interface{ Path(string) string }); ok {
+		return p.Path(id)
+	}
+	return id
 }
 
 // reportCorrupt counts and (when configured) reports one unusable
@@ -313,51 +371,91 @@ func (s *Store) reportCorrupt(path string, err error) {
 	}
 }
 
-// Get looks up the record stored under k. A record that no longer
-// decodes is dropped (counted as corrupt) and reported as a miss.
-// A hit refreshes the record's recency, in memory and on disk (mtime),
-// so the LRU order survives restarts.
+// Get looks up the record stored under k. On a shared corpus an index
+// miss still consults the backend, so a record persisted by a peer
+// replica after this Open is a hit (and is indexed from then on); an
+// exclusive store answers misses from its authoritative index alone.
+// A record that no longer decodes is dropped (counted as corrupt) and
+// reported as a miss; a transient backend failure is a miss that keeps
+// the record. A hit refreshes the record's recency, in memory and at
+// the backend, so the LRU order survives restarts.
 func (s *Store) Get(k Key) (*Record, bool) {
 	id := k.ID()
 	s.mu.Lock()
-	el, ok := s.index[id]
-	if !ok {
-		s.stats.Misses++
-		s.mu.Unlock()
+	el, indexed := s.index[id]
+	if indexed {
+		s.ll.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !indexed && !s.shared {
+		// An exclusive corpus's index is authoritative (every record
+		// was indexed at Open, Put or eviction), so the miss costs no
+		// backend read; only shared corpora fall through to pick up
+		// peers' writes.
+		s.miss()
 		return nil, false
 	}
-	s.ll.MoveToFront(el)
-	path := el.Value.(*entry).path
-	s.mu.Unlock()
 
-	rec, err := readRecord(path)
+	data, err := s.backend.Get(id)
 	if err != nil {
-		s.dropEntry(id)
-		s.reportCorrupt(path, err)
-		s.mu.Lock()
-		s.stats.Misses++
-		s.mu.Unlock()
+		if errors.Is(err, ErrNotFound) {
+			if indexed {
+				s.dropIndex(id) // the backend lost it behind the index's back
+			}
+		} else {
+			s.mu.Lock()
+			s.stats.ReadErrors++
+			s.mu.Unlock()
+			if s.onCorrupt != nil {
+				s.onCorrupt(s.describe(id), err)
+			}
+		}
+		s.miss()
+		return nil, false
+	}
+	rec, err := decodeRecord(id, data)
+	if err != nil {
+		s.drop(id)
+		s.reportCorrupt(s.describe(id), err)
+		s.miss()
 		return nil, false
 	}
 	if rec.Key != k {
-		// A hash collision, or a tampered file renamed into place.
-		s.dropEntry(id)
-		s.reportCorrupt(path, fmt.Errorf("store: record key does not match lookup key"))
-		s.mu.Lock()
-		s.stats.Misses++
-		s.mu.Unlock()
+		// A hash collision, or a tampered record renamed into place.
+		s.drop(id)
+		s.reportCorrupt(s.describe(id), fmt.Errorf("store: record key does not match lookup key"))
+		s.miss()
 		return nil, false
 	}
 	s.mu.Lock()
+	if _, ok := s.index[id]; !ok {
+		s.index[id] = s.ll.PushFront(&entry{id: id, key: k})
+		s.evictLocked()
+	}
 	s.stats.Hits++
 	s.mu.Unlock()
-	now := time.Now()
-	_ = os.Chtimes(path, now, now) // best-effort: persist recency for the next Open
+	s.touch(id)
 	return rec, true
 }
 
+// touch refreshes a hit record's persisted recency where the backend
+// tracks one.
+func (s *Store) touch(id string) {
+	if t, ok := s.backend.(Toucher); ok {
+		t.Touch(id)
+	}
+}
+
+// miss counts one lookup miss.
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+}
+
 // Contains reports whether a record is indexed under k, without reading
-// or refreshing it.
+// or refreshing it. On a shared corpus the index lags peers' writes, so
+// false only means "not seen by this replica yet".
 func (s *Store) Contains(k Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -365,9 +463,9 @@ func (s *Store) Contains(k Key) bool {
 	return ok
 }
 
-// Put persists rec under k, atomically (temp file + rename) and
-// synchronously. The record's Key and SchemaVersion envelope fields are
-// set by the store; CreatedUnixMS is stamped when zero.
+// Put persists rec under k, synchronously and atomically at the
+// backend. The record's Key and SchemaVersion envelope fields are set
+// by the store; CreatedUnixMS is stamped when zero.
 func (s *Store) Put(k Key, rec *Record) error {
 	cp := *rec
 	cp.SchemaVersion = RecordSchemaVersion
@@ -383,30 +481,14 @@ func (s *Store) Put(k Key, rec *Record) error {
 		return fmt.Errorf("store: encode record: %w", err)
 	}
 	id := k.ID()
-	path := filepath.Join(s.dir, id+".json")
-	tmp, err := os.CreateTemp(s.dir, id+"-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: temp file: %w", err)
+	if err := s.backend.Put(id, data); err != nil {
+		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: write record: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: close record: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("store: publish record: %w", err)
-	}
-
 	s.mu.Lock()
 	if el, ok := s.index[id]; ok {
 		s.ll.MoveToFront(el)
 	} else {
-		s.index[id] = s.ll.PushFront(&entry{id: id, key: k, path: path})
+		s.index[id] = s.ll.PushFront(&entry{id: id, key: k})
 	}
 	s.stats.Puts++
 	s.evictLocked()
@@ -444,7 +526,7 @@ func (s *Store) writer() {
 		if err != nil && s.onCorrupt != nil {
 			// Report before the pending count drops, so Flush is a
 			// barrier for the report too.
-			s.onCorrupt(filepath.Join(s.dir, t.key.ID()+".json"),
+			s.onCorrupt(s.describe(t.key.ID()),
 				fmt.Errorf("store: write-behind persist failed: %w", err))
 		}
 		s.mu.Lock()
@@ -453,8 +535,8 @@ func (s *Store) writer() {
 			s.cond.Broadcast()
 		}
 		if err != nil {
-			// A failed persist (disk full, permissions) is a write
-			// error, not corruption: nothing bad is on disk.
+			// A failed persist (disk full, peer unreachable) is a write
+			// error, not corruption: nothing bad was published.
 			s.stats.WriteErrors++
 		}
 		s.mu.Unlock()
@@ -474,39 +556,53 @@ func (s *Store) Flush() {
 // rehydrates against the current build), counting it as corrupt.
 func (s *Store) Delete(k Key) {
 	id := k.ID()
-	if s.dropEntry(id) {
+	if s.drop(id) {
 		s.mu.Lock()
 		s.stats.Corrupt++
 		s.mu.Unlock()
 	}
 }
 
-// dropEntry removes one entry from the index and its file from disk.
-func (s *Store) dropEntry(id string) bool {
+// dropIndex removes one entry from the index only, leaving the backend
+// untouched. Reports whether it was indexed.
+func (s *Store) dropIndex(id string) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	el, ok := s.index[id]
-	var path string
 	if ok {
-		path = el.Value.(*entry).path
 		s.ll.Remove(el)
 		delete(s.index, id)
-	}
-	s.mu.Unlock()
-	if ok {
-		_ = os.Remove(path)
 	}
 	return ok
 }
 
-// evictLocked deletes least-recently-used records beyond the bound.
-// Callers must hold s.mu.
+// drop removes one record from the index and the backend. Reports
+// whether anything existed to remove.
+func (s *Store) drop(id string) bool {
+	existed := s.dropIndex(id)
+	if !existed {
+		if _, err := s.backend.Stat(id); err == nil {
+			existed = true
+		}
+	}
+	_ = s.backend.Delete(id)
+	return existed
+}
+
+// evictLocked trims least-recently-used index entries beyond the bound.
+// On an exclusive corpus the backing record is deleted too; on a shared
+// corpus only the local index entry goes (the corpus bound belongs to
+// its owner), and a later lookup can still find the record through the
+// backend. Callers must hold s.mu.
 func (s *Store) evictLocked() {
 	for s.ll.Len() > s.max {
 		oldest := s.ll.Back()
 		e := oldest.Value.(*entry)
 		s.ll.Remove(oldest)
 		delete(s.index, e.id)
-		_ = os.Remove(e.path)
+		if !s.shared {
+			_ = s.backend.Delete(e.id)
+		}
 		s.stats.Evictions++
 	}
 }
@@ -522,7 +618,9 @@ func (s *Store) Stats() Stats {
 }
 
 // Keys lists the keys of every indexed record, most recently used
-// first — for inspection and administration.
+// first — for inspection and administration. Shared stores index lazily
+// and only learn a record's key when it is first read, so entries listed
+// from the owner's corpus may carry zero keys until then.
 func (s *Store) Keys() []Key {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -540,12 +638,16 @@ func (s *Store) Len() int {
 	return s.ll.Len()
 }
 
-// Dir returns the store directory.
+// Dir returns the filesystem backend's directory, or "" for other
+// backends.
 func (s *Store) Dir() string { return s.dir }
 
-// Close drains the write-behind queue and stops the writer. Further
-// PutAsync calls are dropped (counted); Get/Put keep working — Close
-// only retires the async machinery. Idempotent.
+// Backend returns the byte-level persistence behind the store.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Close drains the write-behind queue and stops the writer and the GC
+// timer. Further PutAsync calls are dropped (counted); Get/Put keep
+// working — Close only retires the async machinery. Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -554,6 +656,9 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	close(s.queue) // writer drains buffered tasks, then exits
+	if s.gcStop != nil {
+		close(s.gcStop)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
