@@ -263,7 +263,11 @@ func (gw *gateway) keyed(w http.ResponseWriter, r *http.Request) {
 
 // jobByID proxies status/cancel/events for one job to the replica that
 // owns it — the one its submit was routed to — probing the fleet when
-// the owner is unknown (e.g. after a gateway restart).
+// the owner is unknown (e.g. after a gateway restart) OR when the
+// pinned replica disclaims the job: a replica restarted with durable
+// jobs may see its orphans adopted by a shared-corpus peer, so a stale
+// pin's 404 is that replica's answer, not the fleet's. The probe re-pins
+// to whichever replica actually holds the job.
 func (gw *gateway) jobByID(w http.ResponseWriter, r *http.Request) {
 	gw.requests.Add(1)
 	if !gw.allow(w, r) {
@@ -272,8 +276,22 @@ func (gw *gateway) jobByID(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	stream := strings.HasSuffix(r.URL.Path, "/events")
 	if idx, ok := gw.owners.get(id); ok {
-		gw.forward(w, r, nil, []int{idx}, stream)
-		return
+		resp, err := gw.send(r, gw.replicas[idx], nil)
+		switch {
+		case err != nil:
+			if r.Context().Err() != nil {
+				return // the client went away; nothing to answer
+			}
+			gw.noteSendFailure(idx, err)
+			gw.owners.drop(id)
+		case resp.StatusCode == http.StatusNotFound:
+			resp.Body.Close()
+			gw.owners.drop(id)
+		default:
+			gw.relay(w, r, idx, resp, stream, false)
+			return
+		}
+		// fall through to the ownership probe
 	}
 	for _, idx := range gw.healthyFirst() {
 		resp, err := gw.send(r, gw.replicas[idx], nil)
@@ -497,10 +515,7 @@ func (gw *gateway) allow(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	}
 	gw.rateLimited.Add(1)
-	secs := int(math.Ceil(wait.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
+	secs := retryAfterSeconds(wait)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeJSONErr(w, http.StatusTooManyRequests,
 		fmt.Sprintf("rate limit exceeded for client %q, retry after %ds", key, secs))
@@ -656,6 +671,23 @@ func (o *ownerTable) put(id string, idx int) {
 		}
 	}
 	o.m[id] = idx
+}
+
+// drop forgets a pin proven stale (the pinned replica disclaimed or
+// could not answer for the job), so the next lookup probes afresh.
+func (o *ownerTable) drop(id string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.m[id]; !ok {
+		return
+	}
+	delete(o.m, id)
+	for i, other := range o.order {
+		if other == id {
+			o.order = append(o.order[:i], o.order[i+1:]...)
+			break
+		}
+	}
 }
 
 func (o *ownerTable) get(id string) (int, bool) {

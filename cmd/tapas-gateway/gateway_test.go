@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"tapas"
 	"tapas/service"
@@ -347,6 +348,65 @@ func TestProbeDoesNotPinOnError(t *testing.T) {
 	}
 }
 
+// TestStaleStickyPinReprobes: when a replica restarts, its durable jobs
+// may be adopted by a different replica — so a pinned owner answering
+// 404 means the pin is stale, not that the job is gone. The gateway
+// must drop the pin, re-probe the fleet, and re-pin on the replica that
+// actually holds the job. (It used to relay the 404 straight to the
+// client.)
+func TestStaleStickyPinReprobes(t *testing.T) {
+	fakes := []*fakeReplica{newFakeReplica(t, "a"), newFakeReplica(t, "b")}
+	urls := []string{fakes[0].srv.URL, fakes[1].srv.URL}
+	gw, srv := testGateway(t, gatewayConfig{replicas: urls})
+
+	// The job lives on b, but the gateway still remembers the replica
+	// that held it before a restart: a, which will answer 404.
+	gw.owners.put("b-job-3", 0)
+
+	get, body := getURL(t, srv.URL+"/v1/jobs/b-job-3")
+	if get.StatusCode != http.StatusOK {
+		t.Fatalf("stale pin leaked a 404 to the client: %d %s", get.StatusCode, body)
+	}
+	if got := get.Header.Get(replicaHeader); got != urls[1] {
+		t.Errorf("answered by %q, want the adopting replica %q", got, urls[1])
+	}
+	if idx, ok := gw.owners.get("b-job-3"); !ok || idx != 1 {
+		t.Errorf("pin not moved to the adopting replica: idx=%d ok=%v", idx, ok)
+	}
+
+	// A job no replica knows still yields one clean 404 even when a
+	// stale pin pointed somewhere first.
+	gw.owners.put("ghost-job-9", 0)
+	get2, _ := getURL(t, srv.URL+"/v1/jobs/ghost-job-9")
+	if get2.StatusCode != http.StatusNotFound {
+		t.Errorf("vanished job: %d, want 404", get2.StatusCode)
+	}
+	if _, ok := gw.owners.get("ghost-job-9"); ok {
+		t.Error("vanished job kept its stale pin")
+	}
+}
+
+// TestRetryAfterSeconds: the limiter's wait must round UP and never
+// render as "Retry-After: 0" — clients read zero as "no backoff".
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{50 * time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1200 * time.Millisecond, 2},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.wait); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+}
+
 // TestSubmitNotReplayedMidFlight: a job submission whose connection
 // dies after reaching a replica is NOT replayed elsewhere (the job may
 // have been queued); only dial failures — provably never sent — fail
@@ -516,7 +576,10 @@ func TestCrossReplicaStoreHitThroughGateway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svcA := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stA)}})
+	svcA, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stA)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srvA := httptest.NewServer(service.NewHandler(svcA))
 	defer srvA.Close()
 	defer svcA.Shutdown(ctx)
@@ -527,7 +590,10 @@ func TestCrossReplicaStoreHitThroughGateway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svcB := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	svcB, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srvB := httptest.NewServer(service.NewHandler(svcB))
 	defer srvB.Close()
 	defer svcB.Shutdown(ctx)

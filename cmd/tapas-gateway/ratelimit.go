@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -70,4 +71,16 @@ func (l *limiter) allow(key string, now time.Time) (bool, time.Duration) {
 		return true, 0
 	}
 	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// retryAfterSeconds renders a denied request's wait as a Retry-After
+// value: rounded UP to whole seconds, never below 1 — a sub-second wait
+// must not truncate to "Retry-After: 0", which clients read as "no
+// backoff" and turn into a hot retry loop.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }

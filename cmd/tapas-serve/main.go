@@ -19,6 +19,12 @@
 // With -store-dir the daemon persists every searched plan to a
 // file-backed store and serves repeat traffic from it across restarts
 // (store_hit: true): hit precedence is memory cache → store → search.
+// It also makes jobs durable: every submission and state transition is
+// persisted under <store-dir>/jobs (override with -jobs-dir, which also
+// works without a plan store), and at startup the daemon adopts orphaned
+// queued/running jobs left by a crash or kill -9 — re-enqueuing them
+// under their original IDs, so accepted work always reaches a terminal
+// state. healthz reports the adoption count as jobs_adopted.
 // The corpus doubles as the fleet's shared plan store: peers started
 // with -store-peer http://this-daemon:8080 read and write it through
 // the /v1/store endpoints, so a cold search by any replica warms all of
@@ -48,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -68,6 +75,7 @@ func main() {
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "plan store record bound (LRU eviction past it)")
 	storeGCAge := flag.Duration("store-gc-age", 0, "delete store records unused for longer than this, at open and on a timer (0 disables GC)")
 	storeGCInterval := flag.Duration("store-gc-interval", 0, "store GC timer period (0 = age/4, clamped to [1s, 1h])")
+	jobsDir := flag.String("jobs-dir", "", "durable job record directory; queued/running jobs survive restarts (default <store-dir>/jobs when -store-dir is set, empty disables)")
 	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
 	progress := flag.Bool("progress", false, "log engine progress events")
@@ -125,7 +133,30 @@ func main() {
 				ev.Model, ev.GPUs, ev.Phase, ev.Kind, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
 		}
 	}
-	svc := service.New(cfg)
+	jdir := *jobsDir
+	if jdir == "" && *storeDir != "" {
+		jdir = filepath.Join(*storeDir, "jobs")
+	}
+	if jdir != "" {
+		jb, err := store.NewFS(jdir)
+		if err != nil {
+			log.Printf("opening job store: %v", err)
+			os.Exit(1)
+		}
+		cfg.JobsBackend = jb
+		cfg.OnJobCorrupt = func(id string, err error) {
+			log.Printf("jobs: record %s: %v", id, err)
+		}
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		log.Printf("loading durable jobs: %v", err)
+		os.Exit(1)
+	}
+	if jdir != "" {
+		st := svc.Stats()
+		log.Printf("durable jobs %s: %d records, %d adopted", jdir, st.JobStore.Records, st.JobsAdopted)
+	}
 
 	// baseCtx parents every request context; cancelling it is the
 	// hard stop that unblocks still-streaming SSE handlers and

@@ -22,7 +22,10 @@ func newTestServer(t *testing.T, cfg ...service.Config) (*httptest.Server, *serv
 	if len(cfg) > 0 {
 		c = cfg[0]
 	}
-	svc := service.New(c)
+	svc, err := service.New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(service.NewHandler(svc))
 	t.Cleanup(func() {
 		srv.Close()
@@ -167,7 +170,10 @@ func TestHTTPWarmRestartFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc1 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st1)}})
+	svc1, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv1 := httptest.NewServer(service.NewHandler(svc1))
 	c1 := service.NewClient(srv1.URL)
 	cold, err := c1.Search(ctx, service.SearchRequest{Model: "t5-100M", GPUs: 8})
@@ -191,7 +197,10 @@ func TestHTTPWarmRestartFromStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	svc2 := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st2)}})
+	svc2, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv2 := httptest.NewServer(service.NewHandler(svc2))
 	defer srv2.Close()
 	defer svc2.Shutdown(ctx)

@@ -84,6 +84,11 @@ type engineConfig struct {
 	// contract handed every caller a fresh, exclusively-owned Result
 	// (mutating it was legal), which a shared cache would silently break.
 	skipCache bool
+	// progress is a per-call observer (SearchSpec.Progress): it receives
+	// exactly this search's events, never another caller's, in addition
+	// to the engine-level WithProgress observer. Deliberately excluded
+	// from the cache key — observers never change results.
+	progress func(ProgressEvent)
 }
 
 // Option configures an Engine.
@@ -355,6 +360,7 @@ func (e *Engine) SearchSpec(ctx context.Context, spec SearchSpec) (*Result, erro
 	if spec.Options != nil {
 		cfg = e.base.overlay(*spec.Options)
 	}
+	cfg.progress = spec.Progress
 	if spec.Graph != nil {
 		return e.searchGraph(ctx, spec.Graph.Name, spec.Graph, spec.GPUs, cfg)
 	}
@@ -386,6 +392,7 @@ func (e *Engine) searchAll(ctx context.Context, specs []SearchSpec, base engineC
 			if spec.Options != nil {
 				cfg = base.overlay(*spec.Options)
 			}
+			cfg.progress = spec.Progress
 			if cfg.workers == 0 {
 				cfg.workers = max(1, share)
 			}
@@ -517,12 +524,23 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 
 	res := &Result{GPUs: gpus, ModelName: name}
 	start := time.Now()
+	// One search's events are serialized among themselves (progMu), so a
+	// per-call observer never sees its own events concurrently; the
+	// engine-level observer is additionally serialized across searches
+	// by emit's own lock.
+	var progMu sync.Mutex
 	progress := func(kind ProgressKind, phase Phase, done, total, examined int) {
-		e.emit(ProgressEvent{
+		ev := ProgressEvent{
 			Model: name, GPUs: gpus, Phase: phase, Kind: kind,
 			ClassesDone: done, ClassesTotal: total, Examined: examined,
 			Elapsed: time.Since(start),
-		})
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		e.emit(ev)
+		if cfg.progress != nil {
+			cfg.progress(ev)
+		}
 	}
 
 	progress(PhaseEnter, PhaseGroup, 0, 0, 0)

@@ -51,7 +51,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	svcA := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stA)}})
+	svcA, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stA)}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srvA := httptest.NewServer(service.NewHandler(svcA))
 	defer srvA.Close()
 	defer svcA.Shutdown(ctx)
@@ -63,7 +66,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	svcB := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	svcB, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srvB := httptest.NewServer(service.NewHandler(svcB))
 	defer srvB.Close()
 	defer svcB.Shutdown(ctx)

@@ -195,10 +195,30 @@ func decodeAPIError(resp *http.Response) error {
 		msg = eb.Error
 	}
 	apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		apiErr.RetryAfter = time.Duration(secs) * time.Second
-	}
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	return apiErr
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delay-seconds, or an HTTP-date (in which case the delay is measured
+// against the local clock). Absent, malformed, zero and past values all
+// yield 0 — "no server-directed backoff".
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // Search runs one synchronous search (POST /v1/search).

@@ -68,6 +68,58 @@ func TestClientRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter: both RFC 9110 forms — delay-seconds and
+// HTTP-date — must yield a server-directed backoff; junk, zero and past
+// values must not.
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("7"); d != 7*time.Second {
+		t.Errorf("integer form: %v, want 7s", d)
+	}
+	httpDate := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(httpDate); d < 3*time.Second || d > 5*time.Second {
+		t.Errorf("HTTP-date form %q: %v, want ~5s", httpDate, d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	for _, v := range []string{"", "0", "-3", "soon", past} {
+		if d := parseRetryAfter(v); d != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, want 0", v, d)
+		}
+	}
+}
+
+// TestClientRetryHonorsHTTPDateRetryAfter: a 429 carrying the HTTP-date
+// form (the other RFC 9110 shape; proxies emit it) must delay the next
+// attempt just like delay-seconds — the client used to parse only the
+// integer form and hot-loop on dates.
+func TestClientRetryHonorsHTTPDateRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstAt = time.Now()
+			// +2s: the date form truncates to whole seconds, so at
+			// least ~1s of directed delay survives the formatting.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeTestJSON(w, map[string]string{"error": "rate limit exceeded"})
+		default:
+			secondAt = time.Now()
+			writeTestJSON(w, &JobStatus{ID: "j1", State: JobDone})
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	c.RetryBaseDelay = time.Millisecond // provably not the source of the wait
+
+	if _, err := c.Job(context.Background(), "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if wait := secondAt.Sub(firstAt); wait < 900*time.Millisecond {
+		t.Errorf("waited %v between attempts, want ≥ ~1s (date-directed delay honored)", wait)
+	}
+}
+
 // TestClientDoesNotRetryPost: a search that failed mid-flight may have
 // executed — POSTs get exactly one attempt.
 func TestClientDoesNotRetryPost(t *testing.T) {

@@ -186,6 +186,15 @@ type JobStatus struct {
 	StartedUnixMS  int64 `json:"started_unix_ms,omitempty"`
 	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
 
+	// Attempts counts how many times a worker started this job —
+	// greater than 1 means a restarted daemon re-ran it after a crash.
+	Attempts int `json:"attempts,omitempty"`
+	// Adopted marks a job re-enqueued from a previous process's durable
+	// record; its SSE subscribers from before the restart are gone, and
+	// (behind a gateway) it may answer from a different replica than the
+	// one that accepted it.
+	Adopted bool `json:"adopted,omitempty"`
+
 	// Error is set when State is failed (and on cancelled jobs, the
 	// cancellation cause).
 	Error string `json:"error,omitempty"`
@@ -237,6 +246,15 @@ type Stats struct {
 	// Store reports the persistent plan store's traffic; nil when the
 	// daemon runs without -store-dir.
 	Store *store.Stats `json:"store,omitempty"`
+	// JobsDurable reports whether the async job table persists through
+	// a jobs backend (daemon flag -jobs-dir).
+	JobsDurable bool `json:"jobs_durable,omitempty"`
+	// JobsAdopted is the number of orphaned queued/running jobs this
+	// process adopted (re-enqueued) from durable records at startup.
+	JobsAdopted int `json:"jobs_adopted"`
+	// JobStore reports the durable job machinery's traffic; nil when
+	// jobs are in-memory only.
+	JobStore *JobStoreStats `json:"job_store,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

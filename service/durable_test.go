@@ -1,0 +1,465 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"tapas/store"
+)
+
+// newJobsBackend opens a filesystem jobs namespace in a fresh temp dir.
+func newJobsBackend(t *testing.T, dir string) store.Backend {
+	t.Helper()
+	b, err := store.NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// seedRecord writes one record the way a previous process would have.
+func seedRecord(t *testing.T, b store.Backend, rec *JobRecord) {
+	t.Helper()
+	js := newJobStore(b, nil)
+	defer js.Close()
+	if err := js.put(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobRecordID(t *testing.T) {
+	id := JobRecordID("job-000001-ab12cd34")
+	if len(id) != 64 {
+		t.Fatalf("record id %q is not 64 hex chars", id)
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			t.Fatalf("record id %q is not lowercase hex", id)
+		}
+	}
+	if id != JobRecordID("job-000001-ab12cd34") {
+		t.Error("record id not deterministic")
+	}
+	if id == JobRecordID("job-000002-ab12cd34") {
+		t.Error("distinct job IDs collided")
+	}
+}
+
+// TestAdoptOrphanedJobs is the tentpole: a Service opened over records
+// left queued/running by a dead process re-enqueues them (exactly once,
+// original IDs), re-runs them to done, and leaves terminal records on
+// disk; terminal records come back as poll-able history without being
+// re-run.
+func TestAdoptOrphanedJobs(t *testing.T) {
+	dir := t.TempDir()
+	backend := newJobsBackend(t, dir)
+
+	doneResult := &SearchResponse{SchemaVersion: SchemaVersion}
+	doneResult.Model = "t5-200M"
+	seedRecord(t, backend, &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            "job-000001-aaaaaaaa",
+		Request:       SearchRequest{Model: "t5-200M", GPUs: 8},
+		Model:         "t5-200M",
+		State:         JobDone,
+		Attempts:      1,
+		CreatedUnixMS: 500, StartedUnixMS: 600, FinishedUnixMS: 700,
+		Result: doneResult,
+	})
+	seedRecord(t, backend, &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            "job-000002-bbbbbbbb",
+		Request:       SearchRequest{Model: "t5-100M", GPUs: 8},
+		Model:         "t5-100M",
+		State:         JobQueued,
+		CreatedUnixMS: 1000,
+	})
+	seedRecord(t, backend, &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            "job-000003-cccccccc",
+		Request:       SearchRequest{Model: "twotower-small", GPUs: 4},
+		Model:         "twotower-small",
+		State:         JobRunning,
+		Attempts:      1,
+		CreatedUnixMS: 2000, StartedUnixMS: 2100,
+	})
+
+	svc, err := New(Config{JobsBackend: newJobsBackend(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+
+	if svc.Adopted() != 2 {
+		t.Fatalf("Adopted() = %d, want 2 (queued + running orphans)", svc.Adopted())
+	}
+
+	// The done record is history, not work: state, result and timestamps
+	// survive, and nothing re-runs it.
+	done, err := svc.Status("job-000001-aaaaaaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != JobDone || done.Result == nil || done.FinishedUnixMS != 700 {
+		t.Errorf("restored done job mangled: %+v", done)
+	}
+	if done.Attempts != 1 || done.Adopted {
+		t.Errorf("restored done job must keep attempts=1, adopted=false: %+v", done)
+	}
+	if _, err := svc.Result("job-000001-aaaaaaaa"); err != nil {
+		t.Errorf("Result on restored done job: %v", err)
+	}
+
+	// The orphans re-run to done under their original IDs, marked
+	// adopted, attempts bumped by exactly the one new run.
+	for id, wantAttempts := range map[string]int{
+		"job-000002-bbbbbbbb": 1, // was queued, never started before
+		"job-000003-cccccccc": 2, // was mid-run when the process died
+	} {
+		st, err := svc.WaitTerminal(context.Background(), id)
+		if err != nil {
+			t.Fatalf("WaitTerminal(%s): %v", id, err)
+		}
+		if st.State != JobDone {
+			t.Errorf("adopted job %s = %s (%s), want done", id, st.State, st.Error)
+		}
+		if !st.Adopted {
+			t.Errorf("adopted job %s not marked adopted", id)
+		}
+		if st.Attempts != wantAttempts {
+			t.Errorf("adopted job %s attempts = %d, want %d", id, st.Attempts, wantAttempts)
+		}
+	}
+
+	// Stats surface the adoption and the durable machinery.
+	stats := svc.Stats()
+	if !stats.JobsDurable || stats.JobsAdopted != 2 || stats.JobStore == nil {
+		t.Errorf("stats missing durability fields: %+v", stats)
+	}
+	if stats.JobStore.Records != 3 {
+		t.Errorf("JobStore.Records = %d, want 3", stats.JobStore.Records)
+	}
+
+	// IDs minted after a restart never collide with adopted ones.
+	st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.ID, "job-000004") {
+		t.Errorf("post-adoption ID %q does not continue the sequence", st.ID)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// After a clean shutdown every record on disk is terminal: a third
+	// process adopts nothing.
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := New(Config{JobsBackend: newJobsBackend(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc2.Shutdown(context.Background()) })
+	if svc2.Adopted() != 0 {
+		t.Errorf("second restart adopted %d jobs, want 0 — adoption must be once, not per restart", svc2.Adopted())
+	}
+	for _, id := range []string{"job-000002-bbbbbbbb", "job-000003-cccccccc", st.ID} {
+		got, err := svc2.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s) after second restart: %v", id, err)
+		}
+		if got.State != JobDone {
+			t.Errorf("job %s after second restart = %s, want done", id, got.State)
+		}
+	}
+}
+
+// TestSubmitPersistsAcrossRestart covers the write path end to end: a
+// normally submitted and finished job is poll-able, result included,
+// from a fresh Service over the same backend.
+func TestSubmitPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{JobsBackend: newJobsBackend(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := New(Config{JobsBackend: newJobsBackend(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc2.Shutdown(context.Background()) })
+	if svc2.Adopted() != 0 {
+		t.Errorf("adopted %d, want 0: the job finished before the restart", svc2.Adopted())
+	}
+	got, err := svc2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobDone || got.Result == nil || got.Result.Plan == nil {
+		t.Errorf("restarted status incomplete: %+v", got)
+	}
+}
+
+// TestDrainKeepsOrphansAdoptable is the kill-path semantics through the
+// graceful API: a shutdown that cuts work short must leave the cut jobs
+// queued/running on disk so the next process finishes them — while an
+// explicit client cancel stays cancelled forever.
+func TestDrainKeepsOrphansAdoptable(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(Config{JobsBackend: newJobsBackend(t, dir), JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker: the first job runs, the rest stay queued.
+	running, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, err := svc.Submit(SearchRequest{Model: "t5-200M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Cancel(cancelled.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain with an expired deadline: the running job is cut mid-search,
+	// the queued one is drained — neither may be persisted terminal.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal(err)
+	}
+
+	svc2, err := New(Config{JobsBackend: newJobsBackend(t, dir), JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc2.Shutdown(context.Background()) })
+
+	// The running job may have squeaked through to done before the
+	// deadline; the queued one can only be adopted. Either way every
+	// accepted job reaches done, exactly once, and the client cancel
+	// stays cancelled.
+	if svc2.Adopted() < 1 {
+		t.Fatalf("Adopted() = %d, want ≥ 1 (at least the queued orphan)", svc2.Adopted())
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		st, err := svc2.WaitTerminal(context.Background(), id)
+		if err != nil {
+			t.Fatalf("WaitTerminal(%s): %v", id, err)
+		}
+		if st.State != JobDone {
+			t.Errorf("job %s after restart = %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+	st, err := svc2.Status(cancelled.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCancelled {
+		t.Errorf("client-cancelled job resurrected as %s after restart", st.State)
+	}
+}
+
+// TestAdoptionSkipsCorruptAndForeignRecords: junk in the namespace is
+// skipped and counted, never adopted and never fatal.
+func TestAdoptionSkipsCorruptAndForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	backend := newJobsBackend(t, dir)
+
+	seedRecord(t, backend, &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            "job-000001-aaaaaaaa",
+		Request:       SearchRequest{Model: "twotower-small", GPUs: 4},
+		Model:         "twotower-small",
+		State:         JobQueued,
+		CreatedUnixMS: 1000,
+	})
+	// Not JSON at all.
+	if err := backend.Put(JobRecordID("job-junk"), []byte("{nope")); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON whose ID does not hash to the record id (e.g. a blob
+	// copied from another namespace).
+	if err := backend.Put(JobRecordID("job-misfiled"), []byte(`{"schema_version":1,"id":"job-000099-deadbeef","state":"queued"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A future schema version must be left alone, not destroyed.
+	if err := backend.Put(JobRecordID("job-future"), []byte(`{"schema_version":99,"id":"job-future"}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	var corrupt int
+	svc, err := New(Config{
+		JobsBackend:  newJobsBackend(t, dir),
+		OnJobCorrupt: func(string, error) { corrupt++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+
+	if svc.Adopted() != 1 {
+		t.Errorf("Adopted() = %d, want 1 (only the valid record)", svc.Adopted())
+	}
+	if corrupt != 3 {
+		t.Errorf("corrupt callback fired %d times, want 3", corrupt)
+	}
+	if st := svc.Stats(); st.JobStore.Corrupt != 3 {
+		t.Errorf("JobStore.Corrupt = %d, want 3", st.JobStore.Corrupt)
+	}
+	if _, err := svc.WaitTerminal(context.Background(), "job-000001-aaaaaaaa"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdoptionFailsUnresolvableRequest: a record whose model no longer
+// exists in this binary fails cleanly instead of crashing a worker.
+func TestAdoptionFailsUnresolvableRequest(t *testing.T) {
+	dir := t.TempDir()
+	seedRecord(t, newJobsBackend(t, dir), &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            "job-000001-aaaaaaaa",
+		Request:       SearchRequest{Model: "model-that-never-existed", GPUs: 8},
+		Model:         "model-that-never-existed",
+		State:         JobRunning,
+		Attempts:      1,
+		CreatedUnixMS: 1000,
+	})
+	svc, err := New(Config{JobsBackend: newJobsBackend(t, dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+	if svc.Adopted() != 0 {
+		t.Errorf("Adopted() = %d, want 0", svc.Adopted())
+	}
+	st, err := svc.Status("job-000001-aaaaaaaa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobFailed || !strings.Contains(st.Error, "adoption failed") {
+		t.Errorf("unresolvable orphan = %s (%s), want failed with adoption error", st.State, st.Error)
+	}
+}
+
+// TestEvictOnCompletion is the idle-retention bugfix: terminal jobs
+// beyond MaxFinished are evicted when they finish, not only at the next
+// Submit — and with a durable store their records go too.
+func TestEvictOnCompletion(t *testing.T) {
+	dir := t.TempDir()
+	backend := newJobsBackend(t, dir)
+	svc, err := New(Config{JobsBackend: backend, MaxFinished: 1, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		if _, err := svc.WaitTerminal(context.Background(), st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No further submits: the bug was that eviction only ran inside
+	// enqueue, so an idle daemon held every payload forever.
+	if st := svc.Stats(); st.Finished != 1 {
+		t.Errorf("idle daemon retains %d finished jobs, want 1 (MaxFinished)", st.Finished)
+	}
+	if _, err := svc.Status(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("evicted job still resolvable: %v", err)
+	}
+	if _, err := svc.Status(ids[2]); err != nil {
+		t.Errorf("newest finished job must survive retention: %v", err)
+	}
+
+	// Eviction deletes durable records too (FIFO after the persists).
+	svc.jobStore.Flush()
+	ents, err := backend.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].ID != JobRecordID(ids[2]) {
+		t.Errorf("durable namespace after eviction: %d records, want only %s", len(ents), ids[2])
+	}
+}
+
+// TestJobProgressIsolation is the progress-routing bugfix: two
+// concurrent jobs over the same (model, gpus) must each see only their
+// own search's events. The folded and exhaustive pipelines emit
+// distinguishable phases — folding runs "mine", exhaustive never does —
+// so cross-talk is observable as a mine event on the exhaustive stream.
+func TestJobProgressIsolation(t *testing.T) {
+	svc := mustNew(t, Config{JobWorkers: 2})
+	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
+
+	folded, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaustive, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8, Exhaustive: true, TimeBudgetMS: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chF, cancelF, err := svc.Subscribe(folded.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelF()
+	chE, cancelE, err := svc.Subscribe(exhaustive.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelE()
+
+	foldedEvents := drainEvents(t, chF, 60*time.Second)
+	exhaustiveEvents := drainEvents(t, chE, 60*time.Second)
+
+	var foldedMine bool
+	for _, ev := range foldedEvents {
+		if ev.JobID != folded.ID {
+			t.Fatalf("folded stream carries job %s", ev.JobID)
+		}
+		if ev.Type == EventProgress && ev.Phase == "mine" {
+			foldedMine = true
+		}
+	}
+	if !foldedMine {
+		t.Error("folded job emitted no mine events — the cross-talk signal is gone, fix the test")
+	}
+	for _, ev := range exhaustiveEvents {
+		if ev.JobID != exhaustive.ID {
+			t.Fatalf("exhaustive stream carries job %s", ev.JobID)
+		}
+		if ev.Type == EventProgress && ev.Phase == "mine" {
+			t.Fatalf("exhaustive job received a folded search's mine event: %+v — progress is leaking across jobs", ev)
+		}
+	}
+}

@@ -142,6 +142,18 @@ func metricsFor(st Stats) *promtext.Metrics {
 	}
 	m.Gauge("tapas_draining", "1 while the daemon drains for shutdown.", draining, nil)
 
+	if st.JobsDurable {
+		m.Counter("tapas_jobs_adopted_total", "Orphaned jobs adopted (re-enqueued) from durable records at startup.", float64(st.JobsAdopted), nil)
+	}
+	if js := st.JobStore; js != nil {
+		m.Gauge("tapas_job_store_records", "Durable job records found at open.", float64(js.Records), nil)
+		m.Counter("tapas_job_store_persists_total", "Job records written.", float64(js.Persists), nil)
+		m.Counter("tapas_job_store_deletes_total", "Job records deleted by retention.", float64(js.Deletes), nil)
+		m.Counter("tapas_job_store_dropped_total", "Job record writes dropped after close.", float64(js.Dropped), nil)
+		m.Counter("tapas_job_store_write_errors_total", "Job record writes that failed at the backend.", float64(js.WriteErrors), nil)
+		m.Counter("tapas_job_store_corrupt_total", "Job records skipped at load as unreadable.", float64(js.Corrupt), nil)
+	}
+
 	if s := st.Store; s != nil {
 		m.Counter("tapas_store_hits_total", "Plan-store hits.", float64(s.Hits), nil)
 		m.Counter("tapas_store_misses_total", "Plan-store misses.", float64(s.Misses), nil)

@@ -22,7 +22,10 @@ func newStoreServer(t *testing.T) (*httptest.Server, *service.Client, *store.Sto
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st)}})
+	svc, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(st)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(service.NewHandler(svc))
 	t.Cleanup(func() {
 		srv.Close()
@@ -56,7 +59,10 @@ func TestStorePeerEndpointsServeTheCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stB.Close()
-	svcB := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	svcB, err := service.New(service.Config{EngineOptions: []tapas.Option{tapas.WithStore(stB)}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srvB := httptest.NewServer(service.NewHandler(svcB))
 	defer srvB.Close()
 	defer svcB.Shutdown(ctx)
@@ -75,7 +81,10 @@ func TestStorePeerEndpointsServeTheCorpus(t *testing.T) {
 }
 
 func TestStoreEndpointsWithoutStoreAre404(t *testing.T) {
-	svc := service.New(service.Config{})
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(service.NewHandler(svc))
 	t.Cleanup(func() {
 		srv.Close()

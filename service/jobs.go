@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,21 +19,24 @@ import (
 type job struct {
 	id     string
 	req    SearchRequest
-	model  string       // display identity, also the progress route key
+	model  string       // display identity
 	graph  *graph.Graph // parsed inline spec (nil: registered model)
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    JobState
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	errMsg   string
-	resp     *SearchResponse
-	progress *JobProgress
-	subs     map[int]chan JobEvent
-	nextSub  int
+	mu        sync.Mutex
+	state     JobState
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	resp      *SearchResponse
+	progress  *JobProgress
+	attempts  int  // times a worker started this job (across processes)
+	adopted   bool // re-enqueued from a previous process's record
+	cancelled bool // explicit client Cancel (vs a shutdown drain)
+	subs      map[int]chan JobEvent
+	nextSub   int
 }
 
 // status snapshots the job in wire form.
@@ -45,6 +50,8 @@ func (j *job) status() *JobStatus {
 		GPUs:          j.req.GPUs,
 		CreatedUnixMS: j.created.UnixMilli(),
 		Error:         j.errMsg,
+		Attempts:      j.attempts,
+		Adopted:       j.adopted,
 	}
 	if !j.started.IsZero() {
 		st.StartedUnixMS = j.started.UnixMilli()
@@ -60,6 +67,33 @@ func (j *job) status() *JobStatus {
 		st.Result = j.resp
 	}
 	return st
+}
+
+// record snapshots the job in durable form.
+func (j *job) record() *JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := &JobRecord{
+		SchemaVersion: JobRecordSchemaVersion,
+		ID:            j.id,
+		Request:       j.req,
+		Model:         j.model,
+		State:         j.state,
+		Error:         j.errMsg,
+		Attempts:      j.attempts,
+		Adopted:       j.adopted,
+		CreatedUnixMS: j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		rec.StartedUnixMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		rec.FinishedUnixMS = j.finished.UnixMilli()
+	}
+	if j.state == JobDone {
+		rec.Result = j.resp
+	}
+	return rec
 }
 
 // broadcastLocked delivers one event to every subscriber without
@@ -86,7 +120,10 @@ func (j *job) closeSubsLocked() {
 	j.subs = make(map[int]chan JobEvent)
 }
 
-// noteProgress records and fans out one engine progress event.
+// noteProgress records and fans out one engine progress event. It is the
+// job's SearchSpec.Progress callback, so it observes exactly this job's
+// search — a concurrent job for the same model and GPU count has its own
+// callback and never sees these events.
 func (j *job) noteProgress(ev tapas.ProgressEvent) {
 	jev := JobEvent{
 		JobID:        j.id,
@@ -110,16 +147,7 @@ func (j *job) noteProgress(ev tapas.ProgressEvent) {
 	j.mu.Unlock()
 }
 
-// routeKey matches engine progress events (keyed by model identity and
-// GPU count) onto running jobs. Two concurrent jobs for the same key
-// both receive the interleaved stream — the cost of the engine's
-// deliberately job-agnostic progress contract.
-type routeKey struct {
-	model string
-	gpus  int
-}
-
-// jobTable owns the queue, the ID index and the progress routes.
+// jobTable owns the queue and the ID index.
 type jobTable struct {
 	mu          sync.Mutex
 	byID        map[string]*job
@@ -129,9 +157,6 @@ type jobTable struct {
 	maxFinished int
 	seq         uint64
 
-	routeMu sync.Mutex
-	routes  map[routeKey]map[*job]struct{}
-
 	wg sync.WaitGroup // job workers
 }
 
@@ -140,7 +165,6 @@ func newJobTable(queueSize, maxFinished int) *jobTable {
 		byID:        make(map[string]*job),
 		queue:       make(chan *job, queueSize),
 		maxFinished: maxFinished,
-		routes:      make(map[routeKey]map[*job]struct{}),
 	}
 }
 
@@ -157,27 +181,52 @@ func (t *jobTable) newID() string {
 	return fmt.Sprintf("job-%06d-%s", t.seq, hex.EncodeToString(b[:]))
 }
 
+// noteSeq advances the ID sequence past an adopted job's ordinal, so
+// jobs minted after a restart never collide with adopted ones.
+func (t *jobTable) noteSeq(id string) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return
+	}
+	if i := strings.IndexByte(rest, '-'); i >= 0 {
+		rest = rest[:i]
+	}
+	if n, err := strconv.ParseUint(rest, 10, 64); err == nil && n > t.seq {
+		t.seq = n
+	}
+}
+
 // enqueue registers and queues a job, enforcing intake state, queue
-// bounds and finished-job retention. Assigns the job ID.
-func (t *jobTable) enqueue(j *job) error {
+// bounds and finished-job retention. Returns the IDs evicted by
+// retention so the caller can drop their durable records.
+func (t *jobTable) enqueue(j *job) ([]string, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return ErrShuttingDown
+		return nil, ErrShuttingDown
 	}
 	select {
 	case t.queue <- j:
 	default:
-		return ErrQueueFull
+		return nil, ErrQueueFull
 	}
 	t.byID[j.id] = j
 	t.order = append(t.order, j.id)
-	t.evictLocked()
-	return nil
+	return t.evictLocked(), nil
 }
 
-// evictLocked drops the oldest terminal jobs beyond the retention cap.
-func (t *jobTable) evictLocked() {
+// evict applies finished-job retention outside a submission — called on
+// every job completion, so an idle daemon does not retain terminal jobs
+// (and their full result payloads) until the next Submit.
+func (t *jobTable) evict() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictLocked()
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap,
+// returning the evicted IDs.
+func (t *jobTable) evictLocked() []string {
 	var terminal int
 	for _, id := range t.order {
 		if j := t.byID[id]; j != nil && j.terminal() {
@@ -185,19 +234,22 @@ func (t *jobTable) evictLocked() {
 		}
 	}
 	if terminal <= t.maxFinished {
-		return
+		return nil
 	}
+	var removed []string
 	kept := t.order[:0]
 	for _, id := range t.order {
 		j := t.byID[id]
 		if terminal > t.maxFinished && j != nil && j.terminal() {
 			delete(t.byID, id)
+			removed = append(removed, id)
 			terminal--
 			continue
 		}
 		kept = append(kept, id)
 	}
 	t.order = kept
+	return removed
 }
 
 // terminal reports whether the job reached a final state.
@@ -260,48 +312,16 @@ func (t *jobTable) closeIntake(onQueued func(*job)) {
 	}
 }
 
-// addRoute / removeRoute maintain the progress fan-out index.
-func (t *jobTable) addRoute(k routeKey, j *job) {
-	t.routeMu.Lock()
-	defer t.routeMu.Unlock()
-	set := t.routes[k]
-	if set == nil {
-		set = make(map[*job]struct{})
-		t.routes[k] = set
-	}
-	set[j] = struct{}{}
-}
-
-func (t *jobTable) removeRoute(k routeKey, j *job) {
-	t.routeMu.Lock()
-	defer t.routeMu.Unlock()
-	if set := t.routes[k]; set != nil {
-		delete(set, j)
-		if len(set) == 0 {
-			delete(t.routes, k)
-		}
-	}
-}
-
-// routed snapshots the jobs listening on a key.
-func (t *jobTable) routed(k routeKey) []*job {
-	t.routeMu.Lock()
-	defer t.routeMu.Unlock()
-	set := t.routes[k]
-	out := make([]*job, 0, len(set))
-	for j := range set {
-		out = append(out, j)
-	}
-	return out
-}
-
 // ---------------------------------------------------------------------------
 // Service methods
 
 // Submit validates and enqueues an async search, returning its queued
 // status. Fails fast with a BadRequestError for malformed requests,
 // ErrQueueFull when the bounded queue is at capacity, and
-// ErrShuttingDown once Shutdown has begun.
+// ErrShuttingDown once Shutdown has begun. With a durable job store
+// configured, the job's record is queued for persistence before the
+// job becomes runnable, so the write-behind FIFO can never apply a later
+// transition before the submission record.
 func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -310,9 +330,8 @@ func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
 	if err != nil {
 		return nil, err
 	}
-	// The job's model identity is also its progress route key: the
-	// registered name, or the parsed graph's name for inline specs
-	// (which is what the engine stamps on progress events).
+	// The job's model identity: the registered name, or the parsed
+	// graph's name for inline specs.
 	model := req.Model
 	if g != nil {
 		model = g.Name
@@ -331,10 +350,14 @@ func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
 	s.jobs.mu.Lock()
 	j.id = s.jobs.newID()
 	s.jobs.mu.Unlock()
-	if err := s.jobs.enqueue(j); err != nil {
+	s.persistJob(j)
+	removed, err := s.jobs.enqueue(j)
+	if err != nil {
 		jcancel()
+		s.dropRecord(j.id) // rejected: retract the submission record
 		return nil, err
 	}
+	s.dropRecords(removed)
 	return j.status(), nil
 }
 
@@ -401,13 +424,17 @@ func (s *Service) Cancel(id string) (*JobStatus, error) {
 	switch {
 	case j.state == JobQueued:
 		j.state = JobCancelled
+		j.cancelled = true
 		j.errMsg = "cancelled by client"
 		j.finished = time.Now()
 		j.broadcastLocked(JobEvent{JobID: j.id, Type: EventState, State: JobCancelled, Error: "cancelled by client"})
 		j.closeSubsLocked()
 		j.mu.Unlock()
 		j.cancel()
+		s.persistJob(j)
+		s.dropRecords(s.jobs.evict())
 	case j.state == JobRunning:
+		j.cancelled = true
 		j.mu.Unlock()
 		j.cancel()
 	default:
@@ -476,15 +503,30 @@ func (s *Service) WaitTerminal(ctx context.Context, id string) (*JobStatus, erro
 	}
 }
 
-// routeProgress is the engine progress hook: tee to the configured
-// observer, then fan out to jobs listening on the event's (model, GPUs)
-// key.
-func (s *Service) routeProgress(ev tapas.ProgressEvent) {
-	if s.onProgress != nil {
-		s.onProgress(ev)
+// persistJob queues the job's current durable form (no-op without a job
+// store).
+func (s *Service) persistJob(j *job) {
+	if s.jobStore == nil {
+		return
 	}
-	for _, j := range s.jobs.routed(routeKey{model: ev.Model, gpus: ev.GPUs}) {
-		j.noteProgress(ev)
+	s.jobStore.putAsync(j.record())
+}
+
+// dropRecord / dropRecords queue durable-record deletions for jobs
+// evicted from the table (no-op without a job store).
+func (s *Service) dropRecord(id string) {
+	if s.jobStore == nil {
+		return
+	}
+	s.jobStore.deleteAsync(id)
+}
+
+func (s *Service) dropRecords(ids []string) {
+	if s.jobStore == nil {
+		return
+	}
+	for _, id := range ids {
+		s.jobStore.deleteAsync(id)
 	}
 }
 
@@ -505,13 +547,12 @@ func (s *Service) runJob(j *job) {
 	}
 	j.state = JobRunning
 	j.started = time.Now()
+	j.attempts++
 	j.broadcastLocked(JobEvent{JobID: j.id, Type: EventState, State: JobRunning})
 	j.mu.Unlock()
+	s.persistJob(j)
 
-	key := routeKey{model: j.model, gpus: j.req.GPUs}
-	s.jobs.addRoute(key, j)
-	resp, err := s.search(j.ctx, j.req, j.graph)
-	s.jobs.removeRoute(key, j)
+	resp, err := s.search(j.ctx, j.req, j.graph, j.noteProgress)
 	s.finishJob(j, resp, err)
 }
 
@@ -540,9 +581,18 @@ func (s *Service) finishJob(j *job, resp *SearchResponse, err error) {
 		j.errMsg = err.Error()
 		ev = JobEvent{JobID: j.id, Type: EventState, State: JobFailed, Error: j.errMsg}
 	}
+	drainCut := j.state == JobCancelled && !j.cancelled && s.draining.Load()
 	j.finished = time.Now()
 	j.broadcastLocked(ev)
 	j.closeSubsLocked()
 	j.mu.Unlock()
 	j.cancel() // release the context's resources
+	if !drainCut {
+		// A job cut short by the shutdown drain is deliberately NOT
+		// persisted as cancelled: its record still says queued/running,
+		// so the next process adopts and re-runs it. Everything else —
+		// done, failed, explicit client cancel — is terminal on disk too.
+		s.persistJob(j)
+	}
+	s.dropRecords(s.jobs.evict())
 }

@@ -115,7 +115,7 @@ func TestJobUnknownID(t *testing.T) {
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	svc := New(Config{JobWorkers: 1})
+	svc := mustNew(t, Config{JobWorkers: 1})
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
 	// One worker: the blocker occupies it, the target stays queued.
@@ -152,7 +152,7 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	svc := New(Config{JobWorkers: 1})
+	svc := mustNew(t, Config{JobWorkers: 1})
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
 	st, err := svc.Submit(SearchRequest{Model: "t5-1.4B", GPUs: 16})
@@ -190,7 +190,7 @@ func TestCancelRunningJob(t *testing.T) {
 }
 
 func TestQueueFull(t *testing.T) {
-	svc := New(Config{JobWorkers: 1, QueueSize: 2})
+	svc := mustNew(t, Config{JobWorkers: 1, QueueSize: 2})
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
 	// Saturate: 1 worker draining slowly, queue of 2. Submitting a
@@ -212,7 +212,7 @@ func TestQueueFull(t *testing.T) {
 }
 
 func TestShutdownDrainsAndRejects(t *testing.T) {
-	svc := New(Config{JobWorkers: 1})
+	svc := mustNew(t, Config{JobWorkers: 1})
 	before := runtime.NumGoroutine()
 
 	running, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
@@ -268,7 +268,7 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 }
 
 func TestShutdownDeadlineCancelsRunning(t *testing.T) {
-	svc := New(Config{JobWorkers: 1})
+	svc := mustNew(t, Config{JobWorkers: 1})
 	st, err := svc.Submit(SearchRequest{Model: "t5-1.4B", GPUs: 16})
 	if err != nil {
 		t.Fatal(err)

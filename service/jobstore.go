@@ -1,0 +1,301 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tapas/store"
+)
+
+// JobRecordSchemaVersion names the wire schema of durable job records.
+// Additive changes (new optional fields) keep the version; anything that
+// would break an existing reader bumps it. Records with a newer version
+// than the running binary are skipped at load (reported, never deleted)
+// so a rolling downgrade cannot destroy work it merely fails to parse.
+const JobRecordSchemaVersion = 1
+
+// JobRecord is the durable form of one async job: everything needed to
+// re-execute the search after a crash (the validated request) plus the
+// lifecycle trail (state, attempts, timestamps, terminal outcome). It is
+// written through the same store.Backend machinery as plan records, in a
+// separate namespace directory, so every backend — filesystem, shared
+// filesystem, remote peer — makes jobs durable for free.
+type JobRecord struct {
+	SchemaVersion int `json:"schema_version"`
+	// ID is the job's public ID ("job-000001-ab12cd34"). The backend
+	// record id is derived from it — see JobRecordID.
+	ID string `json:"id"`
+	// Request is the original, already-validated submission; adoption
+	// re-resolves it against the current binary's model registry.
+	Request SearchRequest `json:"request"`
+	Model   string        `json:"model"`
+	State   JobState      `json:"state"`
+	Error   string        `json:"error,omitempty"`
+	// Attempts counts how many times a worker started this job; a crash
+	// between start and terminal state leaves the count as evidence.
+	Attempts int `json:"attempts,omitempty"`
+	// Adopted marks a job re-enqueued from a previous process's record
+	// rather than submitted to this one.
+	Adopted bool `json:"adopted,omitempty"`
+
+	CreatedUnixMS  int64 `json:"created_unix_ms"`
+	StartedUnixMS  int64 `json:"started_unix_ms,omitempty"`
+	FinishedUnixMS int64 `json:"finished_unix_ms,omitempty"`
+
+	// Result is set when State is done, so a restarted daemon can keep
+	// answering Result polls for work finished by its predecessor.
+	Result *SearchResponse `json:"result,omitempty"`
+}
+
+// JobRecordID maps a job ID onto the backend's content-address shape (64
+// lowercase hex characters). Job IDs are not content hashes — the same
+// job record is rewritten on every state transition — so the record id
+// is a namespace-tagged digest of the job ID: stable across rewrites,
+// valid for every backend, and never colliding with a plan record (plan
+// ids hash a different domain).
+func JobRecordID(jobID string) string {
+	h := sha256.Sum256([]byte("tapas-job\x00" + jobID))
+	return hex.EncodeToString(h[:])
+}
+
+// JobStoreStats counts the durable job machinery's traffic, served under
+// /v1/healthz and /metrics.
+type JobStoreStats struct {
+	// Records is the job records found at open (before adoption).
+	Records int `json:"records"`
+	// Persists and Deletes count completed backend writes.
+	Persists int64 `json:"persists"`
+	Deletes  int64 `json:"deletes"`
+	// Dropped counts writes discarded because the store was closed.
+	Dropped int64 `json:"dropped"`
+	// WriteErrors counts failed backend writes (disk full, peer down).
+	WriteErrors int64 `json:"write_errors"`
+	// Corrupt counts records skipped at load (undecodable, wrong id,
+	// future schema).
+	Corrupt int64 `json:"corrupt"`
+}
+
+// jobOp is one queued write-behind operation: a record rewrite, or a
+// deletion when data is nil.
+type jobOp struct {
+	id   string
+	data []byte
+}
+
+// jobStore persists job records through a store.Backend with a single
+// write-behind goroutine. Unlike the plan store's PutAsync (which drops
+// on a full queue — plans are an accelerator), job transitions are the
+// system of record: enqueue blocks briefly when the queue is full rather
+// than dropping, and the single FIFO writer keeps each job's transitions
+// in submission order so a crash can only lose a suffix, never reorder
+// states on disk.
+type jobStore struct {
+	backend   store.Backend
+	onCorrupt func(id string, err error)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals pending == 0, for Flush and Close
+	pending int
+	closed  bool
+	stats   JobStoreStats
+
+	queue chan jobOp
+	wg    sync.WaitGroup
+}
+
+// jobStoreQueueSize bounds the write-behind queue. Transitions are
+// low-rate (a handful per job lifetime), so the bound exists only to cap
+// memory if the backend stalls; past it, enqueue blocks.
+const jobStoreQueueSize = 256
+
+func newJobStore(backend store.Backend, onCorrupt func(id string, err error)) *jobStore {
+	js := &jobStore{
+		backend:   backend,
+		onCorrupt: onCorrupt,
+		queue:     make(chan jobOp, jobStoreQueueSize),
+	}
+	js.cond = sync.NewCond(&js.mu)
+	js.wg.Add(1)
+	go js.writer()
+	return js
+}
+
+// load reads every job record in the namespace, skipping (and counting)
+// anything undecodable, stored under the wrong id, or written by a newer
+// schema. Records are returned oldest-first so adoption re-enqueues in
+// the original submission order.
+func (js *jobStore) load() ([]*JobRecord, error) {
+	ents, err := js.backend.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: list job records: %w", err)
+	}
+	var recs []*JobRecord
+	for _, ent := range ents {
+		data, err := js.backend.Get(ent.ID)
+		if err != nil {
+			js.corrupt(ent.ID, err)
+			continue
+		}
+		var rec JobRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			js.corrupt(ent.ID, fmt.Errorf("decode job record: %w", err))
+			continue
+		}
+		if rec.SchemaVersion > JobRecordSchemaVersion {
+			js.corrupt(ent.ID, fmt.Errorf("job record schema %d is newer than %d", rec.SchemaVersion, JobRecordSchemaVersion))
+			continue
+		}
+		if rec.ID == "" || JobRecordID(rec.ID) != ent.ID {
+			// A plan record or stray blob sharing the directory would
+			// fail this check — the namespace tag in JobRecordID is what
+			// keeps the two record kinds from masquerading as each other.
+			js.corrupt(ent.ID, fmt.Errorf("job record id %q does not hash to %s", rec.ID, ent.ID))
+			continue
+		}
+		recs = append(recs, &rec)
+	}
+	sort.Slice(recs, func(i, k int) bool {
+		if recs[i].CreatedUnixMS != recs[k].CreatedUnixMS {
+			return recs[i].CreatedUnixMS < recs[k].CreatedUnixMS
+		}
+		return recs[i].ID < recs[k].ID
+	})
+	js.mu.Lock()
+	js.stats.Records = len(recs)
+	js.mu.Unlock()
+	return recs, nil
+}
+
+func (js *jobStore) corrupt(id string, err error) {
+	js.mu.Lock()
+	js.stats.Corrupt++
+	js.mu.Unlock()
+	if js.onCorrupt != nil {
+		js.onCorrupt(id, err)
+	}
+}
+
+// put persists one record synchronously — used during adoption, before
+// the workers start, so the on-disk state is already "adopted" when the
+// first re-run begins.
+func (js *jobStore) put(rec *JobRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("service: encode job record: %w", err)
+	}
+	if err := js.backend.Put(JobRecordID(rec.ID), data); err != nil {
+		js.mu.Lock()
+		js.stats.WriteErrors++
+		js.mu.Unlock()
+		return err
+	}
+	js.mu.Lock()
+	js.stats.Persists++
+	js.mu.Unlock()
+	return nil
+}
+
+// putAsync queues a record rewrite on the write-behind path.
+func (js *jobStore) putAsync(rec *JobRecord) {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// A record that cannot marshal is a programming error; count it
+		// rather than crash the transition that produced it.
+		js.mu.Lock()
+		js.stats.WriteErrors++
+		js.mu.Unlock()
+		return
+	}
+	js.enqueue(jobOp{id: JobRecordID(rec.ID), data: data})
+}
+
+// deleteAsync queues a record deletion (FIFO with earlier rewrites, so a
+// delete can never be overtaken by a stale put of the same job).
+func (js *jobStore) deleteAsync(jobID string) {
+	js.enqueue(jobOp{id: JobRecordID(jobID)})
+}
+
+func (js *jobStore) enqueue(op jobOp) {
+	js.mu.Lock()
+	if js.closed {
+		js.stats.Dropped++
+		js.mu.Unlock()
+		return
+	}
+	js.pending++
+	js.mu.Unlock()
+	// Blocking send, not a drop: these writes are the system of record.
+	// Close waits for pending == 0 before closing the channel, so a
+	// sender that incremented pending can never hit a closed channel.
+	js.queue <- op
+}
+
+// writer is the single write-behind goroutine; one writer is what makes
+// the queue a total order over each job's transitions.
+func (js *jobStore) writer() {
+	defer js.wg.Done()
+	for op := range js.queue {
+		var err error
+		if op.data == nil {
+			err = js.backend.Delete(op.id)
+		} else {
+			err = js.backend.Put(op.id, op.data)
+		}
+		if err != nil && js.onCorrupt != nil {
+			// Report before pending drops, so Flush is a barrier for the
+			// report too.
+			js.onCorrupt(op.id, fmt.Errorf("service: job record write failed: %w", err))
+		}
+		js.mu.Lock()
+		switch {
+		case err != nil:
+			js.stats.WriteErrors++
+		case op.data == nil:
+			js.stats.Deletes++
+		default:
+			js.stats.Persists++
+		}
+		js.pending--
+		if js.pending == 0 {
+			js.cond.Broadcast()
+		}
+		js.mu.Unlock()
+	}
+}
+
+// Flush blocks until every queued write has been applied.
+func (js *jobStore) Flush() {
+	js.mu.Lock()
+	for js.pending > 0 {
+		js.cond.Wait()
+	}
+	js.mu.Unlock()
+}
+
+// Close drains the queue and retires the writer. Idempotent; later
+// writes are dropped (counted).
+func (js *jobStore) Close() {
+	js.mu.Lock()
+	if js.closed {
+		js.mu.Unlock()
+		return
+	}
+	js.closed = true
+	for js.pending > 0 {
+		js.cond.Wait()
+	}
+	close(js.queue)
+	js.mu.Unlock()
+	js.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (js *jobStore) Stats() JobStoreStats {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.stats
+}

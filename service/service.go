@@ -5,18 +5,18 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tapas"
 	"tapas/internal/graph"
 	"tapas/internal/graphio"
+	"tapas/store"
 )
 
 // Config sizes a Service. The zero value is usable: defaults fill in.
 type Config struct {
-	// EngineOptions configure the shared tapas.Engine. Do not pass
-	// tapas.WithProgress here — the Service installs its own progress
-	// hook to fan events out to job subscribers; use OnProgress to tee.
+	// EngineOptions configure the shared tapas.Engine.
 	EngineOptions []tapas.Option
 	// QueueSize bounds the async job queue (default 64). A Submit
 	// against a full queue fails with ErrQueueFull.
@@ -24,11 +24,22 @@ type Config struct {
 	// JobWorkers is the number of jobs run concurrently (default 2).
 	JobWorkers int
 	// MaxFinished bounds the terminal jobs retained for Status/Result
-	// polling (default 256, oldest evicted first).
+	// polling (default 256, oldest evicted first). With a durable job
+	// store, eviction also deletes the job's record.
 	MaxFinished int
-	// OnProgress, when set, observes every engine progress event in
-	// addition to the per-job fan-out.
+	// OnProgress, when set, observes every engine progress event (jobs
+	// additionally receive their own search's events via per-job
+	// callbacks).
 	OnProgress func(tapas.ProgressEvent)
+	// JobsBackend, when set, makes the async job table durable: every
+	// submission and state transition is persisted as a JobRecord, and
+	// New adopts orphaned queued/running records left by a previous
+	// process — see New. Use a separate namespace (e.g. a "jobs"
+	// subdirectory) from any plan-store backend.
+	JobsBackend store.Backend
+	// OnJobCorrupt observes job records skipped at load and failed
+	// write-behind persists (nil: silent).
+	OnJobCorrupt func(id string, err error)
 }
 
 const (
@@ -49,14 +60,25 @@ type Service struct {
 	queueCap   int
 	jobWorkers int
 
-	jobs *jobTable
+	jobs     *jobTable
+	jobStore *jobStore // nil without Config.JobsBackend
+	adopted  int       // jobs re-enqueued from a previous process
+	draining atomic.Bool
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 }
 
-// New builds a Service and starts its job workers.
-func New(cfg Config) *Service {
+// New builds a Service and starts its job workers. With
+// Config.JobsBackend set, it first loads the durable job records left by
+// the previous process: terminal records are re-inserted so clients can
+// keep polling results across a restart, and orphaned queued/running
+// records are adopted — re-enqueued (marked Adopted, original IDs and
+// submission order preserved) so a crash or kill -9 never loses accepted
+// work. Adoption is idempotent by job ID: re-running a job whose plan
+// already landed in the engine store is a cache hit. New fails only when
+// the configured jobs backend cannot be listed.
+func New(cfg Config) (*Service, error) {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = defaultQueueSize
 	}
@@ -72,15 +94,124 @@ func New(cfg Config) *Service {
 		onProgress: cfg.OnProgress,
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
-	s.jobs = newJobTable(cfg.QueueSize, cfg.MaxFinished)
+
+	var recs []*JobRecord
+	if cfg.JobsBackend != nil {
+		s.jobStore = newJobStore(cfg.JobsBackend, cfg.OnJobCorrupt)
+		var err error
+		recs, err = s.jobStore.load()
+		if err != nil {
+			s.jobStore.Close()
+			s.rootCancel()
+			return nil, err
+		}
+	}
+	// The queue must hold every adoptable record on top of the
+	// configured capacity: adoption enqueues before the workers start,
+	// and must never block or reject.
+	s.jobs = newJobTable(cfg.QueueSize+len(recs), cfg.MaxFinished)
+
 	opts := append([]tapas.Option{}, cfg.EngineOptions...)
-	opts = append(opts, tapas.WithProgress(s.routeProgress))
+	if cfg.OnProgress != nil {
+		opts = append(opts, tapas.WithProgress(cfg.OnProgress))
+	}
 	s.eng = tapas.NewEngine(opts...)
+
+	for _, rec := range recs {
+		s.restoreJob(rec)
+	}
+	if s.jobStore != nil {
+		s.dropRecords(s.jobs.evict()) // retention applies to restored terminals too
+	}
+
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.jobs.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// restoreJob reconstructs one durable record in the table: terminal
+// records come back as poll-able history, queued/running records are
+// adopted and re-enqueued. Runs before the workers start, so the
+// synchronous persist happens-before the first re-run attempt.
+func (s *Service) restoreJob(rec *JobRecord) {
+	j := &job{
+		id:       rec.ID,
+		req:      rec.Request,
+		model:    rec.Model,
+		state:    rec.State,
+		errMsg:   rec.Error,
+		attempts: rec.Attempts,
+		adopted:  rec.Adopted,
+		created:  time.UnixMilli(rec.CreatedUnixMS),
+		subs:     make(map[int]chan JobEvent),
+	}
+	if rec.StartedUnixMS != 0 {
+		j.started = time.UnixMilli(rec.StartedUnixMS)
+	}
+	if rec.FinishedUnixMS != 0 {
+		j.finished = time.UnixMilli(rec.FinishedUnixMS)
+	}
+	j.ctx, j.cancel = context.WithCancel(s.rootCtx)
+
+	s.jobs.mu.Lock()
+	if _, dup := s.jobs.byID[rec.ID]; dup {
+		s.jobs.mu.Unlock()
+		j.cancel()
+		return // two records hashing to one job ID cannot both live
+	}
+	s.jobs.noteSeq(rec.ID)
+	s.jobs.byID[j.id] = j
+	s.jobs.order = append(s.jobs.order, j.id)
+	s.jobs.mu.Unlock()
+
+	if rec.State.Terminal() {
+		if rec.State == JobDone {
+			j.resp = rec.Result
+		}
+		j.cancel()
+		return
+	}
+
+	// Orphaned queued/running job: adopt it. Re-resolve the request
+	// against this binary's registry — a model that no longer exists
+	// fails the job instead of crashing the worker later.
+	j.state = JobQueued
+	j.started = time.Time{}
+	j.adopted = true
+	err := rec.Request.Validate()
+	if err == nil {
+		var g *graph.Graph
+		if g, err = s.resolveGraph(rec.Request); err == nil {
+			j.graph = g
+		}
+	}
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = fmt.Sprintf("adoption failed: %v", err)
+		j.finished = time.Now()
+		j.cancel()
+		s.persistRestored(j)
+		return
+	}
+	s.adopted++
+	// Synchronous persist: the disk must say "adopted, queued" before
+	// any worker can start (and re-persist) this job.
+	s.persistRestored(j)
+	s.jobs.queue <- j // sized for every adoptable record; cannot block
+}
+
+// persistRestored writes an adopted job's record synchronously, routing
+// failures to the corruption observer (a failed rewrite means a stale
+// record; the worst outcome is one extra adoption next restart).
+func (s *Service) persistRestored(j *job) {
+	if s.jobStore == nil {
+		return
+	}
+	if err := s.jobStore.put(j.record()); err != nil && s.jobStore.onCorrupt != nil {
+		s.jobStore.onCorrupt(JobRecordID(j.id), err)
+	}
 }
 
 // Engine exposes the shared engine (e.g. for cache statistics).
@@ -104,8 +235,18 @@ func (s *Service) Stats() Stats {
 	if ss, ok := s.eng.StoreStats(); ok {
 		st.Store = &ss
 	}
+	if s.jobStore != nil {
+		st.JobsDurable = true
+		st.JobsAdopted = s.adopted
+		jss := s.jobStore.Stats()
+		st.JobStore = &jss
+	}
 	return st
 }
+
+// Adopted reports how many orphaned jobs this process re-enqueued at
+// startup.
+func (s *Service) Adopted() int { return s.adopted }
 
 // Search runs one request synchronously: validate, resolve the model or
 // parse the inline spec, search through the shared engine (cache,
@@ -118,7 +259,7 @@ func (s *Service) Search(ctx context.Context, req SearchRequest) (*SearchRespons
 	if err != nil {
 		return nil, err
 	}
-	return s.search(ctx, req, g)
+	return s.search(ctx, req, g, nil)
 }
 
 // resolveGraph parses an inline spec into a graph, or validates a model
@@ -149,8 +290,12 @@ func (s *Service) resolveGraph(req SearchRequest) (*graph.Graph, error) {
 }
 
 // search is the engine round shared by the sync path and job workers.
-func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph) (*SearchResponse, error) {
-	res, err := s.eng.SearchSpec(ctx, specForRequest(req, g))
+// progress, when set, observes exactly this search's events (the job
+// path passes its job's callback; the sync path passes nil).
+func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph, progress func(tapas.ProgressEvent)) (*SearchResponse, error) {
+	spec := specForRequest(req, g)
+	spec.Progress = progress
+	res, err := s.eng.SearchSpec(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +427,14 @@ func NewSearchResponse(res *tapas.Result) (*SearchResponse, error) {
 // jobs are given until ctx expires to finish before their contexts are
 // cancelled. It returns ctx.Err() when the drain deadline cut running
 // jobs short, nil on a clean drain. Shutdown is idempotent.
+//
+// With a durable job store, work cancelled by the drain itself (queued
+// jobs, and running jobs cut short by the deadline) keeps its
+// queued/running record on disk, so the next process adopts and finishes
+// it — this is what makes a rolling restart lossless. Explicitly
+// cancelled and completed jobs are terminal on disk as everywhere else.
 func (s *Service) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.jobs.closeIntake(func(j *job) {
 		s.finishJob(j, nil, ErrShuttingDown)
 	})
@@ -291,12 +443,16 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		s.jobs.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.rootCancel() // cancel in-flight job searches
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if s.jobStore != nil {
+		s.jobStore.Close() // drain pending record writes
+	}
+	return err
 }

@@ -25,9 +25,20 @@ dense head x 1000 none
 loss l head
 `
 
+// mustNew constructs a Service, failing the test on a load error (only
+// possible with a jobs backend).
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return svc
+}
+
 func newTestService(t *testing.T) *Service {
 	t.Helper()
-	svc := New(Config{})
+	svc := mustNew(t, Config{})
 	t.Cleanup(func() {
 		if err := svc.Shutdown(context.Background()); err != nil {
 			t.Errorf("shutdown: %v", err)

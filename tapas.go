@@ -238,6 +238,14 @@ type SearchSpec struct {
 	// GOMAXPROCS across the batch, so the pools do not multiply; set it
 	// explicitly only when one search should claim more than its share.
 	Options *Options
+	// Progress, when set, observes exactly this search's progress events
+	// — never another concurrent caller's — in addition to the
+	// engine-level WithProgress observer. Events of one search are
+	// serialized; the callback must return quickly and must not call
+	// back into the Engine. Cache and store hits skip the pipeline and
+	// emit nothing, and a call that joins an identical in-flight search
+	// receives no events (the leader's observer does).
+	Progress func(ProgressEvent)
 }
 
 // SearchAll runs many searches concurrently across a bounded worker pool.
