@@ -52,6 +52,12 @@ type replicaState struct {
 	url     string
 	healthy atomic.Bool
 	lastErr atomic.Pointer[string]
+
+	// Task-layer counters mirrored from the replica's last healthz
+	// answer, so the gateway's fleet view can aggregate distributed
+	// cold-search activity without extra round trips.
+	tasksExecuted atomic.Uint64
+	tasksFailed   atomic.Uint64
 }
 
 func (r *replicaState) setErr(err error) {
@@ -540,6 +546,14 @@ func (gw *gateway) checkAll(ctx context.Context) {
 			rep.setErr(err)
 			continue
 		}
+		var hb struct {
+			TasksExecuted uint64 `json:"tasks_executed"`
+			TasksFailed   uint64 `json:"tasks_failed"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb) == nil {
+			rep.tasksExecuted.Store(hb.TasksExecuted)
+			rep.tasksFailed.Store(hb.TasksFailed)
+		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
 		up := resp.StatusCode/100 == 2
@@ -579,6 +593,11 @@ type replicaHealth struct {
 	URL       string `json:"url"`
 	Healthy   bool   `json:"healthy"`
 	LastError string `json:"last_error,omitempty"`
+	// TasksExecuted/TasksFailed mirror the replica's /v1/tasks counters
+	// as of its last health check — the fleet's distributed cold-search
+	// activity at a glance.
+	TasksExecuted uint64 `json:"tasks_executed"`
+	TasksFailed   uint64 `json:"tasks_failed"`
 }
 
 // healthz answers the gateway's fleet view: 200 while at least one
@@ -586,12 +605,19 @@ type replicaHealth struct {
 func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
 	reps := make([]replicaHealth, 0, len(gw.replicas))
 	healthy := 0
+	var tasksExecuted, tasksFailed uint64
 	for _, rep := range gw.replicas {
 		up := rep.healthy.Load()
 		if up {
 			healthy++
 		}
-		reps = append(reps, replicaHealth{URL: rep.url, Healthy: up, LastError: rep.errString()})
+		te, tf := rep.tasksExecuted.Load(), rep.tasksFailed.Load()
+		tasksExecuted += te
+		tasksFailed += tf
+		reps = append(reps, replicaHealth{
+			URL: rep.url, Healthy: up, LastError: rep.errString(),
+			TasksExecuted: te, TasksFailed: tf,
+		})
 	}
 	status := "ok"
 	code := http.StatusOK
@@ -607,11 +633,14 @@ func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(map[string]any{
-		"status":             status,
-		"replicas":           reps,
-		"requests_total":     gw.requests.Load(),
-		"rate_limited_total": gw.rateLimited.Load(),
-		"failovers_total":    gw.failovers.Load(),
+		"status":              status,
+		"replicas":            reps,
+		"fleet_peers_healthy": healthy,
+		"tasks_executed":      tasksExecuted,
+		"tasks_failed":        tasksFailed,
+		"requests_total":      gw.requests.Load(),
+		"rate_limited_total":  gw.rateLimited.Load(),
+		"failovers_total":     gw.failovers.Load(),
 	})
 }
 
@@ -622,16 +651,21 @@ func (gw *gateway) metrics(w http.ResponseWriter, r *http.Request) {
 	m.Counter("tapas_gateway_rate_limited_total", "Requests answered 429 by the per-client limiter.", float64(gw.rateLimited.Load()), nil)
 	m.Counter("tapas_gateway_failovers_total", "Requests moved to the next ring node after a transport failure.", float64(gw.failovers.Load()), nil)
 	m.Gauge("tapas_gateway_job_owners", "Job-to-replica stickiness entries resident.", float64(gw.owners.len()), nil)
+	healthy := 0
 	for i, rep := range gw.replicas {
 		l := promtext.Labels{"replica": rep.url}
 		m.Counter("tapas_gateway_proxied_total", "Responses relayed, per replica.", float64(gw.proxied[i].Load()), l)
 		m.Counter("tapas_gateway_proxy_errors_total", "Transport failures, per replica.", float64(gw.proxyErrors[i].Load()), l)
+		m.Counter("tapas_gateway_replica_tasks_executed_total", "Prefix tasks the replica executed for coordinators, as of its last health check.", float64(rep.tasksExecuted.Load()), l)
+		m.Counter("tapas_gateway_replica_tasks_failed_total", "Rejected or failed /v1/tasks batches on the replica, as of its last health check.", float64(rep.tasksFailed.Load()), l)
 		up := 0.0
 		if rep.healthy.Load() {
 			up = 1
+			healthy++
 		}
 		m.Gauge("tapas_gateway_replica_healthy", "1 while the replica passes health checks.", up, l)
 	}
+	m.Gauge("tapas_gateway_fleet_peers_healthy", "Replicas currently passing health checks.", float64(healthy), nil)
 	w.Header().Set("Content-Type", promtext.ContentType)
 	_, _ = m.WriteTo(w)
 }

@@ -37,6 +37,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"tapas/internal/cli"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	burst := flag.Int("burst", 0, "per-client burst size (0 = max(1, 2*rate))")
 	jobTable := flag.Int("job-table", 4096, "job-to-replica stickiness entries retained")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	pprofAddr := flag.String("pprof-addr", "", "listen address of the pprof debug server (empty disables)")
 	flag.Parse()
 
 	log.SetPrefix("tapas-gateway: ")
@@ -76,6 +79,7 @@ func main() {
 		logf:           log.Printf,
 	})
 
+	cli.ServePprof(*pprofAddr, log.Printf)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	gw.checkAll(ctx) // seed health state before taking traffic

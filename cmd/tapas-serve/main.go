@@ -6,6 +6,7 @@
 //
 //	POST   /v1/search           synchronous search
 //	POST   /v1/search:batch     many searches in one call, positional results
+//	POST   /v1/tasks            execute shipped prefix tasks (distributed cold search)
 //	POST   /v1/jobs             submit an async job (202 + job status)
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        job status (result embedded when done)
@@ -32,6 +33,15 @@
 // for longer than the bound (at open and on a timer). GET /metrics
 // exposes the cache/store/queue counters in Prometheus text form.
 //
+// With -fleet the daemon becomes a distributed-cold-search coordinator:
+// a cold search splits its enumeration into prefix tasks and scatters
+// them across the listed peers over POST /v1/tasks, retrying and
+// falling back to the local pool on peer failure, with the final plan
+// bit-identical to a single-process search. Every daemon serves
+// /v1/tasks unconditionally, so any replica can execute for any
+// coordinator. healthz reports tasks_executed/tasks_failed (executor
+// side) and a fleet block (coordinator side); /metrics mirrors both.
+//
 // SIGINT/SIGTERM drain gracefully: intake stops (new requests get JSON
 // 503 bodies), running jobs get -drain-timeout to finish, then their
 // contexts are cancelled; the plan store's write-behind queue is
@@ -41,6 +51,7 @@
 //
 //	tapas-serve -addr :8080
 //	tapas-serve -addr :8080 -store-dir /var/lib/tapas/plans
+//	tapas-serve -addr :8080 -fleet http://replica-b:8080,http://replica-c:8080
 //	tapas-serve -addr :8080 -queue 128 -job-workers 4 -cache 256 -drain-timeout 10s
 package main
 
@@ -55,11 +66,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"tapas"
+	"tapas/internal/cli"
 	"tapas/service"
+	"tapas/service/dispatch"
 	"tapas/store"
 	"tapas/store/remotebackend"
 )
@@ -79,6 +93,9 @@ func main() {
 	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
 	progress := flag.Bool("progress", false, "log engine progress events")
+	fleet := flag.String("fleet", "", "comma-separated peer daemon URLs to scatter cold searches across (e.g. http://replica-b:8080,http://replica-c:8080)")
+	taskTimeout := flag.Duration("task-timeout", 2*time.Minute, "per-peer deadline of one scattered task batch (with -fleet)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address of the pprof debug server (empty disables)")
 	flag.Parse()
 
 	log.SetPrefix("tapas-serve: ")
@@ -148,6 +165,25 @@ func main() {
 			log.Printf("jobs: record %s: %v", id, err)
 		}
 	}
+	var coord *dispatch.Coordinator
+	if *fleet != "" {
+		var peers []string
+		for _, u := range strings.Split(*fleet, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peers = append(peers, u)
+			}
+		}
+		coord = dispatch.New(dispatch.Options{
+			Peers:       peers,
+			TaskTimeout: *taskTimeout,
+			Logf:        log.Printf,
+		})
+		defer coord.Close()
+		cfg.EngineOptions = append(cfg.EngineOptions, tapas.WithTaskRunner(coord.Runner))
+		cfg.Fleet = coord
+		log.Printf("scattering cold searches across %d peers (task-timeout %v)", len(peers), *taskTimeout)
+	}
+	cli.ServePprof(*pprofAddr, log.Printf)
 	svc, err := service.New(cfg)
 	if err != nil {
 		log.Printf("loading durable jobs: %v", err)

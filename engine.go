@@ -89,6 +89,16 @@ type engineConfig struct {
 	// to the engine-level WithProgress observer. Deliberately excluded
 	// from the cache key — observers never change results.
 	progress func(ProgressEvent)
+	// runnerFor is the task-shipping factory (WithTaskRunner), consulted
+	// per cold search. Like progress it is excluded from the cache key:
+	// a scattered search is bit-identical to a local one.
+	runnerFor func(TaskRef) strategy.TaskRunner
+	// wireModel/wireSpec carry the search's wire identity — a registry
+	// name or the graphio source text — so a task runner can tell remote
+	// executors how to rebuild the graph. Both empty means the graph
+	// exists only in this process and the search cannot be shipped.
+	wireModel string
+	wireSpec  string
 }
 
 // Option configures an Engine.
@@ -147,6 +157,33 @@ func WithCache(n int) Option {
 		}
 		e.cache = newLRUCache(n)
 	}
+}
+
+// TaskRef identifies one search's graph and device count to a remote
+// task executor: a registered model name, or the graphio spec text for
+// inline graphs. A zero Model and Spec means the graph exists only in
+// this process and the search runs locally.
+type TaskRef struct {
+	// Model is the registry name (Engine.Search / SearchSpec.Model).
+	Model string
+	// Spec is the graphio source text (SearchSpec.SpecText).
+	Spec string
+	// GPUs is the search's device count.
+	GPUs int
+}
+
+// WithTaskRunner installs a task-shipping factory, consulted once per
+// cold search: when it returns a non-nil runner, the enumeration's
+// prefix tasks are handed to it (see strategy.TaskRunner) instead of
+// the in-process worker pool alone — the hook the distributed dispatch
+// layer plugs into. The factory is only consulted for searches a remote
+// executor can reproduce: a registered model or an inline spec, on the
+// engine's default cluster and cost model; everything else runs
+// locally. Runners never change results — a scattered search is
+// bit-identical to serial — so the factory is excluded from the cache
+// key, like progress observers.
+func WithTaskRunner(f func(TaskRef) strategy.TaskRunner) Option {
+	return func(e *Engine) { e.base.runnerFor = f }
 }
 
 // WithProgress installs a live progress observer. Events arrive while
@@ -283,6 +320,7 @@ func (e *Engine) Search(ctx context.Context, modelName string, gpus int) (*Resul
 // fingerprint is memoized, a cache hit skips both the graph build and
 // the structural hash — the true serving fast path.
 func (e *Engine) searchModel(ctx context.Context, modelName string, gpus int, cfg engineConfig) (*Result, error) {
+	cfg.wireModel = modelName // registry names are reproducible anywhere
 	e.fpMu.Lock()
 	fp, known := e.fps[modelName]
 	e.fpMu.Unlock()
@@ -362,6 +400,7 @@ func (e *Engine) SearchSpec(ctx context.Context, spec SearchSpec) (*Result, erro
 	}
 	cfg.progress = spec.Progress
 	if spec.Graph != nil {
+		cfg.wireSpec = spec.SpecText
 		return e.searchGraph(ctx, spec.Graph.Name, spec.Graph, spec.GPUs, cfg)
 	}
 	return e.searchModel(ctx, spec.Model, spec.GPUs, cfg)
@@ -397,6 +436,7 @@ func (e *Engine) searchAll(ctx context.Context, specs []SearchSpec, base engineC
 				cfg.workers = max(1, share)
 			}
 			if spec.Graph != nil {
+				cfg.wireSpec = spec.SpecText
 				return e.searchGraph(ctx, spec.Graph.Name, spec.Graph, spec.GPUs, cfg)
 			}
 			return e.searchModel(ctx, spec.Model, spec.GPUs, cfg)
@@ -454,6 +494,7 @@ func (cfg engineConfig) resolve(gpus int) (cl *cluster.Cluster, model *cost.Mode
 	if cfg.enum != nil {
 		enum = *cfg.enum
 	}
+	enum.Runner = nil // engine-managed (WithTaskRunner); see runSearch
 	if cfg.timeBudget > 0 {
 		enum.TimeBudget = cfg.timeBudget
 	}
@@ -521,6 +562,16 @@ func (e *Engine) searchGraph(ctx context.Context, name string, g *graph.Graph, g
 // cache, because published Results are shared and must never be written.
 func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpus int, cfg engineConfig) (*Result, error) {
 	cl, model, enum, mopt := cfg.resolve(gpus)
+
+	// Task shipping: only searches a remote executor can reproduce are
+	// scattered — a wire-identifiable graph on the default cluster and
+	// cost model (presets the peer resolves from the GPU count alone).
+	// Anything else keeps Runner nil and runs on the local pool; either
+	// way the selected strategy is identical.
+	if cfg.runnerFor != nil && cfg.cluster == nil && cfg.costModel == nil &&
+		(cfg.wireModel != "" || cfg.wireSpec != "") {
+		enum.Runner = cfg.runnerFor(TaskRef{Model: cfg.wireModel, Spec: cfg.wireSpec, GPUs: gpus})
+	}
 
 	res := &Result{GPUs: gpus, ModelName: name}
 	start := time.Now()

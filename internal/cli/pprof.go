@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServePprof exposes the runtime profiler on its own listener when addr
+// is non-empty, keeping the profiling surface off the public API port.
+// The mux is explicit — only the pprof handlers are mounted, nothing
+// else the default ServeMux may have accumulated. A listen failure is
+// logged, not fatal: a daemon must not die because its debug port is
+// taken.
+func ServePprof(addr string, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logf("pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logf("pprof listener failed: %v", err)
+		}
+	}()
+}

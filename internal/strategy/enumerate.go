@@ -59,6 +59,13 @@ type EnumOptions struct {
 	// quickly and must not call back into the search. Progress never
 	// affects the selected strategy.
 	Progress func(classesDone, classesTotal, examined int)
+	// Runner, when non-nil, receives the enumeration's prefix tasks as a
+	// wire-portable TaskBatch instead of the in-process pool alone — the
+	// seam the distributed dispatch layer plugs into. Runners never
+	// affect the selected strategy: the bit-identical contract requires
+	// their results to equal what TaskBatch.Local would produce, and any
+	// missing or malformed result is recomputed locally.
+	Runner TaskRunner
 }
 
 // DefaultEnumOptions returns the budgets used by the TAPAS search.
@@ -118,10 +125,55 @@ func newEnumState(sh *enumShared) *enumState {
 	}
 }
 
-// branch is one compatible pattern choice at a tree depth.
+// newEnumShared builds the per-node pattern menus and the shared
+// read-only context of one enumeration. Menus are ordered cheapest-first
+// (optionally memory-weighted) by a stable sort over deterministic
+// float64 scores, so a coordinator and a remote executor given the same
+// graph and options build byte-identical menus — which is what makes
+// menu indices a sound wire encoding for patterns and candidates.
+func newEnumShared(ctx context.Context, g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) *enumShared {
+	member := make(map[*ir.GraphNode]int, len(instance))
+	for i, gn := range instance {
+		member[gn] = i
+	}
+
+	// Pattern menus, cheapest-first (optionally memory-weighted) so
+	// depth-first search reaches good complete strategies before any
+	// budget triggers.
+	menus := make([][]*ir.Pattern, len(instance))
+	score := func(p *ir.Pattern) float64 {
+		s := model.PatternCost(p).Total()
+		if opt.MemPenalty > 0 {
+			s += opt.MemPenalty * float64(4*p.WeightBytesPerDev+p.OutBytesPerDev)
+		}
+		return s
+	}
+	for i, gn := range instance {
+		ps := ir.PatternsFor(gn, opt.W)
+		sort.SliceStable(ps, func(a, b int) bool { return score(ps[a]) < score(ps[b]) })
+		menus[i] = ps
+	}
+
+	return &enumShared{
+		ctx:      ctx,
+		g:        g,
+		instance: instance,
+		member:   member,
+		menus:    menus,
+		model:    model,
+		opt:      opt,
+		start:    time.Now(),
+	}
+}
+
+// branch is one compatible pattern choice at a tree depth. mi is the
+// pattern's index in the node's menu — the wire encoding of the choice,
+// unambiguous on any machine because menus are built and ordered
+// deterministically (see newEnumShared).
 type branch struct {
 	p   *ir.Pattern
 	evs []comm.Event
+	mi  int
 }
 
 // branchBudgets splits a node's candidate budget across its n compatible
@@ -153,30 +205,39 @@ func branchBudgets(budget, n int) (shares []int, truncated bool) {
 // already-assigned intra-instance predecessors and returns the surviving
 // patterns (early stopping, Figure 4), counting prunes.
 func (s *enumState) branchesAt(i int) []branch {
-	gn := s.instance[i]
 	var compat []branch
-	for _, p := range s.menus[i] {
-		ok := true
-		var evs []comm.Event
-		for _, pred := range s.g.Preds(gn) {
-			j, in := s.member[pred]
-			if !in || s.assigned[j] == nil {
-				continue // boundary edge: resolved at assembly
-			}
-			ev, c := checkEdge(s.g, pred, gn, s.assigned[j], p, s.opt.W, s.opt.AllowReshard)
-			if !c {
-				ok = false
-				break
-			}
-			evs = append(evs, ev...)
-		}
+	for mi, p := range s.menus[i] {
+		evs, ok := s.eventsFor(i, p)
 		if !ok {
 			s.stats.Pruned++
 			continue
 		}
-		compat = append(compat, branch{p, evs})
+		compat = append(compat, branch{p, evs, mi})
 	}
 	return compat
+}
+
+// eventsFor validates pattern p at node i against the already-assigned
+// intra-instance predecessors, returning the reshard events the edge
+// checks require. It is the single copy of the per-edge arithmetic that
+// branchesAt, the task executor's prefix replay and the coordinator's
+// candidate rebuild all share — the bit-identical contract depends on
+// the replayed events equaling the serial descent's exactly.
+func (s *enumState) eventsFor(i int, p *ir.Pattern) ([]comm.Event, bool) {
+	gn := s.instance[i]
+	var evs []comm.Event
+	for _, pred := range s.g.Preds(gn) {
+		j, in := s.member[pred]
+		if !in || s.assigned[j] == nil {
+			continue // boundary edge: resolved at assembly
+		}
+		ev, c := checkEdge(s.g, pred, gn, s.assigned[j], p, s.opt.W, s.opt.AllowReshard)
+		if !c {
+			return nil, false
+		}
+		evs = append(evs, ev...)
+	}
+	return evs, true
 }
 
 // complete scores the full assignment currently held in s.assigned.
@@ -251,6 +312,10 @@ type prefixTask struct {
 	events   [][]comm.Event
 	depth    int
 	budget   int
+	// prefix is the assignment prefix as menu indices (prefix[d] picks
+	// menus[d][prefix[d]] for d < depth) — the wire form of this task;
+	// see TaskSpec.
+	prefix []int
 }
 
 // splitTasks expands the root of the decision tree breadth-first until at
@@ -293,7 +358,8 @@ func splitTasks(sh *enumShared, target int) ([]prefixTask, EnumStats) {
 				na := append([]*ir.Pattern{}, t.assigned...)
 				ne := append([][]comm.Event{}, t.events...)
 				na[t.depth], ne[t.depth] = br.p, br.evs
-				children = append(children, prefixTask{na, ne, t.depth + 1, shares[idx]})
+				np := append(append([]int{}, t.prefix...), br.mi)
+				children = append(children, prefixTask{na, ne, t.depth + 1, shares[idx], np})
 			}
 		}
 		rest := append(children, tasks[pick+1:]...)
@@ -317,49 +383,25 @@ func splitTasks(sh *enumShared, target int) ([]prefixTask, EnumStats) {
 // Cancelling ctx aborts the walk promptly: the stats report Canceled and
 // the (partial) candidate list must be discarded by the caller.
 func EnumerateInstance(ctx context.Context, g *ir.GNGraph, instance []*ir.GraphNode, model *cost.Model, opt EnumOptions) ([]*Candidate, EnumStats) {
-	member := make(map[*ir.GraphNode]int, len(instance))
-	for i, gn := range instance {
-		member[gn] = i
-	}
-
-	// Pattern menus, cheapest-first (optionally memory-weighted) so
-	// depth-first search reaches good complete strategies before any
-	// budget triggers.
-	menus := make([][]*ir.Pattern, len(instance))
-	score := func(p *ir.Pattern) float64 {
-		s := model.PatternCost(p).Total()
-		if opt.MemPenalty > 0 {
-			s += opt.MemPenalty * float64(4*p.WeightBytesPerDev+p.OutBytesPerDev)
-		}
-		return s
-	}
-	for i, gn := range instance {
-		ps := ir.PatternsFor(gn, opt.W)
-		sort.SliceStable(ps, func(a, b int) bool { return score(ps[a]) < score(ps[b]) })
-		menus[i] = ps
-	}
-
-	sh := &enumShared{
-		ctx:      ctx,
-		g:        g,
-		instance: instance,
-		member:   member,
-		menus:    menus,
-		model:    model,
-		opt:      opt,
-		start:    time.Now(),
-	}
+	sh := newEnumShared(ctx, g, instance, model, opt)
 
 	var (
 		out   []*Candidate
 		stats EnumStats
 	)
 	workers := parallel.Workers(opt.Workers)
-	if workers <= 1 || len(instance) < 2 || opt.MaxCandidates <= 0 {
+	runner := opt.Runner
+	if runner != nil && (len(instance) < 2 || opt.MaxCandidates <= 0) {
+		runner = nil // trivial trees are cheaper to run than to ship
+	}
+	switch {
+	case runner != nil:
+		out, stats = runWithRunner(ctx, sh, runner, workers)
+	case workers <= 1 || len(instance) < 2 || opt.MaxCandidates <= 0:
 		st := newEnumState(sh)
 		st.dfs(0, opt.MaxCandidates)
 		out, stats = st.out, st.stats
-	} else {
+	default:
 		tasks, split := splitTasks(sh, 4*workers)
 		stats.merge(split)
 		states, _ := parallel.Map(ctx, workers, tasks, func(_ context.Context, i int, t prefixTask) (*enumState, error) {
@@ -388,13 +430,13 @@ func EnumerateInstance(ctx context.Context, g *ir.GNGraph, instance []*ir.GraphN
 	// are always represented, even deep in large instances where the
 	// branch budget has collapsed to a single greedy path.
 	if !opt.DisableSeeds {
-		out = append(out, seededCandidates(g, instance, member, model, opt)...)
+		out = append(out, seededCandidates(g, instance, sh.member, model, opt)...)
 	}
 
 	sort.SliceStable(out, func(a, b int) bool {
 		return out[a].Cost.Total() < out[b].Cost.Total()
 	})
-	out = diverseTopK(g, instance, member, out, opt.TopK)
+	out = diverseTopK(g, instance, sh.member, out, opt.TopK)
 	return out, stats
 }
 

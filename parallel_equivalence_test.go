@@ -1,8 +1,17 @@
-package tapas
+package tapas_test
 
 import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"tapas"
+	"tapas/service"
+	"tapas/service/dispatch"
 )
 
 // equivalenceSpecs are the model × GPU-count grid the determinism contract
@@ -27,12 +36,12 @@ func TestSearchWorkerEquivalence(t *testing.T) {
 	for _, spec := range equivalenceSpecs {
 		spec := spec
 		t.Run(spec.model, func(t *testing.T) {
-			serial, err := Search(spec.model, spec.gpus, Options{Workers: 1})
+			serial, err := tapas.Search(spec.model, spec.gpus, tapas.Options{Workers: 1})
 			if err != nil {
 				t.Fatalf("serial search: %v", err)
 			}
 			for _, workers := range []int{2, 4, 8} {
-				par, err := Search(spec.model, spec.gpus, Options{Workers: workers})
+				par, err := tapas.Search(spec.model, spec.gpus, tapas.Options{Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
@@ -65,11 +74,11 @@ func TestExhaustiveWorkerEquivalence(t *testing.T) {
 		model string
 		gpus  int
 	}{{"t5-100M", 8}, {"resnet-26M", 4}} {
-		serial, err := Search(spec.model, spec.gpus, Options{Exhaustive: true, Workers: 1})
+		serial, err := tapas.Search(spec.model, spec.gpus, tapas.Options{Exhaustive: true, Workers: 1})
 		if err != nil {
 			t.Fatalf("%s serial: %v", spec.model, err)
 		}
-		par, err := Search(spec.model, spec.gpus, Options{Exhaustive: true, Workers: 8})
+		par, err := tapas.Search(spec.model, spec.gpus, tapas.Options{Exhaustive: true, Workers: 8})
 		if err != nil {
 			t.Fatalf("%s workers=8: %v", spec.model, err)
 		}
@@ -85,12 +94,12 @@ func TestExhaustiveWorkerEquivalence(t *testing.T) {
 // TestSearchAllMatchesIndividual checks the batch entry point: results
 // come back positionally and bit-identical to sequential Search calls.
 func TestSearchAllMatchesIndividual(t *testing.T) {
-	specs := []SearchSpec{
+	specs := []tapas.SearchSpec{
 		{Model: "t5-100M", GPUs: 8},
 		{Model: "moe-380M", GPUs: 4},
 		{Model: "resnet-26M", GPUs: 8},
 	}
-	batch, err := SearchAll(specs)
+	batch, err := tapas.SearchAll(specs)
 	if err != nil {
 		t.Fatalf("SearchAll: %v", err)
 	}
@@ -98,9 +107,9 @@ func TestSearchAllMatchesIndividual(t *testing.T) {
 		t.Fatalf("SearchAll returned %d results for %d specs", len(batch), len(specs))
 	}
 	for i, spec := range specs {
-		single, err := Search(spec.Model, spec.GPUs)
+		single, err := tapas.Search(spec.Model, spec.GPUs)
 		if err != nil {
-			t.Fatalf("Search(%s): %v", spec.Model, err)
+			t.Fatalf("tapas.Search(%s): %v", spec.Model, err)
 		}
 		if batch[i] == nil {
 			t.Fatalf("spec %d: nil result", i)
@@ -117,15 +126,111 @@ func TestSearchAllMatchesIndividual(t *testing.T) {
 	}
 }
 
+// newReplica stands up one in-process "fleet replica": a real Service
+// behind a real HTTP handler, exactly what a remote tapas-serve exposes.
+func newReplica(t *testing.T) string {
+	t.Helper()
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatalf("service.New: %v", err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return srv.URL
+}
+
+// TestDistributedSearchEquivalence is the determinism contract of the
+// distributed cold search: a search scattered across an in-process
+// fleet — two real replicas, one replica erroring mid-scatter, and one
+// hanging past the task deadline — selects exactly the plan, cost,
+// memory and search effort of a serial single-process search, for every
+// registered model. Misbehaving peers cost wall-clock time, never
+// correctness.
+func TestDistributedSearchEquivalence(t *testing.T) {
+	errPeer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"injected failure"}`, http.StatusInternalServerError)
+	}))
+	defer errPeer.Close()
+	hangPeer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Hold the request until the coordinator's deadline abandons it.
+		// The body must be drained first: the server only notices the
+		// client disconnect via its background read, which doesn't run
+		// while request body bytes sit unconsumed. The timer is a
+		// backstop so Close never waits on a wedged handler.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(30 * time.Second):
+		}
+	}))
+	defer hangPeer.Close()
+
+	coord := dispatch.New(dispatch.Options{
+		Peers:         []string{newReplica(t), errPeer.URL, hangPeer.URL, newReplica(t)},
+		TaskTimeout:   2 * time.Second,
+		ProbeInterval: -1, // keep misbehaving peers out once marked
+		Logf:          t.Logf,
+	})
+	defer coord.Close()
+
+	serialEng := tapas.NewEngine(tapas.WithWorkers(1), tapas.WithCache(0))
+	distEng := tapas.NewEngine(tapas.WithTaskRunner(coord.Runner), tapas.WithCache(0))
+
+	models := tapas.Models()
+	if testing.Short() {
+		models = []string{"t5-100M", "moe-380M", "resnet-26M"}
+	}
+	const gpus = 8
+	for _, model := range models {
+		serial, err := serialEng.Search(context.Background(), model, gpus)
+		if err != nil {
+			t.Fatalf("%s serial: %v", model, err)
+		}
+		dist, err := distEng.Search(context.Background(), model, gpus)
+		if err != nil {
+			t.Fatalf("%s distributed: %v", model, err)
+		}
+		if got, want := dist.Strategy.Describe(), serial.Strategy.Describe(); got != want {
+			t.Errorf("%s: distributed plan %q != serial %q", model, got, want)
+		}
+		if got, want := dist.Strategy.Cost.Total(), serial.Strategy.Cost.Total(); got != want {
+			t.Errorf("%s: distributed cost %v != serial %v", model, got, want)
+		}
+		if got, want := dist.Strategy.MemPerDev, serial.Strategy.MemPerDev; got != want {
+			t.Errorf("%s: distributed mem %d != serial %d", model, got, want)
+		}
+		if got, want := dist.Examined, serial.Examined; got != want {
+			t.Errorf("%s: distributed examined %d != serial %d", model, got, want)
+		}
+	}
+
+	fs := coord.FleetStats()
+	t.Logf("fleet stats: %+v", fs)
+	if fs.TasksScattered == 0 {
+		t.Error("no tasks were executed by fleet peers")
+	}
+	if fs.TasksFailedOver == 0 {
+		t.Error("the erroring and hanging peers produced no failovers")
+	}
+	if fs.PeersHealthy > 2 {
+		t.Errorf("%d peers marked healthy; the erroring/hanging peers should be out", fs.PeersHealthy)
+	}
+}
+
 // TestSearchAllPartialFailure: one bad spec reports its error without
 // aborting the good specs.
 func TestSearchAllPartialFailure(t *testing.T) {
-	specs := []SearchSpec{
+	specs := []tapas.SearchSpec{
 		{Model: "t5-100M", GPUs: 8},
 		{Model: "no-such-model", GPUs: 8},
 		{Model: "resnet-26M", GPUs: 4},
 	}
-	results, err := SearchAll(specs)
+	results, err := tapas.SearchAll(specs)
 	if err == nil {
 		t.Fatal("want error for unknown model")
 	}

@@ -242,6 +242,18 @@ func (c *Client) SearchBatch(ctx context.Context, reqs []SearchRequest) (*BatchS
 	return &out, nil
 }
 
+// Tasks ships a batch of prefix tasks for remote execution
+// (POST /v1/tasks). Exactly one attempt is made — the scatter
+// coordinator owns retry and failover policy, and a duplicate execution
+// would only waste the peer's cycles.
+func (c *Client) Tasks(ctx context.Context, req TaskRequest) (*TaskResponse, error) {
+	var out TaskResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/tasks", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Models lists the registered model names (GET /v1/models).
 func (c *Client) Models(ctx context.Context) ([]string, error) {
 	var out struct {

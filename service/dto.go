@@ -255,6 +255,14 @@ type Stats struct {
 	// JobStore reports the durable job machinery's traffic; nil when
 	// jobs are in-memory only.
 	JobStore *JobStoreStats `json:"job_store,omitempty"`
+	// TasksExecuted counts prefix tasks this daemon executed for remote
+	// coordinators via POST /v1/tasks.
+	TasksExecuted uint64 `json:"tasks_executed"`
+	// TasksFailed counts rejected or failed /v1/tasks batches.
+	TasksFailed uint64 `json:"tasks_failed"`
+	// Fleet reports the scatter coordinator's view of its peers; nil
+	// when the daemon runs without -fleet.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

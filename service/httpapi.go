@@ -19,6 +19,7 @@ const maxRequestBytes = 8 << 20
 //
 //	POST   /v1/search           synchronous search
 //	POST   /v1/search:batch     many searches in one call, positional results
+//	POST   /v1/tasks            execute shipped prefix tasks (distributed cold search)
 //	POST   /v1/jobs             submit an async job (202 + job status)
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        job status (result embedded when done)
@@ -48,6 +49,18 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		resp, err := svc.SearchBatch(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/tasks", func(w http.ResponseWriter, r *http.Request) {
+		var req TaskRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := svc.ExecuteTasks(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -152,6 +165,16 @@ func metricsFor(st Stats) *promtext.Metrics {
 		m.Counter("tapas_job_store_dropped_total", "Job record writes dropped after close.", float64(js.Dropped), nil)
 		m.Counter("tapas_job_store_write_errors_total", "Job record writes that failed at the backend.", float64(js.WriteErrors), nil)
 		m.Counter("tapas_job_store_corrupt_total", "Job records skipped at load as unreadable.", float64(js.Corrupt), nil)
+	}
+
+	m.Counter("tapas_tasks_executed_total", "Prefix tasks executed for remote coordinators via /v1/tasks.", float64(st.TasksExecuted), nil)
+	m.Counter("tapas_tasks_failed_total", "Rejected or failed /v1/tasks batches.", float64(st.TasksFailed), nil)
+	if f := st.Fleet; f != nil {
+		m.Gauge("tapas_fleet_peers", "Configured scatter peers.", float64(f.Peers), nil)
+		m.Gauge("tapas_fleet_peers_healthy", "Scatter peers currently accepting tasks.", float64(f.PeersHealthy), nil)
+		m.Counter("tapas_tasks_scattered_total", "Prefix tasks successfully executed by fleet peers.", float64(f.TasksScattered), nil)
+		m.Counter("tapas_tasks_failed_over_total", "Task batches that moved to another peer or the local pool.", float64(f.TasksFailedOver), nil)
+		m.Counter("tapas_tasks_local_total", "Prefix tasks executed by the coordinator's local pool.", float64(f.TasksLocal), nil)
 	}
 
 	if s := st.Store; s != nil {

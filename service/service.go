@@ -40,6 +40,10 @@ type Config struct {
 	// OnJobCorrupt observes job records skipped at load and failed
 	// write-behind persists (nil: silent).
 	OnJobCorrupt func(id string, err error)
+	// Fleet, when set, reports the scatter coordinator's health through
+	// Stats/healthz/metrics. A daemon running with -fleet wires its
+	// dispatch.Coordinator here.
+	Fleet FleetStatser
 }
 
 const (
@@ -64,6 +68,10 @@ type Service struct {
 	jobStore *jobStore // nil without Config.JobsBackend
 	adopted  int       // jobs re-enqueued from a previous process
 	draining atomic.Bool
+
+	fleet         FleetStatser // nil when not scattering
+	tasksExecuted atomic.Uint64
+	tasksFailed   atomic.Uint64
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
@@ -92,6 +100,7 @@ func New(cfg Config) (*Service, error) {
 		queueCap:   cfg.QueueSize,
 		jobWorkers: cfg.JobWorkers,
 		onProgress: cfg.OnProgress,
+		fleet:      cfg.Fleet,
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 
@@ -241,6 +250,12 @@ func (s *Service) Stats() Stats {
 		jss := s.jobStore.Stats()
 		st.JobStore = &jss
 	}
+	st.TasksExecuted = s.tasksExecuted.Load()
+	st.TasksFailed = s.tasksFailed.Load()
+	if s.fleet != nil {
+		fs := s.fleet.FleetStats()
+		st.Fleet = &fs
+	}
 	return st
 }
 
@@ -304,7 +319,9 @@ func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph,
 
 // specForRequest renders a validated request as an engine spec.
 func specForRequest(req SearchRequest, g *graph.Graph) tapas.SearchSpec {
-	spec := tapas.SearchSpec{Model: req.Model, Graph: g, GPUs: req.GPUs}
+	// SpecText makes inline-spec searches shippable to fleet peers: the
+	// engine only scatters a search whose graph has a wire identity.
+	spec := tapas.SearchSpec{Model: req.Model, Graph: g, GPUs: req.GPUs, SpecText: req.Spec}
 	if req.Workers != 0 || req.Exhaustive || req.TimeBudgetMS != 0 {
 		spec.Options = &tapas.Options{
 			Workers:    req.Workers,

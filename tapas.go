@@ -231,6 +231,11 @@ type SearchSpec struct {
 	// Graph, when non-nil, is searched directly instead of building
 	// Model — the path for custom graphio specs.
 	Graph *graph.Graph
+	// SpecText, when set alongside Graph, is the graphio source Graph
+	// was parsed from. It gives a task-shipping engine (WithTaskRunner)
+	// the wire form a remote executor needs to rebuild the graph; a
+	// Graph without it always searches locally.
+	SpecText string
 	// GPUs is the total device count for this search.
 	GPUs int
 	// Options overrides the per-search options (nil = defaults). A zero
