@@ -1,0 +1,202 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(searches ...searchRecord) benchRecord {
+	return benchRecord{SchemaVersion: 1, Searches: searches}
+}
+
+func sr(model string, coldMS float64) searchRecord {
+	return searchRecord{
+		Model: model, GPUs: 8, ColdMS: coldMS, WarmCacheHit: true,
+		CostSeconds: 0.5, TFLOPsPerGPU: 4.0,
+	}
+}
+
+func failures(results []gateResult) []gateResult {
+	var out []gateResult
+	for _, r := range results {
+		if r.Failed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestGateIdenticalRecordsPass(t *testing.T) {
+	r := rec(sr("a", 100), sr("b", 200), sr("c", 50))
+	results, scale, err := gate(r, r, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1.0 {
+		t.Fatalf("scale = %v, want 1", scale)
+	}
+	if f := failures(results); len(f) != 0 {
+		t.Fatalf("identical records failed the gate: %+v", f)
+	}
+}
+
+func TestGateUniformSlowdownCalibratesAway(t *testing.T) {
+	// The candidate ran on a machine 2x slower across the board; with
+	// calibration that must pass, without it every model must fail.
+	base := rec(sr("a", 100), sr("b", 200), sr("c", 50))
+	cand := rec(sr("a", 200), sr("b", 400), sr("c", 100))
+
+	results, scale, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 2.0 {
+		t.Fatalf("scale = %v, want 2", scale)
+	}
+	if f := failures(results); len(f) != 0 {
+		t.Fatalf("uniform slowdown failed the calibrated gate: %+v", f)
+	}
+
+	results, _, err = gate(base, cand, 0.10, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := failures(results); len(f) != 3 {
+		t.Fatalf("raw gate passed a 2x slowdown: %d/3 failed", len(f))
+	}
+}
+
+func TestGateSingleModelRegressionFails(t *testing.T) {
+	// One model 2x slower against stable siblings: the median stays at
+	// 1 and the outlier must fail even in calibrated mode.
+	base := rec(sr("a", 100), sr("b", 200), sr("c", 50))
+	cand := rec(sr("a", 100), sr("b", 400), sr("c", 50))
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := failures(results)
+	if len(f) != 1 || f[0].Model != "b" {
+		t.Fatalf("want exactly model b failing, got %+v", f)
+	}
+	if !strings.Contains(strings.Join(f[0].Reasons, " "), "cold_ms") {
+		t.Fatalf("failure reason does not name cold_ms: %v", f[0].Reasons)
+	}
+}
+
+func TestGateWithinToleranceSlowdownPasses(t *testing.T) {
+	base := rec(sr("a", 100), sr("b", 200), sr("c", 50))
+	cand := rec(sr("a", 100), sr("b", 215), sr("c", 50)) // +7.5%
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := failures(results); len(f) != 0 {
+		t.Fatalf("within-tolerance slowdown failed: %+v", f)
+	}
+}
+
+func TestGateWarmCacheMissFails(t *testing.T) {
+	base := rec(sr("a", 100), sr("b", 200))
+	cand := rec(sr("a", 100), sr("b", 200))
+	cand.Searches[1].WarmCacheHit = false
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := failures(results)
+	if len(f) != 1 || f[0].Model != "b" {
+		t.Fatalf("want model b failing on cache miss, got %+v", f)
+	}
+}
+
+func TestGateQualityDriftFails(t *testing.T) {
+	base := rec(sr("a", 100), sr("b", 200))
+	cand := rec(sr("a", 100), sr("b", 200))
+	cand.Searches[0].CostSeconds *= 1.01 // 1% worse plan: deterministic search, must fail
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := failures(results)
+	if len(f) != 1 || f[0].Model != "a" {
+		t.Fatalf("want model a failing on cost drift, got %+v", f)
+	}
+	if !strings.Contains(strings.Join(f[0].Reasons, " "), "cost_seconds") {
+		t.Fatalf("failure reason does not name cost_seconds: %v", f[0].Reasons)
+	}
+}
+
+func TestGateDisjointModelsDoNotFail(t *testing.T) {
+	// A model only in the baseline (retired) or only in the candidate
+	// (matrix grew) is skipped; the shared pair still gates.
+	base := rec(sr("a", 100), sr("old", 500))
+	cand := rec(sr("a", 100), sr("new", 10))
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Model != "a" {
+		t.Fatalf("want exactly the shared pair gated, got %+v", results)
+	}
+	if f := failures(results); len(f) != 0 {
+		t.Fatalf("shared pair failed: %+v", f)
+	}
+}
+
+func TestGateEmptyIntersectionErrors(t *testing.T) {
+	if _, _, err := gate(rec(sr("a", 100)), rec(sr("b", 100)), 0.10, 20, true); err == nil {
+		t.Fatal("empty intersection did not error")
+	}
+}
+
+func TestGateBadSchemaErrors(t *testing.T) {
+	bad := rec(sr("a", 100))
+	bad.SchemaVersion = 2
+	if _, _, err := gate(bad, rec(sr("a", 100)), 0.10, 20, true); err == nil {
+		t.Fatal("schema_version 2 baseline did not error")
+	}
+}
+
+func TestGateMillisecondNoiseBelowFloorPasses(t *testing.T) {
+	// A 4ms search doubling is a scheduler hiccup, not a regression:
+	// the ratio overrun is ignored while the absolute slowdown stays
+	// under the floor. With the floor at zero the same pair must fail.
+	base := rec(sr("a", 100), sr("b", 200), sr("tiny", 3.6))
+	cand := rec(sr("a", 100), sr("b", 200), sr("tiny", 7.5))
+	results, _, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := failures(results); len(f) != 0 {
+		t.Fatalf("sub-floor millisecond noise failed the gate: %+v", f)
+	}
+
+	results, _, err = gate(base, cand, 0.10, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := failures(results)
+	if len(f) != 1 || f[0].Model != "tiny" {
+		t.Fatalf("zero floor: want model tiny failing, got %+v", f)
+	}
+}
+
+func TestGateEvenPairCountMedian(t *testing.T) {
+	// Two pairs at ratios 1.0 and 3.0: median 2.0, so both sit within
+	// 2.0*(1+tol)... the 3.0 ratio exceeds 2.2 and fails. This pins the
+	// even-length median (mean of the middle two).
+	base := rec(sr("a", 100), sr("b", 100))
+	cand := rec(sr("a", 100), sr("b", 300))
+	results, scale, err := gate(base, cand, 0.10, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 2.0 {
+		t.Fatalf("scale = %v, want 2 (mean of 1 and 3)", scale)
+	}
+	f := failures(results)
+	if len(f) != 1 || f[0].Model != "b" {
+		t.Fatalf("want model b failing, got %+v", f)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -30,6 +31,10 @@ const maxBodyBytes = 8 << 20
 // debugging, tests, and the CI smoke's routing-stability check.
 const replicaHeader = "X-Tapas-Replica"
 
+// singleflightHeader marks a response served from another client's
+// identical in-flight search rather than a dedicated upstream request.
+const singleflightHeader = "X-Tapas-Singleflight"
+
 // clientHeader optionally names the rate-limit principal; without it
 // the client IP is the principal.
 const clientHeader = "X-Tapas-Client"
@@ -47,17 +52,31 @@ type gatewayConfig struct {
 	logf           func(string, ...any)
 }
 
-// replicaState is one backend daemon as the gateway sees it.
+// replicaState is one backend daemon as the gateway sees it. States are
+// keyed by URL and survive fleet updates: a PUT /v1/fleet that keeps a
+// replica keeps its health bit and counters.
 type replicaState struct {
 	url     string
 	healthy atomic.Bool
 	lastErr atomic.Pointer[string]
+
+	proxied     atomic.Uint64 // responses relayed from this replica
+	proxyErrors atomic.Uint64 // transport failures against it
 
 	// Task-layer counters mirrored from the replica's last healthz
 	// answer, so the gateway's fleet view can aggregate distributed
 	// cold-search activity without extra round trips.
 	tasksExecuted atomic.Uint64
 	tasksFailed   atomic.Uint64
+
+	// Replication counters mirrored the same way; repEnabled separates
+	// "replica runs unreplicated" from "all counters zero".
+	repEnabled      atomic.Bool
+	repPeersHealthy atomic.Uint64
+	repFanoutWrites atomic.Uint64
+	repRepairHits   atomic.Uint64
+	repSweepRuns    atomic.Uint64
+	repSweepDiffs   atomic.Uint64
 }
 
 func (r *replicaState) setErr(err error) {
@@ -76,28 +95,56 @@ func (r *replicaState) errString() string {
 	return ""
 }
 
+// fleetView is one immutable generation of the replica set and its
+// consistent-hash ring. Routing paths snapshot it once per request;
+// PUT /v1/fleet swaps in a new generation atomically.
+type fleetView struct {
+	replicas []*replicaState
+	ring     *hashRing
+}
+
+func newFleetView(reps []*replicaState, vnodes int) *fleetView {
+	return &fleetView{
+		replicas: reps,
+		ring:     newRing(len(reps), vnodes, func(i int) string { return reps[i].url }),
+	}
+}
+
+// byURL resolves a replica in this view, nil when it left the fleet.
+func (v *fleetView) byURL(u string) *replicaState {
+	for _, r := range v.replicas {
+		if r.url == u {
+			return r
+		}
+	}
+	return nil
+}
+
 // gateway routes the v1 API across a fleet of tapas-serve replicas:
 // consistent-hash routing on the search identity (so each replica's
 // memory cache concentrates on its share of the key space), active
 // health checks with ring-order failover, per-client token-bucket rate
-// limiting, and job-owner stickiness for the async API.
+// limiting, job-owner stickiness for the async API, singleflight
+// collapse of identical concurrent searches, and hot fleet reload via
+// PUT /v1/fleet.
 type gateway struct {
-	cfg      gatewayConfig
-	replicas []*replicaState
-	ring     *hashRing
-	limiter  *limiter // nil when disabled
+	cfg     gatewayConfig
+	view    atomic.Pointer[fleetView]
+	fleetMu sync.Mutex // serializes fleet updates
+	limiter *limiter   // nil when disabled
 
 	proxy  *http.Client // no timeout: searches run long; request contexts bound it
 	health *http.Client
 
 	owners *ownerTable
 	fps    sync.Map // model name → graph fingerprint
+	sf     singleflight
 
-	requests    atomic.Uint64
-	rateLimited atomic.Uint64
-	failovers   atomic.Uint64
-	proxied     []atomic.Uint64 // per replica
-	proxyErrors []atomic.Uint64 // per replica
+	requests     atomic.Uint64
+	rateLimited  atomic.Uint64
+	failovers    atomic.Uint64
+	sfJoined     atomic.Uint64
+	fleetUpdates atomic.Uint64
 }
 
 func newGateway(cfg gatewayConfig) *gateway {
@@ -117,19 +164,18 @@ func newGateway(cfg gatewayConfig) *gateway {
 		cfg.logf = func(string, ...any) {}
 	}
 	gw := &gateway{
-		cfg:         cfg,
-		ring:        newRing(len(cfg.replicas), cfg.vnodes, func(i int) string { return cfg.replicas[i] }),
-		proxy:       &http.Client{},
-		health:      &http.Client{Timeout: cfg.healthTimeout},
-		owners:      newOwnerTable(cfg.jobTableSize),
-		proxied:     make([]atomic.Uint64, len(cfg.replicas)),
-		proxyErrors: make([]atomic.Uint64, len(cfg.replicas)),
+		cfg:    cfg,
+		proxy:  &http.Client{},
+		health: &http.Client{Timeout: cfg.healthTimeout},
+		owners: newOwnerTable(cfg.jobTableSize),
 	}
+	reps := make([]*replicaState, 0, len(cfg.replicas))
 	for _, u := range cfg.replicas {
 		rs := &replicaState{url: strings.TrimRight(u, "/")}
 		rs.healthy.Store(true) // optimistic until the first check
-		gw.replicas = append(gw.replicas, rs)
+		reps = append(reps, rs)
 	}
+	gw.view.Store(newFleetView(reps, cfg.vnodes))
 	if cfg.rate > 0 {
 		burst := cfg.burst
 		if burst <= 0 {
@@ -140,17 +186,22 @@ func newGateway(cfg gatewayConfig) *gateway {
 	return gw
 }
 
+// fleet snapshots the current replica generation.
+func (gw *gateway) fleet() *fleetView { return gw.view.Load() }
+
 // handler wires the gateway's HTTP surface.
 func (gw *gateway) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/search", gw.keyed)
-	mux.HandleFunc("POST /v1/search:batch", gw.keyed)
+	mux.HandleFunc("POST /v1/search", gw.search)
+	mux.HandleFunc("POST /v1/search:batch", gw.search)
 	mux.HandleFunc("POST /v1/jobs", gw.keyed)
 	mux.HandleFunc("GET /v1/jobs", gw.jobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", gw.jobByID)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", gw.jobByID)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", gw.jobByID)
 	mux.HandleFunc("GET /v1/models", gw.anyReplica)
+	mux.HandleFunc("GET /v1/fleet", gw.fleetGet)
+	mux.HandleFunc("PUT /v1/fleet", gw.fleetPut)
 	mux.HandleFunc("GET /v1/healthz", gw.healthz)
 	mux.HandleFunc("GET /metrics", gw.metrics)
 	return mux
@@ -207,36 +258,37 @@ func (gw *gateway) fingerprint(req service.SearchRequest) (string, bool) {
 	return fp, true
 }
 
-// candidates orders every replica for one key: the ring order, healthy
-// replicas first. Unhealthy replicas stay on the tail as a last resort —
-// if the whole fleet looks down, trying beats a blind 502.
-func (gw *gateway) candidates(key string) []int {
-	ringOrder := gw.ring.order(key)
-	out := make([]int, 0, len(ringOrder))
+// candidates orders every replica of one fleet generation for one key:
+// the ring order, healthy replicas first. Unhealthy replicas stay on
+// the tail as a last resort — if the whole fleet looks down, trying
+// beats a blind 502.
+func (v *fleetView) candidates(key string) []*replicaState {
+	ringOrder := v.ring.order(key)
+	out := make([]*replicaState, 0, len(ringOrder))
 	for _, i := range ringOrder {
-		if gw.replicas[i].healthy.Load() {
-			out = append(out, i)
+		if v.replicas[i].healthy.Load() {
+			out = append(out, v.replicas[i])
 		}
 	}
 	for _, i := range ringOrder {
-		if !gw.replicas[i].healthy.Load() {
-			out = append(out, i)
+		if !v.replicas[i].healthy.Load() {
+			out = append(out, v.replicas[i])
 		}
 	}
 	return out
 }
 
 // healthyFirst is candidates for requests with no routing identity.
-func (gw *gateway) healthyFirst() []int {
-	out := make([]int, 0, len(gw.replicas))
-	for i, r := range gw.replicas {
+func (v *fleetView) healthyFirst() []*replicaState {
+	out := make([]*replicaState, 0, len(v.replicas))
+	for _, r := range v.replicas {
 		if r.healthy.Load() {
-			out = append(out, i)
+			out = append(out, r)
 		}
 	}
-	for i, r := range gw.replicas {
+	for _, r := range v.replicas {
 		if !r.healthy.Load() {
-			out = append(out, i)
+			out = append(out, r)
 		}
 	}
 	return out
@@ -245,8 +297,88 @@ func (gw *gateway) healthyFirst() []int {
 // ---------------------------------------------------------------------------
 // Proxying
 
-// keyed proxies one body-routed request (search, batch, job submit) to
-// its key's replica, failing over along the ring.
+// search proxies POST /v1/search and /v1/search:batch, collapsing
+// identical concurrent requests into one upstream call: searches are
+// deterministic and cached by the replicas, so N clients asking the
+// exact same body during a cold search need exactly one replica
+// execution — the other N-1 wait and share the answer. Collapse is
+// keyed by path + raw body, so only byte-identical requests join.
+func (gw *gateway) search(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if !gw.allow(w, r) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSONErr(w, http.StatusBadRequest, fmt.Sprintf("read request body: %v", err))
+		return
+	}
+	key := r.URL.Path + "\x00" + string(body)
+	res, joined, ok := gw.sf.do(r.Context(), key, func() (sfResult, bool) {
+		return gw.fetch(r, body)
+	})
+	if !ok {
+		// The leader failed or this client's context died while waiting;
+		// if the client is still here, give it its own upstream attempt
+		// rather than inheriting the leader's failure.
+		if r.Context().Err() != nil {
+			return
+		}
+		res, ok = gw.fetch(r, body)
+		if !ok {
+			writeJSONErr(w, http.StatusBadGateway, "no replica reachable")
+			return
+		}
+	}
+	if joined {
+		gw.sfJoined.Add(1)
+	}
+	h := w.Header()
+	for k, vs := range res.header {
+		if hopByHop(k) {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(replicaHeader, res.rep.url)
+	if joined {
+		h.Set(singleflightHeader, "joined")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// fetch runs one search upstream with ring-order failover, buffering
+// the full response so singleflight followers can share it.
+func (gw *gateway) fetch(r *http.Request, body []byte) (sfResult, bool) {
+	cands := gw.fleet().candidates(gw.routeKey(r.URL.Path, body))
+	for n, rep := range cands {
+		resp, err := gw.send(r, rep, body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return sfResult{}, false // the client went away; nothing to answer
+			}
+			gw.noteSendFailure(rep, err)
+			if n < len(cands)-1 {
+				gw.failovers.Add(1)
+				gw.cfg.logf("replica %s unreachable (%v), failing over", rep.url, err)
+			}
+			continue
+		}
+		respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			gw.noteSendFailure(rep, rerr)
+			continue
+		}
+		rep.proxied.Add(1)
+		return sfResult{rep: rep, status: resp.StatusCode, header: resp.Header, body: respBody}, true
+	}
+	return sfResult{}, false
+}
+
+// keyed proxies one body-routed request (job submit) to its key's
+// replica, failing over along the ring.
 func (gw *gateway) keyed(w http.ResponseWriter, r *http.Request) {
 	gw.requests.Add(1)
 	if !gw.allow(w, r) {
@@ -258,51 +390,58 @@ func (gw *gateway) keyed(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	submit := r.URL.Path == "/v1/jobs"
-	idx, status, respBody, ok := gw.forward(w, r, body, gw.candidates(gw.routeKey(r.URL.Path, body)), false)
+	cands := gw.fleet().candidates(gw.routeKey(r.URL.Path, body))
+	rep, status, respBody, ok := gw.forward(w, r, body, cands, false)
 	if ok && submit && status == http.StatusAccepted {
 		var st service.JobStatus
 		if err := json.Unmarshal(respBody, &st); err == nil && st.ID != "" {
-			gw.owners.put(st.ID, idx)
+			gw.owners.put(st.ID, rep.url)
 		}
 	}
 }
 
 // jobByID proxies status/cancel/events for one job to the replica that
 // owns it — the one its submit was routed to — probing the fleet when
-// the owner is unknown (e.g. after a gateway restart) OR when the
-// pinned replica disclaims the job: a replica restarted with durable
-// jobs may see its orphans adopted by a shared-corpus peer, so a stale
-// pin's 404 is that replica's answer, not the fleet's. The probe re-pins
-// to whichever replica actually holds the job.
+// the owner is unknown (e.g. after a gateway restart or fleet update)
+// OR when the pinned replica disclaims the job: a replica restarted
+// with durable jobs may see its orphans adopted by a shared-corpus
+// peer, so a stale pin's 404 is that replica's answer, not the fleet's.
+// The probe re-pins to whichever replica actually holds the job.
 func (gw *gateway) jobByID(w http.ResponseWriter, r *http.Request) {
 	gw.requests.Add(1)
 	if !gw.allow(w, r) {
 		return
 	}
+	view := gw.fleet()
 	id := r.PathValue("id")
 	stream := strings.HasSuffix(r.URL.Path, "/events")
-	if idx, ok := gw.owners.get(id); ok {
-		resp, err := gw.send(r, gw.replicas[idx], nil)
-		switch {
-		case err != nil:
-			if r.Context().Err() != nil {
-				return // the client went away; nothing to answer
+	if u, ok := gw.owners.get(id); ok {
+		rep := view.byURL(u)
+		if rep == nil {
+			gw.owners.drop(id) // the pinned replica left the fleet
+		} else {
+			resp, err := gw.send(r, rep, nil)
+			switch {
+			case err != nil:
+				if r.Context().Err() != nil {
+					return // the client went away; nothing to answer
+				}
+				gw.noteSendFailure(rep, err)
+				gw.owners.drop(id)
+			case resp.StatusCode == http.StatusNotFound:
+				resp.Body.Close()
+				gw.owners.drop(id)
+			default:
+				gw.relay(w, r, rep, resp, stream, false)
+				return
 			}
-			gw.noteSendFailure(idx, err)
-			gw.owners.drop(id)
-		case resp.StatusCode == http.StatusNotFound:
-			resp.Body.Close()
-			gw.owners.drop(id)
-		default:
-			gw.relay(w, r, idx, resp, stream, false)
-			return
 		}
 		// fall through to the ownership probe
 	}
-	for _, idx := range gw.healthyFirst() {
-		resp, err := gw.send(r, gw.replicas[idx], nil)
+	for _, rep := range view.healthyFirst() {
+		resp, err := gw.send(r, rep, nil)
 		if err != nil {
-			gw.noteSendFailure(idx, err)
+			gw.noteSendFailure(rep, err)
 			continue
 		}
 		if resp.StatusCode == http.StatusNotFound {
@@ -313,9 +452,9 @@ func (gw *gateway) jobByID(w http.ResponseWriter, r *http.Request) {
 			// Only a successful answer proves ownership: a 5xx/503 from
 			// a replica that merely happens to be unwell must not pin
 			// the job to it.
-			gw.owners.put(id, idx)
+			gw.owners.put(id, rep.url)
 		}
-		gw.relay(w, r, idx, resp, stream, false)
+		gw.relay(w, r, rep, resp, stream, false)
 		return
 	}
 	writeJSONErr(w, http.StatusNotFound, fmt.Sprintf("job %q not found on any replica", id))
@@ -330,10 +469,10 @@ func (gw *gateway) jobsList(w http.ResponseWriter, r *http.Request) {
 	}
 	merged := make([]json.RawMessage, 0)
 	reached := false
-	for _, idx := range gw.healthyFirst() {
-		resp, err := gw.send(r, gw.replicas[idx], nil)
+	for _, rep := range gw.fleet().healthyFirst() {
+		resp, err := gw.send(r, rep, nil)
 		if err != nil {
-			gw.noteSendFailure(idx, err)
+			gw.noteSendFailure(rep, err)
 			continue
 		}
 		var body struct {
@@ -345,7 +484,7 @@ func (gw *gateway) jobsList(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		reached = true
-		gw.proxied[idx].Add(1)
+		rep.proxied.Add(1)
 		merged = append(merged, body.Jobs...)
 	}
 	if !reached {
@@ -363,7 +502,7 @@ func (gw *gateway) anyReplica(w http.ResponseWriter, r *http.Request) {
 	if !gw.allow(w, r) {
 		return
 	}
-	gw.forward(w, r, nil, gw.healthyFirst(), false)
+	gw.forward(w, r, nil, gw.fleet().healthyFirst(), false)
 }
 
 // forward tries candidates in order until one answers, relaying its
@@ -374,41 +513,41 @@ func (gw *gateway) anyReplica(w http.ResponseWriter, r *http.Request) {
 // errors (the request provably never reached the replica); a
 // mid-flight failure could mean the job was accepted, and replaying it
 // would enqueue a duplicate. Searches are deterministic and cached, so
-// any transport failure fails over. Returns the answering replica's
-// index, the status, and (when buffered) the response body.
-func (gw *gateway) forward(w http.ResponseWriter, r *http.Request, body []byte, cands []int, stream bool) (int, int, []byte, bool) {
+// any transport failure fails over. Returns the answering replica, the
+// status, and (when buffered) the response body.
+func (gw *gateway) forward(w http.ResponseWriter, r *http.Request, body []byte, cands []*replicaState, stream bool) (*replicaState, int, []byte, bool) {
 	submit := r.Method == http.MethodPost && r.URL.Path == "/v1/jobs"
-	for n, idx := range cands {
-		resp, err := gw.send(r, gw.replicas[idx], body)
+	for n, rep := range cands {
+		resp, err := gw.send(r, rep, body)
 		if err != nil {
 			if r.Context().Err() != nil {
-				return 0, 0, nil, false // the client went away; nothing to answer
+				return nil, 0, nil, false // the client went away; nothing to answer
 			}
-			gw.noteSendFailure(idx, err)
+			gw.noteSendFailure(rep, err)
 			if submit && !isDialError(err) {
 				writeJSONErr(w, http.StatusBadGateway,
-					fmt.Sprintf("replica %s failed mid-submit; the job may or may not be queued there", gw.replicas[idx].url))
-				return 0, 0, nil, false
+					fmt.Sprintf("replica %s failed mid-submit; the job may or may not be queued there", rep.url))
+				return nil, 0, nil, false
 			}
 			if n < len(cands)-1 {
 				gw.failovers.Add(1)
-				gw.cfg.logf("replica %s unreachable (%v), failing over", gw.replicas[idx].url, err)
+				gw.cfg.logf("replica %s unreachable (%v), failing over", rep.url, err)
 			}
 			continue
 		}
-		status, respBody, ok := gw.relay(w, r, idx, resp, stream, body != nil && r.URL.Path == "/v1/jobs")
-		return idx, status, respBody, ok
+		status, respBody, ok := gw.relay(w, r, rep, resp, stream, body != nil && r.URL.Path == "/v1/jobs")
+		return rep, status, respBody, ok
 	}
 	writeJSONErr(w, http.StatusBadGateway, "no replica reachable")
-	return 0, 0, nil, false
+	return nil, 0, nil, false
 }
 
 // relay copies one replica response to the client. Buffered routes
 // return the body bytes (for the submit path's owner bookkeeping);
 // stream routes flush through, which keeps SSE live.
-func (gw *gateway) relay(w http.ResponseWriter, r *http.Request, idx int, resp *http.Response, stream, buffer bool) (int, []byte, bool) {
+func (gw *gateway) relay(w http.ResponseWriter, r *http.Request, rep *replicaState, resp *http.Response, stream, buffer bool) (int, []byte, bool) {
 	defer resp.Body.Close()
-	gw.proxied[idx].Add(1)
+	rep.proxied.Add(1)
 	h := w.Header()
 	for k, vs := range resp.Header {
 		if hopByHop(k) {
@@ -416,7 +555,7 @@ func (gw *gateway) relay(w http.ResponseWriter, r *http.Request, idx int, resp *
 		}
 		h[k] = vs
 	}
-	h.Set(replicaHeader, gw.replicas[idx].url)
+	h.Set(replicaHeader, rep.url)
 	w.WriteHeader(resp.StatusCode)
 	if stream {
 		rc := http.NewResponseController(w)
@@ -482,9 +621,8 @@ func isDialError(err error) bool {
 
 // noteSendFailure records a transport failure against a replica and
 // marks it down until the active checker clears it.
-func (gw *gateway) noteSendFailure(idx int, err error) {
-	gw.proxyErrors[idx].Add(1)
-	rep := gw.replicas[idx]
+func (gw *gateway) noteSendFailure(rep *replicaState, err error) {
+	rep.proxyErrors.Add(1)
 	rep.healthy.Store(false)
 	rep.setErr(err)
 }
@@ -529,11 +667,98 @@ func (gw *gateway) allow(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet reload
+
+// fleetGet answers the current replica set and its health — the same
+// rows healthz serves, without the gateway's own counters.
+func (gw *gateway) fleetGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"replicas":      gw.replicaRows(gw.fleet()),
+		"fleet_updates": gw.fleetUpdates.Load(),
+	})
+}
+
+// fleetPut hot-reloads the replica ring: the body's replica list
+// replaces the current fleet, the consistent-hash ring is rebuilt, and
+// the new replicas are health-probed before the call returns — so an
+// autoscaler can grow or shrink the fleet without bouncing the proxy.
+// Replicas present in both generations keep their state (health,
+// counters, in-flight requests); job pins onto removed replicas are
+// dropped lazily by the ownership probe.
+func (gw *gateway) fleetPut(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Replicas []string `json:"replicas"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONErr(w, http.StatusBadRequest, fmt.Sprintf("decode fleet: %v", err))
+		return
+	}
+	if len(req.Replicas) == 0 {
+		writeJSONErr(w, http.StatusBadRequest, "fleet must list at least one replica")
+		return
+	}
+	urls := make([]string, 0, len(req.Replicas))
+	seen := make(map[string]bool)
+	for _, raw := range req.Replicas {
+		u, err := url.Parse(strings.TrimSpace(raw))
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			writeJSONErr(w, http.StatusBadRequest, fmt.Sprintf("replica %q is not an http(s) URL", raw))
+			return
+		}
+		clean := strings.TrimRight(u.String(), "/")
+		if !seen[clean] {
+			seen[clean] = true
+			urls = append(urls, clean)
+		}
+	}
+
+	gw.fleetMu.Lock()
+	cur := gw.fleet()
+	reps := make([]*replicaState, 0, len(urls))
+	added := 0
+	for _, u := range urls {
+		if rs := cur.byURL(u); rs != nil {
+			reps = append(reps, rs) // carry state across the update
+			continue
+		}
+		rs := &replicaState{url: u}
+		rs.healthy.Store(true)
+		reps = append(reps, rs)
+		added++
+	}
+	next := newFleetView(reps, gw.cfg.vnodes)
+	gw.view.Store(next)
+	gw.fleetUpdates.Add(1)
+	gw.fleetMu.Unlock()
+	gw.cfg.logf("fleet updated: %d replicas (%d new, %d dropped)", len(reps), added, len(cur.replicas)-(len(reps)-added))
+
+	// Probe the new generation before answering, so the response's
+	// health bits are real, not the optimistic default.
+	probeCtx, cancel := context.WithTimeout(r.Context(), gw.cfg.healthTimeout)
+	gw.checkView(probeCtx, next)
+	cancel()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"replicas":      gw.replicaRows(next),
+		"fleet_updates": gw.fleetUpdates.Load(),
+	})
+}
+
+// ---------------------------------------------------------------------------
 // Health
 
-// checkAll probes every replica's /v1/healthz once.
-func (gw *gateway) checkAll(ctx context.Context) {
-	for _, rep := range gw.replicas {
+// checkAll probes the current fleet generation's /v1/healthz once.
+func (gw *gateway) checkAll(ctx context.Context) { gw.checkView(ctx, gw.fleet()) }
+
+// checkView probes one fleet generation.
+func (gw *gateway) checkView(ctx context.Context, v *fleetView) {
+	for _, rep := range v.replicas {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/v1/healthz", nil)
 		if err != nil {
 			continue
@@ -549,10 +774,25 @@ func (gw *gateway) checkAll(ctx context.Context) {
 		var hb struct {
 			TasksExecuted uint64 `json:"tasks_executed"`
 			TasksFailed   uint64 `json:"tasks_failed"`
+			Replication   *struct {
+				PeersHealthy uint64 `json:"peers_healthy"`
+				FanoutWrites uint64 `json:"fanout_writes"`
+				RepairHits   uint64 `json:"repair_hits"`
+				SweepRuns    uint64 `json:"sweep_runs"`
+				SweepDiffs   uint64 `json:"sweep_diffs"`
+			} `json:"replication"`
 		}
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hb) == nil {
 			rep.tasksExecuted.Store(hb.TasksExecuted)
 			rep.tasksFailed.Store(hb.TasksFailed)
+			if rp := hb.Replication; rp != nil {
+				rep.repEnabled.Store(true)
+				rep.repPeersHealthy.Store(rp.PeersHealthy)
+				rep.repFanoutWrites.Store(rp.FanoutWrites)
+				rep.repRepairHits.Store(rp.RepairHits)
+				rep.repSweepRuns.Store(rp.SweepRuns)
+				rep.repSweepDiffs.Store(rp.SweepDiffs)
+			}
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 		resp.Body.Close()
@@ -598,26 +838,63 @@ type replicaHealth struct {
 	// activity at a glance.
 	TasksExecuted uint64 `json:"tasks_executed"`
 	TasksFailed   uint64 `json:"tasks_failed"`
+	// Replication mirrors the replica's store-replication counters as
+	// of its last health check; nil when it runs unreplicated.
+	Replication *replicaReplication `json:"replication,omitempty"`
+}
+
+// replicaReplication is the replicated-corpus slice of one replica's
+// healthz, as mirrored by the gateway.
+type replicaReplication struct {
+	PeersHealthy uint64 `json:"peers_healthy"`
+	FanoutWrites uint64 `json:"fanout_writes"`
+	RepairHits   uint64 `json:"repair_hits"`
+	SweepRuns    uint64 `json:"sweep_runs"`
+	SweepDiffs   uint64 `json:"sweep_diffs"`
+}
+
+// replicaRows renders one fleet generation's health rows.
+func (gw *gateway) replicaRows(v *fleetView) []replicaHealth {
+	reps := make([]replicaHealth, 0, len(v.replicas))
+	for _, rep := range v.replicas {
+		row := replicaHealth{
+			URL: rep.url, Healthy: rep.healthy.Load(), LastError: rep.errString(),
+			TasksExecuted: rep.tasksExecuted.Load(), TasksFailed: rep.tasksFailed.Load(),
+		}
+		if rep.repEnabled.Load() {
+			row.Replication = &replicaReplication{
+				PeersHealthy: rep.repPeersHealthy.Load(),
+				FanoutWrites: rep.repFanoutWrites.Load(),
+				RepairHits:   rep.repRepairHits.Load(),
+				SweepRuns:    rep.repSweepRuns.Load(),
+				SweepDiffs:   rep.repSweepDiffs.Load(),
+			}
+		}
+		reps = append(reps, row)
+	}
+	return reps
 }
 
 // healthz answers the gateway's fleet view: 200 while at least one
 // replica is healthy, 503 when none is.
 func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
-	reps := make([]replicaHealth, 0, len(gw.replicas))
+	view := gw.fleet()
+	reps := gw.replicaRows(view)
 	healthy := 0
-	var tasksExecuted, tasksFailed uint64
-	for _, rep := range gw.replicas {
-		up := rep.healthy.Load()
-		if up {
+	var tasksExecuted, tasksFailed, repFanout, repRepairs, repSweepDiffs uint64
+	replicated := 0
+	for i, rep := range view.replicas {
+		if reps[i].Healthy {
 			healthy++
 		}
-		te, tf := rep.tasksExecuted.Load(), rep.tasksFailed.Load()
-		tasksExecuted += te
-		tasksFailed += tf
-		reps = append(reps, replicaHealth{
-			URL: rep.url, Healthy: up, LastError: rep.errString(),
-			TasksExecuted: te, TasksFailed: tf,
-		})
+		tasksExecuted += reps[i].TasksExecuted
+		tasksFailed += reps[i].TasksFailed
+		if rep.repEnabled.Load() {
+			replicated++
+			repFanout += rep.repFanoutWrites.Load()
+			repRepairs += rep.repRepairHits.Load()
+			repSweepDiffs += rep.repSweepDiffs.Load()
+		}
 	}
 	status := "ok"
 	code := http.StatusOK
@@ -625,14 +902,10 @@ func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
 	case healthy == 0:
 		status = "unavailable"
 		code = http.StatusServiceUnavailable
-	case healthy < len(gw.replicas):
+	case healthy < len(view.replicas):
 		status = "degraded"
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]any{
+	body := map[string]any{
 		"status":              status,
 		"replicas":            reps,
 		"fleet_peers_healthy": healthy,
@@ -641,23 +914,48 @@ func (gw *gateway) healthz(w http.ResponseWriter, r *http.Request) {
 		"requests_total":      gw.requests.Load(),
 		"rate_limited_total":  gw.rateLimited.Load(),
 		"failovers_total":     gw.failovers.Load(),
-	})
+		"singleflight_total":  gw.sfJoined.Load(),
+		"fleet_updates":       gw.fleetUpdates.Load(),
+	}
+	if replicated > 0 {
+		body["replication"] = map[string]any{
+			"replicas":      replicated,
+			"fanout_writes": repFanout,
+			"repair_hits":   repRepairs,
+			"sweep_diffs":   repSweepDiffs,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }
 
 // metrics serves the gateway's route counters in Prometheus text form.
 func (gw *gateway) metrics(w http.ResponseWriter, r *http.Request) {
+	view := gw.fleet()
 	m := promtext.New()
 	m.Counter("tapas_gateway_requests_total", "Requests accepted for routing.", float64(gw.requests.Load()), nil)
 	m.Counter("tapas_gateway_rate_limited_total", "Requests answered 429 by the per-client limiter.", float64(gw.rateLimited.Load()), nil)
 	m.Counter("tapas_gateway_failovers_total", "Requests moved to the next ring node after a transport failure.", float64(gw.failovers.Load()), nil)
+	m.Counter("tapas_gateway_singleflight_total", "Search responses shared from another client's identical in-flight request.", float64(gw.sfJoined.Load()), nil)
+	m.Counter("tapas_gateway_fleet_updates_total", "Hot fleet reloads applied via PUT /v1/fleet.", float64(gw.fleetUpdates.Load()), nil)
 	m.Gauge("tapas_gateway_job_owners", "Job-to-replica stickiness entries resident.", float64(gw.owners.len()), nil)
 	healthy := 0
-	for i, rep := range gw.replicas {
+	var repFanout, repRepairs, repSweepDiffs float64
+	for _, rep := range view.replicas {
 		l := promtext.Labels{"replica": rep.url}
-		m.Counter("tapas_gateway_proxied_total", "Responses relayed, per replica.", float64(gw.proxied[i].Load()), l)
-		m.Counter("tapas_gateway_proxy_errors_total", "Transport failures, per replica.", float64(gw.proxyErrors[i].Load()), l)
+		m.Counter("tapas_gateway_proxied_total", "Responses relayed, per replica.", float64(rep.proxied.Load()), l)
+		m.Counter("tapas_gateway_proxy_errors_total", "Transport failures, per replica.", float64(rep.proxyErrors.Load()), l)
 		m.Counter("tapas_gateway_replica_tasks_executed_total", "Prefix tasks the replica executed for coordinators, as of its last health check.", float64(rep.tasksExecuted.Load()), l)
 		m.Counter("tapas_gateway_replica_tasks_failed_total", "Rejected or failed /v1/tasks batches on the replica, as of its last health check.", float64(rep.tasksFailed.Load()), l)
+		if rep.repEnabled.Load() {
+			m.Gauge("tapas_gateway_replica_store_peers_healthy", "Replication peers the replica reports reachable, as of its last health check.", float64(rep.repPeersHealthy.Load()), l)
+			repFanout += float64(rep.repFanoutWrites.Load())
+			repRepairs += float64(rep.repRepairHits.Load())
+			repSweepDiffs += float64(rep.repSweepDiffs.Load())
+		}
 		up := 0.0
 		if rep.healthy.Load() {
 			up = 1
@@ -666,6 +964,9 @@ func (gw *gateway) metrics(w http.ResponseWriter, r *http.Request) {
 		m.Gauge("tapas_gateway_replica_healthy", "1 while the replica passes health checks.", up, l)
 	}
 	m.Gauge("tapas_gateway_fleet_peers_healthy", "Replicas currently passing health checks.", float64(healthy), nil)
+	m.Counter("tapas_gateway_replication_fanout_writes_total", "Store fanout writes summed across the fleet's last health checks.", repFanout, nil)
+	m.Counter("tapas_gateway_replication_repair_hits_total", "Store read-repairs summed across the fleet's last health checks.", repRepairs, nil)
+	m.Counter("tapas_gateway_replication_sweep_diffs_total", "Anti-entropy record copies summed across the fleet's last health checks.", repSweepDiffs, nil)
 	w.Header().Set("Content-Type", promtext.ContentType)
 	_, _ = m.WriteTo(w)
 }
@@ -681,20 +982,22 @@ func writeJSONErr(w http.ResponseWriter, status int, msg string) {
 // Job-owner stickiness
 
 // ownerTable remembers which replica owns each submitted job, FIFO
-// bounded (job IDs are unguessable and short-lived; on overflow or
-// gateway restart the probe path recovers ownership).
+// bounded (job IDs are unguessable and short-lived; on overflow,
+// gateway restart, or fleet update the probe path recovers ownership).
+// Owners are pinned by URL, not index, so a fleet reload cannot
+// silently repoint a pin at a different replica.
 type ownerTable struct {
 	mu    sync.Mutex
-	m     map[string]int
+	m     map[string]string
 	order []string
 	max   int
 }
 
 func newOwnerTable(max int) *ownerTable {
-	return &ownerTable{m: make(map[string]int), max: max}
+	return &ownerTable{m: make(map[string]string), max: max}
 }
 
-func (o *ownerTable) put(id string, idx int) {
+func (o *ownerTable) put(id, url string) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if _, ok := o.m[id]; !ok {
@@ -704,7 +1007,7 @@ func (o *ownerTable) put(id string, idx int) {
 			o.order = o.order[1:]
 		}
 	}
-	o.m[id] = idx
+	o.m[id] = url
 }
 
 // drop forgets a pin proven stale (the pinned replica disclaimed or
@@ -724,11 +1027,11 @@ func (o *ownerTable) drop(id string) {
 	}
 }
 
-func (o *ownerTable) get(id string) (int, bool) {
+func (o *ownerTable) get(id string) (string, bool) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	idx, ok := o.m[id]
-	return idx, ok
+	u, ok := o.m[id]
+	return u, ok
 }
 
 func (o *ownerTable) len() int {

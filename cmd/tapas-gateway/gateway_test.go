@@ -189,7 +189,7 @@ func TestRoutingIsStructural(t *testing.T) {
 func bodyWhoseRingHeadIs(gw *gateway, head int) string {
 	for i := 0; ; i++ {
 		body := fmt.Sprintf(`{"model":"unknown-%d","gpus":8}`, i)
-		if gw.ring.order(gw.routeKey("/v1/search", []byte(body)))[0] == head {
+		if gw.fleet().ring.order(gw.routeKey("/v1/search", []byte(body)))[0] == head {
 			return body
 		}
 	}
@@ -215,7 +215,7 @@ func TestFailoverToNextRingNode(t *testing.T) {
 	if gw.failovers.Load() == 0 {
 		t.Error("failover not counted")
 	}
-	if gw.replicas[0].healthy.Load() {
+	if gw.fleet().replicas[0].healthy.Load() {
 		t.Error("dead replica not passively marked down")
 	}
 
@@ -338,13 +338,13 @@ func TestProbeDoesNotPinOnError(t *testing.T) {
 	}
 	// … so once the sick replica is known-down, the probe finds the
 	// real owner.
-	gw.replicas[0].healthy.Store(false)
+	gw.fleet().replicas[0].healthy.Store(false)
 	resp2, body := getURL(t, srv.URL+"/v1/jobs/b-job-7")
 	if resp2.StatusCode != http.StatusOK || !strings.Contains(string(body), `"served_by":"b"`) {
 		t.Errorf("real owner not found after the sick replica: %d %s", resp2.StatusCode, body)
 	}
-	if idx, ok := gw.owners.get("b-job-7"); !ok || idx != 1 {
-		t.Errorf("successful probe did not record the owner: %v %v", idx, ok)
+	if u, ok := gw.owners.get("b-job-7"); !ok || u != owner.srv.URL {
+		t.Errorf("successful probe did not record the owner: %v %v", u, ok)
 	}
 }
 
@@ -361,7 +361,7 @@ func TestStaleStickyPinReprobes(t *testing.T) {
 
 	// The job lives on b, but the gateway still remembers the replica
 	// that held it before a restart: a, which will answer 404.
-	gw.owners.put("b-job-3", 0)
+	gw.owners.put("b-job-3", urls[0])
 
 	get, body := getURL(t, srv.URL+"/v1/jobs/b-job-3")
 	if get.StatusCode != http.StatusOK {
@@ -370,13 +370,13 @@ func TestStaleStickyPinReprobes(t *testing.T) {
 	if got := get.Header.Get(replicaHeader); got != urls[1] {
 		t.Errorf("answered by %q, want the adopting replica %q", got, urls[1])
 	}
-	if idx, ok := gw.owners.get("b-job-3"); !ok || idx != 1 {
-		t.Errorf("pin not moved to the adopting replica: idx=%d ok=%v", idx, ok)
+	if u, ok := gw.owners.get("b-job-3"); !ok || u != urls[1] {
+		t.Errorf("pin not moved to the adopting replica: url=%s ok=%v", u, ok)
 	}
 
 	// A job no replica knows still yields one clean 404 even when a
 	// stale pin pointed somewhere first.
-	gw.owners.put("ghost-job-9", 0)
+	gw.owners.put("ghost-job-9", urls[0])
 	get2, _ := getURL(t, srv.URL+"/v1/jobs/ghost-job-9")
 	if get2.StatusCode != http.StatusNotFound {
 		t.Errorf("vanished job: %d, want 404", get2.StatusCode)
@@ -437,7 +437,7 @@ func TestSubmitNotReplayedMidFlight(t *testing.T) {
 	var body string
 	for i := 0; ; i++ {
 		body = fmt.Sprintf(`{"model":"unknown-%d","gpus":8}`, i)
-		if gw.ring.order(gw.routeKey("/v1/jobs", []byte(body)))[0] == 0 {
+		if gw.fleet().ring.order(gw.routeKey("/v1/jobs", []byte(body)))[0] == 0 {
 			break
 		}
 	}
@@ -456,7 +456,7 @@ func TestSubmitNotReplayedMidFlight(t *testing.T) {
 	var body2 string
 	for i := 0; ; i++ {
 		body2 = fmt.Sprintf(`{"model":"other-%d","gpus":8}`, i)
-		if gw2.ring.order(gw2.routeKey("/v1/jobs", []byte(body2)))[0] == 0 {
+		if gw2.fleet().ring.order(gw2.routeKey("/v1/jobs", []byte(body2)))[0] == 0 {
 			break
 		}
 	}
@@ -622,9 +622,9 @@ func TestCrossReplicaStoreHitThroughGateway(t *testing.T) {
 
 	// Take the answering replica down; the ring fails the same key over
 	// to the other one, which must answer from the shared store.
-	for i, rep := range gw.replicas {
+	for _, rep := range gw.fleet().replicas {
 		if rep.url == coldReplica {
-			gw.replicas[i].healthy.Store(false)
+			rep.healthy.Store(false)
 		}
 	}
 	resp2, data2 := postJSON(t, gwSrv.URL+"/v1/search", body, nil)
@@ -645,5 +645,198 @@ func TestCrossReplicaStoreHitThroughGateway(t *testing.T) {
 	}
 	if warm.PlanSummary != cold.PlanSummary || warm.Report != cold.Report || warm.CostSeconds != cold.CostSeconds {
 		t.Errorf("shared-corpus answer diverged:\ncold: %+v\nwarm: %+v", cold.ResultSummary, warm.ResultSummary)
+	}
+}
+
+// TestSingleflightCollapsesIdenticalSearches: N byte-identical
+// concurrent searches produce one upstream request; the followers share
+// the leader's response and are marked with X-Tapas-Singleflight.
+func TestSingleflightCollapsesIdenticalSearches(t *testing.T) {
+	release := make(chan struct{})
+	var upstream atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		upstream.Add(1)
+		<-release // hold every collapsed caller in flight
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"schema_version":1,"served_by":"slow"}`)
+	}))
+	t.Cleanup(slow.Close)
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{slow.URL}})
+
+	const clients = 5
+	body := `{"model":"t5-100M","gpus":8}`
+	type answer struct {
+		status int
+		joined bool
+		body   string
+	}
+	answers := make(chan answer, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, data := postJSON(t, srv.URL+"/v1/search", body, nil)
+			answers <- answer{resp.StatusCode, resp.Header.Get(singleflightHeader) != "", string(data)}
+		}()
+	}
+	// Wait until the leader is held upstream and the followers have had
+	// a chance to pile in behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for upstream.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached the replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	joined := 0
+	for i := 0; i < clients; i++ {
+		a := <-answers
+		if a.status != http.StatusOK || !strings.Contains(a.body, "served_by") {
+			t.Fatalf("collapsed search answered %d: %s", a.status, a.body)
+		}
+		if a.joined {
+			joined++
+		}
+	}
+	if got := upstream.Load(); got != 1 {
+		t.Errorf("%d identical concurrent searches made %d upstream requests, want 1", clients, got)
+	}
+	if joined != clients-1 {
+		t.Errorf("%d followers marked joined, want %d", joined, clients-1)
+	}
+	if gw.sfJoined.Load() != uint64(clients-1) {
+		t.Errorf("singleflight counter %d, want %d", gw.sfJoined.Load(), clients-1)
+	}
+
+	// Sequential repeats do NOT collapse: each generation runs fresh.
+	resp, _ := postJSON(t, srv.URL+"/v1/search", body, nil)
+	if resp.Header.Get(singleflightHeader) != "" {
+		t.Error("a search with no concurrent twin was marked joined")
+	}
+	if upstream.Load() != 2 {
+		t.Errorf("sequential repeat collapsed into a finished flight: %d upstream calls", upstream.Load())
+	}
+}
+
+// TestSingleflightDifferentBodiesDoNotCollapse: collapse is strictly
+// byte-keyed; distinct bodies run their own upstream requests.
+func TestSingleflightDifferentBodiesDoNotCollapse(t *testing.T) {
+	release := make(chan struct{})
+	var upstream atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		upstream.Add(1)
+		<-release
+		fmt.Fprint(w, `{"schema_version":1}`)
+	}))
+	t.Cleanup(slow.Close)
+	_, srv := testGateway(t, gatewayConfig{replicas: []string{slow.URL}})
+
+	done := make(chan struct{}, 2)
+	for _, gpus := range []int{4, 8} {
+		go func(g int) {
+			postJSON(t, srv.URL+"/v1/search", fmt.Sprintf(`{"model":"t5-100M","gpus":%d}`, g), nil)
+			done <- struct{}{}
+		}(gpus)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for upstream.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("distinct bodies collapsed: only %d upstream requests", upstream.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	<-done
+}
+
+// TestFleetHotReload: PUT /v1/fleet swaps the replica ring without a
+// restart — new replicas serve traffic immediately, removed ones stop
+// receiving it, surviving ones keep their counters — and GET /v1/fleet
+// reflects the change.
+func TestFleetHotReload(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	b := newFakeReplica(t, "b")
+	c := newFakeReplica(t, "c")
+	gw, srv := testGateway(t, gatewayConfig{replicas: []string{a.srv.URL, b.srv.URL}})
+
+	// Seed traffic so the fleet has counters; remember the surviving
+	// replica's share to prove the update carries its state over.
+	for gpus := 1; gpus <= 6; gpus++ {
+		postJSON(t, srv.URL+"/v1/search", fmt.Sprintf(`{"model":"t5-100M","gpus":%d}`, gpus), nil)
+	}
+	keptProxied := gw.fleet().byURL(a.srv.URL).proxied.Load()
+
+	// Swap b out for c.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/fleet",
+		strings.NewReader(fmt.Sprintf(`{"replicas":[%q,%q]}`, a.srv.URL, c.srv.URL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet update: %d %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), c.srv.URL) || strings.Contains(string(data), b.srv.URL) {
+		t.Fatalf("update response shows the wrong fleet: %s", data)
+	}
+
+	view := gw.fleet()
+	if len(view.replicas) != 2 || view.byURL(b.srv.URL) != nil || view.byURL(c.srv.URL) == nil {
+		t.Fatalf("ring not re-rung: %v", view.replicas)
+	}
+	if view.byURL(a.srv.URL).proxied.Load() != keptProxied {
+		t.Error("surviving replica lost its counters across the update")
+	}
+	if gw.fleetUpdates.Load() != 1 {
+		t.Errorf("fleet updates counter %d, want 1", gw.fleetUpdates.Load())
+	}
+
+	// Traffic spreads over the new fleet only.
+	before := b.searches.Load()
+	for gpus := 1; gpus <= 12; gpus++ {
+		postJSON(t, srv.URL+"/v1/search", fmt.Sprintf(`{"model":"t5-100M","gpus":%d}`, gpus), nil)
+	}
+	if b.searches.Load() != before {
+		t.Error("removed replica still receives traffic")
+	}
+	if c.searches.Load() == 0 && a.searches.Load() == 0 {
+		t.Error("new fleet served nothing")
+	}
+
+	// GET /v1/fleet lists the live generation.
+	gresp, gbody := getURL(t, srv.URL+"/v1/fleet")
+	if gresp.StatusCode != http.StatusOK || !strings.Contains(string(gbody), c.srv.URL) {
+		t.Errorf("GET /v1/fleet: %d %s", gresp.StatusCode, gbody)
+	}
+
+	// Garbage is rejected without touching the ring.
+	for _, bad := range []string{`{}`, `{"replicas":[]}`, `{"replicas":["ftp://x"]}`, `{"replicas":["not a url"]}`} {
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/fleet", strings.NewReader(bad))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("fleet update %q answered %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if gw.fleetUpdates.Load() != 1 {
+		t.Error("rejected updates mutated the fleet")
 	}
 }

@@ -15,10 +15,23 @@
 // IP) gets a token bucket; requests beyond it are answered 429 with
 // Retry-After, which service.Client's GET retries honor.
 //
+// Identical concurrent searches collapse into one upstream request
+// (singleflight, keyed by path + raw body): during a cold-plan
+// stampede — worst when the plan's home replica just died and every
+// client retries at once — one replica executes and every waiter
+// shares the buffered answer, marked X-Tapas-Singleflight: joined.
+//
+// The replica set itself is hot-reloadable: PUT /v1/fleet with
+// {"replicas":[...]} swaps the ring without a restart (new replicas
+// are probed before the call returns; surviving ones keep their health
+// and counters), and GET /v1/fleet shows the live generation — so an
+// autoscaler never needs to bounce the proxy. -replicas only seeds the
+// initial fleet.
+//
 // Endpoints: the proxied v1 API (/v1/search, /v1/search:batch,
-// /v1/jobs...), GET /v1/jobs (merged fleet listing), GET /v1/healthz
-// (fleet view; 503 when no replica is healthy) and GET /metrics
-// (Prometheus text).
+// /v1/jobs...), GET /v1/jobs (merged fleet listing), GET/PUT /v1/fleet
+// (replica ring), GET /v1/healthz (fleet view; 503 when no replica is
+// healthy) and GET /metrics (Prometheus text).
 //
 // Usage:
 //

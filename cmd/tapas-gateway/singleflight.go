@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Gateway-level singleflight: when N clients POST byte-identical search
+// bodies concurrently — the classic stampede on a cold plan, worst when
+// the plan's home replica just died and every client retries at once —
+// only the first request goes upstream; the rest wait and share its
+// buffered response. The replicas already collapse identical in-flight
+// searches in-process, but without this the gateway would still open N
+// upstream connections and, during failover, N separate ring walks.
+//
+// Collapse is strictly byte-keyed (path + raw body): two requests that
+// would hit the same plan but differ in whitespace run separately.
+// That conservatism keeps the gateway ignorant of request semantics —
+// it never has to prove two bodies are equivalent, so it can never
+// wrongly share a response. Only idempotent search routes collapse;
+// job submits never do.
+
+// sfResult is one buffered upstream search response, shareable across
+// the callers that collapsed into it.
+type sfResult struct {
+	rep    *replicaState
+	status int
+	header http.Header
+	body   []byte
+}
+
+// sfCall is one in-flight upstream request and its waiters' rendezvous.
+type sfCall struct {
+	done chan struct{}
+	res  sfResult
+	ok   bool
+}
+
+// singleflight collapses concurrent calls by key. The zero value is
+// ready to use.
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*sfCall
+}
+
+// do returns fn's result for key, running fn once per key-generation:
+// the first caller (the leader) runs it, concurrent callers with the
+// same key wait and share the outcome. joined reports whether this
+// caller shared another's result. A follower whose ctx dies stops
+// waiting (ok=false) without affecting the others; a leader's failure
+// is reported to every waiter (ok=false), each of whom then decides
+// whether to retry alone — failures never cascade into re-collapse.
+func (s *singleflight) do(ctx context.Context, key string, fn func() (sfResult, bool)) (res sfResult, joined, ok bool) {
+	s.mu.Lock()
+	if s.calls == nil {
+		s.calls = make(map[string]*sfCall)
+	}
+	if c, inFlight := s.calls[key]; inFlight {
+		s.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, c.ok
+		case <-ctx.Done():
+			return sfResult{}, true, false
+		}
+	}
+	c := &sfCall{done: make(chan struct{})}
+	s.calls[key] = c
+	s.mu.Unlock()
+
+	c.res, c.ok = fn()
+
+	s.mu.Lock()
+	delete(s.calls, key) // later callers start a fresh generation
+	s.mu.Unlock()
+	close(c.done)
+	return c.res, false, c.ok
+}

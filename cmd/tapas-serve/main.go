@@ -33,6 +33,16 @@
 // for longer than the bound (at open and on a timer). GET /metrics
 // exposes the cache/store/queue counters in Prometheus text form.
 //
+// Combining -store-dir with one or more -store-peer flags (repeatable)
+// replicates the corpus instead of sharing a single owner's: every
+// searched plan is written locally and fanned out write-behind to each
+// peer, local read misses fall through to peers with read-repair, and
+// an anti-entropy sweep (-store-sweep-interval) reconciles divergence
+// in both directions — so killing any replica, including a record's
+// original writer, loses no warm state. Dead peers are skipped and
+// re-probed in the background (-store-probe-interval); healthz reports
+// a replication block and /metrics the tapas_replicate_* families.
+//
 // With -fleet the daemon becomes a distributed-cold-search coordinator:
 // a cold search splits its enumeration into prefix tasks and scatters
 // them across the listed peers over POST /v1/tasks, retrying and
@@ -76,6 +86,7 @@ import (
 	"tapas/service/dispatch"
 	"tapas/store"
 	"tapas/store/remotebackend"
+	"tapas/store/replicate"
 )
 
 func main() {
@@ -85,10 +96,13 @@ func main() {
 	workers := flag.Int("workers", 0, "search worker goroutines per job (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", tapas.DefaultCacheSize, "result cache entries (0 disables)")
 	storeDir := flag.String("store-dir", "", "persistent plan store directory; searches survive restarts (empty disables)")
-	storePeer := flag.String("store-peer", "", "peer daemon URL whose plan corpus this replica shares (e.g. http://replica-a:8080; mutually exclusive with -store-dir)")
+	var storePeers cli.StringList
+	flag.Var(&storePeers, "store-peer", "peer daemon URL sharing the plan corpus (repeatable, commas allowed). Alone: read/write that peer's corpus. With -store-dir: replicate — writes fan out to every peer, reads fall through with read-repair, anti-entropy keeps all replicas converged")
 	storeMax := flag.Int("store-max", store.DefaultMaxEntries, "plan store record bound (LRU eviction past it)")
-	storeGCAge := flag.Duration("store-gc-age", 0, "delete store records unused for longer than this, at open and on a timer (0 disables GC)")
+	storeGCAge := flag.Duration("store-gc-age", 0, "delete store records unused for longer than this, at open and on a timer (0 disables GC; incompatible with -store-peer)")
 	storeGCInterval := flag.Duration("store-gc-interval", 0, "store GC timer period (0 = age/4, clamped to [1s, 1h])")
+	storeSweep := flag.Duration("store-sweep-interval", 30*time.Second, "anti-entropy sweep period of a replicated corpus (0 disables; only with -store-dir plus -store-peer)")
+	storeProbe := flag.Duration("store-probe-interval", 3*time.Second, "how often a down replication peer is re-probed")
 	jobsDir := flag.String("jobs-dir", "", "durable job record directory; queued/running jobs survive restarts (default <store-dir>/jobs when -store-dir is set, empty disables)")
 	maxFinished := flag.Int("max-finished", 256, "finished jobs retained for status polling")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs and in-flight requests before cancelling them")
@@ -110,16 +124,17 @@ func main() {
 		JobWorkers:  *jobWorkers,
 		MaxFinished: *maxFinished,
 	}
-	if *storeDir != "" && *storePeer != "" {
-		log.Printf("-store-dir and -store-peer are mutually exclusive: a replica either owns a corpus or shares a peer's")
+	if len(storePeers) > 0 && *storeGCAge > 0 {
+		log.Printf("-store-gc-age cannot run against a shared or replicated corpus; GC only an exclusively-owned -store-dir")
 		os.Exit(2)
 	}
-	if *storePeer != "" && *storeGCAge > 0 {
-		log.Printf("-store-gc-age belongs on the corpus owner, not on a -store-peer replica")
+	if *storeDir == "" && len(storePeers) > 1 {
+		log.Printf("replicating across %d peers needs a local corpus: add -store-dir (a single -store-peer reads a shared corpus without one)", len(storePeers))
 		os.Exit(2)
 	}
 	var st *store.Store
-	if *storeDir != "" || *storePeer != "" {
+	var repl *replicate.Backend
+	if *storeDir != "" || len(storePeers) > 0 {
 		opts := store.Options{
 			Dir:        *storeDir,
 			MaxEntries: *storeMax,
@@ -130,10 +145,40 @@ func main() {
 			},
 		}
 		where := *storeDir
-		if *storePeer != "" {
-			opts.Backend = remotebackend.New(*storePeer)
+		switch {
+		case *storeDir == "":
+			// Legacy shared mode: no local bytes, one peer owns the corpus.
+			opts.Backend = remotebackend.New(storePeers[0])
 			opts.Shared = true
-			where = *storePeer
+			where = storePeers[0]
+		case len(storePeers) > 0:
+			// Replicated corpus: this daemon owns bytes locally AND fans
+			// writes out to every peer; reads fall through with
+			// read-repair and anti-entropy converges divergence.
+			local, err := store.NewFS(*storeDir)
+			if err != nil {
+				log.Printf("opening plan store: %v", err)
+				os.Exit(1)
+			}
+			ropts := replicate.Options{
+				Local:         local,
+				SweepInterval: *storeSweep,
+				ProbeInterval: *storeProbe,
+				Logf:          log.Printf,
+			}
+			for _, u := range storePeers {
+				ropts.Peers = append(ropts.Peers, replicate.Peer{Name: u, Backend: remotebackend.New(u)})
+			}
+			repl, err = replicate.New(ropts)
+			if err != nil {
+				log.Printf("opening replicated plan store: %v", err)
+				os.Exit(1)
+			}
+			opts.Backend = repl
+			// Shared: peers' fanout writes and sweep-landed records must
+			// be visible past this process's index.
+			opts.Shared = true
+			where = fmt.Sprintf("%s (replicated to %s)", *storeDir, strings.Join(storePeers, ", "))
 		}
 		var err error
 		st, err = store.Open(opts)
@@ -143,6 +188,9 @@ func main() {
 		}
 		log.Printf("plan store %s: %d records", where, st.Len())
 		cfg.EngineOptions = append(cfg.EngineOptions, tapas.WithStore(st))
+		if repl != nil {
+			cfg.Replication = repl
+		}
 	}
 	if *progress {
 		cfg.OnProgress = func(ev tapas.ProgressEvent) {
@@ -248,6 +296,11 @@ func main() {
 		// Drain the write-behind queue so plans searched moments before
 		// the shutdown survive into the next process.
 		_ = st.Close()
+	}
+	if repl != nil {
+		// Then drain the replication fanout queues, so those same plans
+		// also reach the peers before this process exits.
+		_ = repl.Close()
 	}
 	log.Printf("bye")
 }

@@ -1,0 +1,26 @@
+package cli
+
+import "strings"
+
+// StringList is a repeatable flag.Value collecting strings: each
+// occurrence appends, and a single occurrence may carry several values
+// separated by commas, so both idioms work:
+//
+//	-store-peer http://a:8080 -store-peer http://b:8080
+//	-store-peer http://a:8080,http://b:8080
+//
+// Values are trimmed; empties are dropped.
+type StringList []string
+
+// String renders the collected values for flag's default printing.
+func (l *StringList) String() string { return strings.Join(*l, ",") }
+
+// Set appends one flag occurrence's value(s).
+func (l *StringList) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*l = append(*l, s)
+		}
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 
 	"tapas"
 	"tapas/store"
+	"tapas/store/replicate"
 )
 
 // SchemaVersion is the current wire schema of the v1 DTOs; it is echoed
@@ -263,6 +264,11 @@ type Stats struct {
 	// Fleet reports the scatter coordinator's view of its peers; nil
 	// when the daemon runs without -fleet.
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Replication reports the replicating store backend's traffic —
+	// write fanout, read-repair, anti-entropy — and per-peer health;
+	// nil when the daemon runs without replication (fewer than two
+	// -store-peer flags).
+	Replication *replicate.Stats `json:"replication,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@ import (
 	"tapas/internal/graph"
 	"tapas/internal/graphio"
 	"tapas/store"
+	"tapas/store/replicate"
 )
 
 // Config sizes a Service. The zero value is usable: defaults fill in.
@@ -44,6 +45,17 @@ type Config struct {
 	// Stats/healthz/metrics. A daemon running with -fleet wires its
 	// dispatch.Coordinator here.
 	Fleet FleetStatser
+	// Replication, when set, reports the replicating store backend's
+	// traffic and peer health through Stats/healthz/metrics. A daemon
+	// running with a replicated corpus (-store-dir plus -store-peer
+	// flags) wires its replicate.Backend here.
+	Replication ReplicationStatser
+}
+
+// ReplicationStatser is the slice of store/replicate.Backend the service
+// needs for health reporting.
+type ReplicationStatser interface {
+	Stats() replicate.Stats
 }
 
 const (
@@ -69,7 +81,8 @@ type Service struct {
 	adopted  int       // jobs re-enqueued from a previous process
 	draining atomic.Bool
 
-	fleet         FleetStatser // nil when not scattering
+	fleet         FleetStatser       // nil when not scattering
+	replication   ReplicationStatser // nil when the corpus is unreplicated
 	tasksExecuted atomic.Uint64
 	tasksFailed   atomic.Uint64
 
@@ -97,10 +110,11 @@ func New(cfg Config) (*Service, error) {
 		cfg.MaxFinished = defaultMaxFinished
 	}
 	s := &Service{
-		queueCap:   cfg.QueueSize,
-		jobWorkers: cfg.JobWorkers,
-		onProgress: cfg.OnProgress,
-		fleet:      cfg.Fleet,
+		queueCap:    cfg.QueueSize,
+		jobWorkers:  cfg.JobWorkers,
+		onProgress:  cfg.OnProgress,
+		fleet:       cfg.Fleet,
+		replication: cfg.Replication,
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 
@@ -255,6 +269,10 @@ func (s *Service) Stats() Stats {
 	if s.fleet != nil {
 		fs := s.fleet.FleetStats()
 		st.Fleet = &fs
+	}
+	if s.replication != nil {
+		rs := s.replication.Stats()
+		st.Replication = &rs
 	}
 	return st
 }

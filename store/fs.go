@@ -120,8 +120,16 @@ func (f *FS) Stat(id string) (EntryInfo, error) {
 	return EntryInfo{ID: id, Size: info.Size(), ModTime: info.ModTime()}, nil
 }
 
+// tmpReapAge is how old a leftover temp file must be before List
+// removes it. A temp file younger than this may belong to a concurrent
+// Put that has not renamed yet — reaping it would break that write's
+// publish — while one past it can only be the residue of an interrupted
+// (crashed) write: no Put holds a temp open for a minute.
+const tmpReapAge = time.Minute
+
 // List enumerates every stored record. Leftover temp files from
-// interrupted writes are removed (the rename never happened, so they
+// interrupted writes are removed once they are old enough that no
+// in-flight Put can still own them (the rename never happened, so they
 // were never published); stray non-record files are ignored.
 func (f *FS) List() ([]EntryInfo, error) {
 	ents, err := os.ReadDir(f.dir)
@@ -135,7 +143,9 @@ func (f *FS) List() ([]EntryInfo, error) {
 			continue
 		}
 		if strings.HasSuffix(name, ".tmp") {
-			_ = os.Remove(filepath.Join(f.dir, name)) // interrupted atomic write
+			if info, err := de.Info(); err == nil && time.Since(info.ModTime()) > tmpReapAge {
+				_ = os.Remove(filepath.Join(f.dir, name)) // interrupted atomic write
+			}
 			continue
 		}
 		if !strings.HasSuffix(name, ".json") {

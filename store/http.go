@@ -23,6 +23,19 @@ const ModTimeHeader = "X-Tapas-Mod-Unix-Ms"
 // protocol.
 const maxRecordBytes = 32 << 20
 
+// localBackend returns the backend the peer protocol should serve: for
+// a composite backend that fans out to other replicas (store/replicate,
+// which exposes its process-owned backend via Local()), the local one —
+// a peer asking this daemon for a record must get this daemon's copy,
+// never a fall-through to a third replica, or reads and fanout writes
+// would cascade around the fleet.
+func (s *Store) localBackend() Backend {
+	if l, ok := s.backend.(interface{ Local() Backend }); ok {
+		return l.Local()
+	}
+	return s.backend
+}
+
 // GetRaw returns the encoded record stored under id, refreshing its
 // recency like Get. It serves the peer protocol; the payload is not
 // re-validated here (Put/PutRaw validated it on the way in, and the
@@ -36,7 +49,7 @@ func (s *Store) GetRaw(id string) ([]byte, error) {
 		s.ll.MoveToFront(el)
 	}
 	s.mu.Unlock()
-	data, err := s.backend.Get(id)
+	data, err := s.localBackend().Get(id)
 	if err == nil {
 		s.touch(id) // a peer's read is a hit: keep the record young
 	}
@@ -58,7 +71,7 @@ func (s *Store) PutRaw(id string, data []byte) error {
 	if got := rec.Key.ID(); got != id {
 		return fmt.Errorf("%w: key hashes to %s, stored as %s", ErrInvalidRecord, got[:12], id)
 	}
-	if err := s.backend.Put(id, data); err != nil {
+	if err := s.localBackend().Put(id, data); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -80,7 +93,7 @@ func (s *Store) DeleteRaw(id string) error {
 		return nil
 	}
 	s.dropIndex(id)
-	return s.backend.Delete(id)
+	return s.localBackend().Delete(id)
 }
 
 // StatRaw reports one stored record's size and last-modified time.
@@ -88,13 +101,13 @@ func (s *Store) StatRaw(id string) (EntryInfo, error) {
 	if !validID(id) {
 		return EntryInfo{}, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
 	}
-	return s.backend.Stat(id)
+	return s.localBackend().Stat(id)
 }
 
 // ListRaw enumerates every record the backend holds (not just the
 // indexed ones — on a shared corpus the index lags).
 func (s *Store) ListRaw() ([]EntryInfo, error) {
-	return s.backend.List()
+	return s.localBackend().List()
 }
 
 // wireEntry is the peer protocol's listing element.

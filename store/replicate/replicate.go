@@ -1,0 +1,526 @@
+// Package replicate implements a replicated, self-healing plan corpus:
+// a composite store.Backend that keeps K underlying backends converging
+// on the same record set, so any surviving replica can serve every plan
+// the fleet has searched — killing the daemon that originally wrote a
+// record loses nothing.
+//
+// The design follows three classic replication disciplines, scaled down
+// to the store's content-addressed, last-write-wins record model:
+//
+//   - Write fanout, write-behind. A Put (or Delete) lands on the local
+//     backend synchronously — the hot path's durability — and is then
+//     queued to every peer on a per-peer outbound queue drained by its
+//     own goroutine, so one slow or dead replica never blocks a search.
+//     A full queue drops the op (counted) instead of stalling; the
+//     anti-entropy sweep re-converges whatever the queues miss.
+//
+//   - Read-repair. A Get that misses locally falls through to the
+//     healthy peers; a record found remotely is served AND re-Put into
+//     the local backend, so the next read is local and a wiped replica
+//     heals itself organically under read traffic.
+//
+//   - Anti-entropy. A periodic sweep diffs List+Stat across all
+//     backends and reconciles divergence in both directions: a record
+//     missing anywhere is copied from a holder, and when two backends
+//     hold different bytes under one id (sizes differ), the copy with
+//     the newest timestamp wins everywhere.
+//
+// Degraded operation is first-class: a peer whose call fails at the
+// transport is marked down and skipped (counted) by writes, reads,
+// listings and sweeps, while a background probe loop re-tests it — any
+// answer, even a 404, proves it alive — and a recovery kicks an
+// immediate sweep so the rejoined replica catches up without waiting
+// for the timer.
+//
+// Known limitation: there are no tombstones. A Delete that a dead peer
+// never saw is undone by a later sweep (the record is copied back from
+// that peer). For a plan corpus this is benign — records are immutable
+// search outcomes and deletion is an optimization, not a correctness
+// requirement.
+//
+// All methods are safe for concurrent use.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tapas/store"
+)
+
+// DefaultQueueSize bounds one peer's outbound write-behind queue when
+// Options.QueueSize is zero.
+const DefaultQueueSize = 128
+
+// probeID is the record id used by health probes: a well-formed content
+// address that no real record hashes to in practice. A peer answering
+// "not found" for it has proven it is alive.
+var probeID = strings.Repeat("0", 64)
+
+// Peer names one replication target.
+type Peer struct {
+	// Name identifies the peer in logs and stats (e.g. its base URL).
+	Name string
+	// Backend is the peer's byte store — typically a
+	// remotebackend.Backend speaking another daemon's /v1/store
+	// endpoints, but any store.Backend works (tests replicate across
+	// plain filesystem backends).
+	Backend store.Backend
+}
+
+// Options configure New. Local is required.
+type Options struct {
+	// Local is the backend this process owns — written synchronously,
+	// read first, and the target of read-repair.
+	Local store.Backend
+	// Peers are the replication targets write fanout, read fall-through
+	// and the anti-entropy sweep operate on.
+	Peers []Peer
+	// QueueSize bounds each peer's outbound write-behind queue
+	// (default DefaultQueueSize). Ops beyond it are dropped and counted;
+	// the sweep reconverges them.
+	QueueSize int
+	// SweepInterval is the anti-entropy period. 0 disables the periodic
+	// sweep (Sweep can still be called directly — tests do).
+	SweepInterval time.Duration
+	// ProbeInterval spaces background health probes of down peers
+	// (default 3s; negative disables probing — a down peer then only
+	// recovers when a read or sweep happens to succeed against it).
+	ProbeInterval time.Duration
+	// Logf observes peer-health transitions and repair activity
+	// (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of replication traffic, served by
+// the daemon's healthz under "replication" and by /metrics as the
+// tapas_replicate_* families.
+type Stats struct {
+	// Peers and PeersHealthy describe the replica set as this process
+	// sees it (the local backend excluded).
+	Peers        int `json:"peers"`
+	PeersHealthy int `json:"peers_healthy"`
+	// FanoutWrites counts Put/Delete ops successfully applied to peers
+	// by the write-behind queues; FanoutErrors counts ops that failed
+	// at a peer (which the sweep later reconciles).
+	FanoutWrites uint64 `json:"fanout_writes"`
+	FanoutErrors uint64 `json:"fanout_errors"`
+	// DeadPeerSkips counts operations (writes, read fall-throughs,
+	// listings) that skipped a peer currently marked down.
+	DeadPeerSkips uint64 `json:"dead_peer_skips"`
+	// QueueDropped counts fanout ops dropped because a peer's outbound
+	// queue was full or the backend was closed.
+	QueueDropped uint64 `json:"queue_dropped"`
+	// RepairHits counts Gets answered by a peer after a local miss —
+	// each one re-Puts the record locally (read-repair).
+	RepairHits uint64 `json:"repair_hits"`
+	// SweepRuns, SweepDiffs and SweepErrors count anti-entropy passes,
+	// the record copies they performed, and the copy/list failures they
+	// tolerated.
+	SweepRuns   uint64 `json:"sweep_runs"`
+	SweepDiffs  uint64 `json:"sweep_diffs"`
+	SweepErrors uint64 `json:"sweep_errors"`
+	// PeerDetail lists per-peer health for operators.
+	PeerDetail []PeerStatus `json:"peer_detail,omitempty"`
+}
+
+// PeerStatus is one peer's row in Stats.PeerDetail.
+type PeerStatus struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+}
+
+// repOp is one queued fanout operation.
+type repOp struct {
+	del  bool
+	id   string
+	data []byte
+}
+
+// peerState is one replication target and its health bit.
+type peerState struct {
+	name    string
+	b       store.Backend
+	healthy atomic.Bool
+	queue   chan repOp
+}
+
+// Backend is the replicating composite. Construct with New, retire with
+// Close (which drains the outbound queues).
+type Backend struct {
+	local store.Backend
+	peers []*peerState
+	logf  func(string, ...any)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals pending == 0, for Flush
+	pending int
+	closed  bool
+
+	sweepMu sync.Mutex    // one sweep at a time
+	kick    chan struct{} // recovery-triggered sweep request
+
+	fanoutWrites  atomic.Uint64
+	fanoutErrors  atomic.Uint64
+	deadPeerSkips atomic.Uint64
+	queueDropped  atomic.Uint64
+	repairHits    atomic.Uint64
+	sweepRuns     atomic.Uint64
+	sweepDiffs    atomic.Uint64
+	sweepErrors   atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds the replicating backend over opts.Local and opts.Peers and
+// starts the per-peer queue writers, the health probe loop, and (when
+// SweepInterval is set) the anti-entropy sweep loop.
+func New(opts Options) (*Backend, error) {
+	if opts.Local == nil {
+		return nil, fmt.Errorf("replicate: no local backend given")
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = DefaultQueueSize
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = 3 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	b := &Backend{
+		local: opts.Local,
+		logf:  logf,
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for i, p := range opts.Peers {
+		if p.Backend == nil {
+			return nil, fmt.Errorf("replicate: peer %d has no backend", i)
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("peer-%d", i)
+		}
+		ps := &peerState{name: name, b: p.Backend, queue: make(chan repOp, opts.QueueSize)}
+		ps.healthy.Store(true) // optimistic until the first failure
+		b.peers = append(b.peers, ps)
+		b.wg.Add(1)
+		go b.drainPeer(ps)
+	}
+	if opts.ProbeInterval > 0 && len(b.peers) > 0 {
+		b.wg.Add(1)
+		go b.probeLoop(opts.ProbeInterval)
+	}
+	if opts.SweepInterval > 0 {
+		b.wg.Add(1)
+		go b.sweepLoop(opts.SweepInterval)
+	}
+	return b, nil
+}
+
+// Local returns the backend this process owns. The Store's peer
+// protocol (/v1/store) serves raw reads and writes through it — never
+// through the composite — so one replica's fanout or fall-through can
+// never cascade into another's and loop around the fleet.
+func (b *Backend) Local() store.Backend { return b.local }
+
+// Get serves id local-first. A local miss falls through to the healthy
+// peers in order; a record found remotely is re-Put into the local
+// backend (read-repair) so the next read is local. Down peers are
+// skipped and counted.
+func (b *Backend) Get(id string) ([]byte, error) {
+	data, err := b.local.Get(id)
+	if err == nil {
+		return data, nil
+	}
+	for _, p := range b.peers {
+		if !p.healthy.Load() {
+			b.deadPeerSkips.Add(1)
+			continue
+		}
+		data, perr := p.b.Get(id)
+		if perr == nil {
+			b.repairHits.Add(1)
+			if rerr := b.local.Put(id, data); rerr != nil {
+				b.logf("replicate: read-repair of %s failed locally: %v", short(id), rerr)
+			} else {
+				b.logf("replicate: read-repaired %s from %s", short(id), p.name)
+			}
+			return data, nil
+		}
+		if errors.Is(perr, store.ErrNotFound) {
+			continue
+		}
+		b.markDown(p, perr)
+	}
+	return nil, err
+}
+
+// Put publishes data under id: synchronously at the local backend (its
+// failure is the caller's failure), then write-behind to every peer.
+// Down peers are skipped — the sweep re-converges them on recovery.
+func (b *Backend) Put(id string, data []byte) error {
+	if err := b.local.Put(id, data); err != nil {
+		return err
+	}
+	for _, p := range b.peers {
+		b.enqueue(p, repOp{id: id, data: data})
+	}
+	return nil
+}
+
+// Delete removes id locally and fans the delete out to the peers. See
+// the package note on tombstones: a delete a dead peer never saw can be
+// resurrected by a later sweep.
+func (b *Backend) Delete(id string) error {
+	err := b.local.Delete(id)
+	for _, p := range b.peers {
+		b.enqueue(p, repOp{del: true, id: id})
+	}
+	return err
+}
+
+// Stat reports id local-first, falling through to healthy peers.
+func (b *Backend) Stat(id string) (store.EntryInfo, error) {
+	info, err := b.local.Stat(id)
+	if err == nil {
+		return info, nil
+	}
+	for _, p := range b.peers {
+		if !p.healthy.Load() {
+			b.deadPeerSkips.Add(1)
+			continue
+		}
+		pinfo, perr := p.b.Stat(id)
+		if perr == nil {
+			return pinfo, nil
+		}
+		if errors.Is(perr, store.ErrNotFound) {
+			continue
+		}
+		b.markDown(p, perr)
+	}
+	return store.EntryInfo{}, err
+}
+
+// List enumerates the union of the local corpus and every healthy
+// peer's, keeping the newest timestamp per id — the fleet's merged view
+// of the corpus, which is what a Store opened over this backend indexes.
+func (b *Backend) List() ([]store.EntryInfo, error) {
+	ents, err := b.local.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]store.EntryInfo, len(ents))
+	for _, e := range ents {
+		seen[e.ID] = e
+	}
+	for _, p := range b.peers {
+		if !p.healthy.Load() {
+			b.deadPeerSkips.Add(1)
+			continue
+		}
+		pents, perr := p.b.List()
+		if perr != nil {
+			b.markDown(p, perr)
+			continue
+		}
+		for _, e := range pents {
+			if have, ok := seen[e.ID]; !ok || e.ModTime.After(have.ModTime) {
+				seen[e.ID] = e
+			}
+		}
+	}
+	out := make([]store.EntryInfo, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Touch refreshes local recency when the local backend tracks it. Peers
+// track their own recency (the remote backend's owner touches on GET).
+func (b *Backend) Touch(id string) {
+	if t, ok := b.local.(store.Toucher); ok {
+		t.Touch(id)
+	}
+}
+
+// Stats snapshots replication traffic and peer health.
+func (b *Backend) Stats() Stats {
+	st := Stats{
+		Peers:         len(b.peers),
+		FanoutWrites:  b.fanoutWrites.Load(),
+		FanoutErrors:  b.fanoutErrors.Load(),
+		DeadPeerSkips: b.deadPeerSkips.Load(),
+		QueueDropped:  b.queueDropped.Load(),
+		RepairHits:    b.repairHits.Load(),
+		SweepRuns:     b.sweepRuns.Load(),
+		SweepDiffs:    b.sweepDiffs.Load(),
+		SweepErrors:   b.sweepErrors.Load(),
+	}
+	for _, p := range b.peers {
+		up := p.healthy.Load()
+		if up {
+			st.PeersHealthy++
+		}
+		st.PeerDetail = append(st.PeerDetail, PeerStatus{Name: p.name, Healthy: up})
+	}
+	return st
+}
+
+// Flush blocks until every queued fanout op has been applied or
+// skipped — the write-behind barrier tests and shutdown use.
+func (b *Backend) Flush() {
+	b.mu.Lock()
+	for b.pending > 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Close stops the probe and sweep loops and drains the outbound
+// queues. Further fanout is dropped (counted); Get/Put keep working
+// against the local backend. Idempotent.
+func (b *Backend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.stop)
+	for _, p := range b.peers {
+		close(p.queue) // drainPeer applies buffered ops, then exits
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Write fanout
+
+// enqueue queues one op to a peer, skipping down peers and full queues
+// (both counted) rather than ever blocking the caller.
+func (b *Backend) enqueue(p *peerState, op repOp) {
+	if !p.healthy.Load() {
+		b.deadPeerSkips.Add(1)
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.queueDropped.Add(1)
+		return
+	}
+	select {
+	case p.queue <- op:
+		b.pending++
+	default:
+		b.queueDropped.Add(1)
+	}
+	b.mu.Unlock()
+}
+
+// drainPeer is one peer's queue writer.
+func (b *Backend) drainPeer(p *peerState) {
+	defer b.wg.Done()
+	for op := range p.queue {
+		b.apply(p, op)
+		b.mu.Lock()
+		b.pending--
+		if b.pending == 0 {
+			b.cond.Broadcast()
+		}
+		b.mu.Unlock()
+	}
+}
+
+// apply performs one queued op against a peer. A peer that died since
+// the op was queued is skipped; a transport failure marks it down.
+func (b *Backend) apply(p *peerState, op repOp) {
+	if !p.healthy.Load() {
+		b.deadPeerSkips.Add(1)
+		return
+	}
+	var err error
+	if op.del {
+		err = p.b.Delete(op.id)
+	} else {
+		err = p.b.Put(op.id, op.data)
+	}
+	if err != nil {
+		b.fanoutErrors.Add(1)
+		b.markDown(p, err)
+		return
+	}
+	b.fanoutWrites.Add(1)
+}
+
+// markDown records a peer failure. Errors that prove the peer answered
+// (not-found, validation rejection) keep it healthy.
+func (b *Backend) markDown(p *peerState, err error) {
+	if errors.Is(err, store.ErrNotFound) || errors.Is(err, store.ErrInvalidRecord) {
+		return
+	}
+	if p.healthy.Swap(false) {
+		b.logf("replicate: peer %s down: %v", p.name, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Health probing
+
+// probeLoop re-tests down peers so a recovered replica rejoins the
+// fanout without waiting for a failed call against it, and kicks a
+// sweep on recovery so it catches up immediately.
+func (b *Backend) probeLoop(every time.Duration) {
+	defer b.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+		}
+		recovered := false
+		for _, p := range b.peers {
+			if p.healthy.Load() {
+				continue
+			}
+			// Any answer proves life: a 404 for the probe id is a
+			// healthy peer with (correctly) no such record.
+			_, err := p.b.Stat(probeID)
+			if err == nil || errors.Is(err, store.ErrNotFound) {
+				if !p.healthy.Swap(true) {
+					b.logf("replicate: peer %s healthy again", p.name)
+					recovered = true
+				}
+			}
+		}
+		if recovered {
+			select {
+			case b.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// short abbreviates a record id for logs.
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}

@@ -1,0 +1,643 @@
+package replicate_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tapas/internal/export"
+	"tapas/store"
+	"tapas/store/backendtest"
+	"tapas/store/remotebackend"
+	"tapas/store/replicate"
+)
+
+// testRecord builds one valid record payload whose key hashes to its
+// id — the shape PutRaw's validation demands, so the same payloads work
+// against filesystem peers and the HTTP peer protocol alike.
+func testRecord(i int, variant string) (store.Key, string, []byte) {
+	k := store.Key{Kind: "search", Graph: fmt.Sprintf("replicate-%d", i), GPUs: 8, Cluster: "test", Options: "o"}
+	rec := store.Record{
+		SchemaVersion: store.RecordSchemaVersion,
+		Key:           k,
+		Model:         "model-" + variant,
+		GPUs:          8,
+		Plan:          &export.StrategyJSON{SchemaVersion: export.SchemaVersion, Model: "model-" + variant, Workers: 8},
+		CreatedUnixMS: 1,
+	}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		panic(err)
+	}
+	return k, k.ID(), data
+}
+
+func newFS(t *testing.T) *store.FS {
+	t.Helper()
+	b, err := store.NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newReplicated(t *testing.T, opts replicate.Options) *replicate.Backend {
+	t.Helper()
+	b, err := replicate.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// syncBackend adapts the replicating backend to the conformance
+// battery: the battery's contract is synchronous (Get after Delete must
+// miss), so every write waits for the write-behind fanout to land. The
+// full fanout path still runs — only the timing is pinned.
+type syncBackend struct {
+	*replicate.Backend
+}
+
+func (s syncBackend) Put(id string, data []byte) error {
+	err := s.Backend.Put(id, data)
+	s.Flush()
+	return err
+}
+
+func (s syncBackend) Delete(id string) error {
+	err := s.Backend.Delete(id)
+	s.Flush()
+	return err
+}
+
+// errDown is the transport-level failure of a dead peer.
+var errDown = errors.New("dial tcp: connection refused")
+
+// downBackend is a peer that died before the test started: every call
+// fails at the transport.
+type downBackend struct{}
+
+func (downBackend) Get(string) ([]byte, error)           { return nil, errDown }
+func (downBackend) Put(string, []byte) error             { return errDown }
+func (downBackend) Delete(string) error                  { return errDown }
+func (downBackend) List() ([]store.EntryInfo, error)     { return nil, errDown }
+func (downBackend) Stat(string) (store.EntryInfo, error) { return store.EntryInfo{}, errDown }
+
+// flakyBackend delegates to an inner backend while up and fails at the
+// transport while down — a peer that can die and come back.
+type flakyBackend struct {
+	inner store.Backend
+	up    atomic.Bool
+}
+
+func (f *flakyBackend) Get(id string) ([]byte, error) {
+	if !f.up.Load() {
+		return nil, errDown
+	}
+	return f.inner.Get(id)
+}
+
+func (f *flakyBackend) Put(id string, data []byte) error {
+	if !f.up.Load() {
+		return errDown
+	}
+	return f.inner.Put(id, data)
+}
+
+func (f *flakyBackend) Delete(id string) error {
+	if !f.up.Load() {
+		return errDown
+	}
+	return f.inner.Delete(id)
+}
+
+func (f *flakyBackend) List() ([]store.EntryInfo, error) {
+	if !f.up.Load() {
+		return nil, errDown
+	}
+	return f.inner.List()
+}
+
+func (f *flakyBackend) Stat(id string) (store.EntryInfo, error) {
+	if !f.up.Load() {
+		return store.EntryInfo{}, errDown
+	}
+	return f.inner.Stat(id)
+}
+
+// TestReplicateConformanceHealthy runs the shared backend battery
+// against the full composite: a filesystem local plus two filesystem
+// peers, all reachable. The replicating backend must be
+// indistinguishable from a plain one.
+func TestReplicateConformanceHealthy(t *testing.T) {
+	dirs := map[store.Backend]string{}
+	backendtest.Run(t, backendtest.Harness{
+		Open: func(t *testing.T) store.Backend {
+			local := newFS(t)
+			b := newReplicated(t, replicate.Options{
+				Local: local,
+				Peers: []replicate.Peer{
+					{Name: "p1", Backend: newFS(t)},
+					{Name: "p2", Backend: newFS(t)},
+				},
+				ProbeInterval: -1,
+			})
+			sb := syncBackend{b}
+			dirs[sb] = local.Dir()
+			return sb
+		},
+		Corrupt: func(t *testing.T, b store.Backend, id string, data []byte) {
+			if err := os.WriteFile(filepath.Join(dirs[b], id+".json"), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}
+
+// TestReplicateConformanceOneDeadPeer runs the same battery with one
+// peer dead from the start: the first call marks it down and every
+// operation must still satisfy the contract against the survivors.
+func TestReplicateConformanceOneDeadPeer(t *testing.T) {
+	dirs := map[store.Backend]string{}
+	backendtest.Run(t, backendtest.Harness{
+		Open: func(t *testing.T) store.Backend {
+			local := newFS(t)
+			b := newReplicated(t, replicate.Options{
+				Local: local,
+				Peers: []replicate.Peer{
+					{Name: "alive", Backend: newFS(t)},
+					{Name: "dead", Backend: downBackend{}},
+				},
+				ProbeInterval: -1,
+			})
+			sb := syncBackend{b}
+			dirs[sb] = local.Dir()
+			return sb
+		},
+		Corrupt: func(t *testing.T, b store.Backend, id string, data []byte) {
+			if err := os.WriteFile(filepath.Join(dirs[b], id+".json"), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	})
+}
+
+// TestFanoutWriteBehind pins the write path: a Put lands on every peer
+// once the queues drain, a Delete removes it everywhere, and the
+// counters see both.
+func TestFanoutWriteBehind(t *testing.T) {
+	local, p1, p2 := newFS(t), newFS(t), newFS(t)
+	b := newReplicated(t, replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "p1", Backend: p1}, {Name: "p2", Backend: p2}},
+		ProbeInterval: -1,
+	})
+
+	_, id, data := testRecord(1, "a")
+	if err := b.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	for name, fs := range map[string]*store.FS{"local": local, "p1": p1, "p2": p2} {
+		got, err := fs.Get(id)
+		if err != nil {
+			t.Fatalf("%s missing the fanned-out record: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s holds different bytes", name)
+		}
+	}
+	if st := b.Stats(); st.FanoutWrites != 2 || st.FanoutErrors != 0 {
+		t.Fatalf("stats after put: %+v, want 2 fanout writes", st)
+	}
+
+	if err := b.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	for name, fs := range map[string]*store.FS{"local": local, "p1": p1, "p2": p2} {
+		if _, err := fs.Get(id); !errors.Is(err, store.ErrNotFound) {
+			t.Fatalf("%s still serves the deleted record: %v", name, err)
+		}
+	}
+}
+
+// TestReadRepair pins the read path: a record only a peer holds is
+// served through the composite and re-Put locally, so the next read
+// never leaves the process.
+func TestReadRepair(t *testing.T) {
+	local, peer := newFS(t), newFS(t)
+	b := newReplicated(t, replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "peer", Backend: peer}},
+		ProbeInterval: -1,
+	})
+
+	_, id, data := testRecord(2, "a")
+	if err := peer.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(id)
+	if err != nil {
+		t.Fatalf("peer-held record not served: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("served different bytes than the peer holds")
+	}
+	if lgot, err := local.Get(id); err != nil || !bytes.Equal(lgot, data) {
+		t.Fatalf("read-repair did not land locally: %v", err)
+	}
+	if st := b.Stats(); st.RepairHits != 1 {
+		t.Fatalf("repair_hits = %d, want 1", st.RepairHits)
+	}
+}
+
+// TestDeadPeerSkipProbeRecoveryAndConvergence walks the full degraded
+// lifecycle: a peer dies mid-run (fanout error, marked down), later
+// writes skip it, the probe loop notices its recovery, and a sweep
+// brings it back level with the survivors.
+func TestDeadPeerSkipProbeRecoveryAndConvergence(t *testing.T) {
+	local := newFS(t)
+	flaky := &flakyBackend{inner: newFS(t)}
+	flaky.up.Store(true)
+	b := newReplicated(t, replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "flaky", Backend: flaky}},
+		ProbeInterval: 10 * time.Millisecond,
+	})
+
+	// Healthy fanout first, so the death is observable as a transition.
+	_, id1, data1 := testRecord(3, "a")
+	if err := b.Put(id1, data1); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if st := b.Stats(); st.PeersHealthy != 1 || st.FanoutWrites != 1 {
+		t.Fatalf("healthy baseline: %+v", st)
+	}
+
+	// The peer dies; the queued op fails and marks it down.
+	flaky.up.Store(false)
+	_, id2, data2 := testRecord(4, "a")
+	if err := b.Put(id2, data2); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if st := b.Stats(); st.PeersHealthy != 0 || st.FanoutErrors == 0 {
+		t.Fatalf("after peer death: %+v, want 0 healthy and a fanout error", st)
+	}
+
+	// Writes against a known-dead peer are skipped, not attempted.
+	_, id3, data3 := testRecord(5, "a")
+	if err := b.Put(id3, data3); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if st := b.Stats(); st.DeadPeerSkips == 0 {
+		t.Fatalf("dead peer not skipped: %+v", st)
+	}
+
+	// The peer recovers; the probe loop must notice without any call
+	// from the write path.
+	flaky.up.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().PeersHealthy != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never marked the recovered peer healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A sweep converges the records the peer missed while down.
+	if _, err := b.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		id   string
+		data []byte
+	}{{id2, data2}, {id3, data3}} {
+		got, err := flaky.Get(tc.id)
+		if err != nil {
+			t.Fatalf("recovered peer still missing %s after sweep: %v", tc.id[:12], err)
+		}
+		if !bytes.Equal(got, tc.data) {
+			t.Fatalf("recovered peer holds different bytes for %s", tc.id[:12])
+		}
+	}
+}
+
+// TestSweepConvergence diverges three backends every way the model
+// allows — a record only local holds, one only a peer holds, and one id
+// held at two different sizes — and asserts a single sweep leaves all
+// three backends listing identical, newest-copy-wins corpora.
+func TestSweepConvergence(t *testing.T) {
+	local, p1, p2 := newFS(t), newFS(t), newFS(t)
+	b := newReplicated(t, replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "p1", Backend: p1}, {Name: "p2", Backend: p2}},
+		ProbeInterval: -1,
+	})
+
+	_, idA, dataA := testRecord(10, "a")
+	_, idB, dataB := testRecord(11, "b")
+	_, idC, oldC := testRecord(12, "c")
+	_, _, newC := testRecord(12, "c-rewritten-longer") // same key, different size
+	if err := local.Put(idA, dataA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Put(idB, dataB); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Put(idC, oldC); err != nil {
+		t.Fatal(err)
+	}
+	// Age local's copy of C so p2's divergent copy is unambiguously the
+	// newest and must win everywhere.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(local.Path(idC), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Put(idC, newC); err != nil {
+		t.Fatal(err)
+	}
+
+	copies, err := b.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A to p1+p2, B to local+p2, C's winner to local+p1: 6 copies.
+	if copies != 6 {
+		t.Fatalf("sweep performed %d copies, want 6", copies)
+	}
+
+	want := map[string][]byte{idA: dataA, idB: dataB, idC: newC}
+	for name, fs := range map[string]*store.FS{"local": local, "p1": p1, "p2": p2} {
+		ents, err := fs.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != len(want) {
+			t.Fatalf("%s lists %d records after sweep, want %d", name, len(ents), len(want))
+		}
+		for id, data := range want {
+			got, err := fs.Get(id)
+			if err != nil {
+				t.Fatalf("%s missing %s after sweep: %v", name, id[:12], err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s holds the losing copy of %s", name, id[:12])
+			}
+		}
+	}
+
+	// A second sweep finds nothing to do: convergence is stable.
+	copies, err = b.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copies != 0 {
+		t.Fatalf("second sweep performed %d copies, want 0", copies)
+	}
+}
+
+// node is one daemon-shaped participant in the kill-the-writer test: a
+// filesystem corpus, a replicating backend fanning to the other nodes
+// over the real HTTP peer protocol, a Store over the composite, and an
+// httptest server exposing the Store's peer surface.
+type node struct {
+	repl *replicate.Backend
+	st   *store.Store
+	srv  *httptest.Server
+}
+
+// swapHandler lets the peer servers exist (URLs and all) before the
+// Stores they will serve do — the same bootstrapping order real daemons
+// have, where the listener binds before the fleet converges. Until the
+// real handler arrives it serves an empty, valid corpus.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	if r.Method == http.MethodGet && r.URL.Path == "/v1/store" {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"records":[]}`)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// TestKillTheWriter is the acceptance test from the issue: three nodes
+// replicate one corpus over the real peer protocol, the node that
+// searched (wrote) a plan is killed, and the survivors serve it warm —
+// one from its own corpus, one via read-repair from the other survivor.
+func TestKillTheWriter(t *testing.T) {
+	const n = 3
+	swaps := make([]*swapHandler, n)
+	nodes := make([]*node, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+	}
+	for i := range nodes {
+		nodes[i] = &node{srv: httptest.NewServer(swaps[i])}
+	}
+	for i := range nodes {
+		local := newFS(t)
+		var peers []replicate.Peer
+		for j := range nodes {
+			if j == i {
+				continue
+			}
+			peers = append(peers, replicate.Peer{
+				Name:    fmt.Sprintf("node-%d", j),
+				Backend: remotebackend.New(nodes[j].srv.URL),
+			})
+		}
+		repl, err := replicate.New(replicate.Options{
+			Local:         local,
+			Peers:         peers,
+			ProbeInterval: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := store.Open(store.Options{Backend: repl, Shared: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i].repl, nodes[i].st = repl, st
+		swaps[i].set(store.Handler(st))
+		t.Cleanup(func() {
+			st.Close()
+			repl.Close()
+			nodes[i].srv.Close()
+		})
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// A searches: the plan lands locally and fans out to B and C.
+	k, id, _ := testRecord(20, "plan")
+	rec := &store.Record{
+		Model: "model-plan",
+		GPUs:  8,
+		Plan:  &export.StrategyJSON{SchemaVersion: export.SchemaVersion, Model: "model-plan", Workers: 8},
+	}
+	if err := a.st.Put(k, rec); err != nil {
+		t.Fatal(err)
+	}
+	a.repl.Flush()
+	if st := a.repl.Stats(); st.FanoutWrites != 2 {
+		t.Fatalf("fanout writes = %d, want 2 (one per survivor)", st.FanoutWrites)
+	}
+
+	// Kill the writer. Its listener drops; its corpus is unreachable.
+	a.srv.Close()
+
+	// Survivor B serves the plan from its own corpus: the fanout landed
+	// through the peer protocol and was indexed on arrival.
+	if got, ok := b.st.Get(k); !ok {
+		t.Fatal("survivor B cannot serve the plan the dead writer searched")
+	} else if got.Model != rec.Model {
+		t.Fatalf("survivor B serves the wrong record: %q", got.Model)
+	}
+
+	// Wipe survivor C's local copy — the replica that lost its disk.
+	// Its next read falls through past dead A to B and repairs itself.
+	if err := c.repl.Local().Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.repl.Get(id)
+	if err != nil {
+		t.Fatalf("wiped survivor C cannot repair the plan: %v", err)
+	}
+	var rehydrated store.Record
+	if err := json.Unmarshal(data, &rehydrated); err != nil {
+		t.Fatal(err)
+	}
+	if rehydrated.Model != rec.Model {
+		t.Fatalf("repaired record is wrong: %q", rehydrated.Model)
+	}
+	if st := c.repl.Stats(); st.RepairHits != 1 {
+		t.Fatalf("repair_hits = %d, want 1", st.RepairHits)
+	}
+	if lgot, err := c.repl.Local().Get(id); err != nil || len(lgot) == 0 {
+		t.Fatalf("read-repair did not land in C's corpus: %v", err)
+	}
+
+	// C marked dead A down along the way; only B remains healthy.
+	cs := c.repl.Stats()
+	if cs.PeersHealthy != 1 {
+		t.Fatalf("C sees %d healthy peers, want 1 (B)", cs.PeersHealthy)
+	}
+	for _, p := range cs.PeerDetail {
+		if p.Name == "node-0" && p.Healthy {
+			t.Fatal("C still believes the killed writer is healthy")
+		}
+	}
+
+	// Sweeps on the survivors converge and report the degraded fleet
+	// without error beyond the dead peer being skipped.
+	if _, err := b.repl.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	bents, err := b.repl.Local().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents, err := c.repl.Local().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bents) != 1 || len(cents) != 1 || bents[0].ID != cents[0].ID {
+		t.Fatalf("survivors diverged: B=%v C=%v", bents, cents)
+	}
+}
+
+// TestListMergesNewestAcrossPeers pins the merged-listing contract a
+// Shared store relies on at Open: the union of all reachable corpora,
+// newest timestamp per id.
+func TestListMergesNewestAcrossPeers(t *testing.T) {
+	local, peer := newFS(t), newFS(t)
+	b := newReplicated(t, replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "peer", Backend: peer}},
+		ProbeInterval: -1,
+	})
+
+	_, idA, dataA := testRecord(30, "a")
+	_, idB, dataB := testRecord(31, "b")
+	if err := local.Put(idA, dataA); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Put(idB, dataB); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, e := range ents {
+		ids[e.ID] = true
+	}
+	if len(ents) != 2 || !ids[idA] || !ids[idB] {
+		t.Fatalf("merged listing wrong: %v", ents)
+	}
+}
+
+// TestCloseDrainsQueues pins shutdown: a Close right after a burst of
+// Puts still applies every queued op before returning.
+func TestCloseDrainsQueues(t *testing.T) {
+	local, peer := newFS(t), newFS(t)
+	b, err := replicate.New(replicate.Options{
+		Local:         local,
+		Peers:         []replicate.Peer{{Name: "peer", Backend: peer}},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 16; i++ {
+		_, id, data := testRecord(40+i, "a")
+		if err := b.Put(id, data); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := peer.Get(id); err != nil {
+			t.Fatalf("Close lost a queued op for %s: %v", id[:12], err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+}

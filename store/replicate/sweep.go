@@ -1,0 +1,162 @@
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tapas/store"
+)
+
+// view is one backend's record listing, indexed by id, during a sweep.
+type view struct {
+	name    string
+	put     func(id string, data []byte) error
+	get     func(id string) ([]byte, error)
+	entries map[string]store.EntryInfo
+	peer    *peerState // nil for the local view
+}
+
+// Sweep runs one anti-entropy pass: list the local backend and every
+// healthy peer, compute the union keeping the newest copy of each id,
+// and copy records in both directions until every reachable view holds
+// every record at its winning size. Returns the number of copies
+// performed. Copy and list failures are counted (and mark the failing
+// peer down) but do not abort the pass — convergence is retried by the
+// next sweep.
+//
+// Concurrent calls serialize; the periodic loop and the
+// recovery-triggered kick both land here.
+func (b *Backend) Sweep() (int, error) {
+	b.sweepMu.Lock()
+	defer b.sweepMu.Unlock()
+	b.sweepRuns.Add(1)
+
+	ents, err := b.local.List()
+	if err != nil {
+		b.sweepErrors.Add(1)
+		return 0, fmt.Errorf("replicate: sweep: list local: %w", err)
+	}
+	views := []*view{{
+		name:    "local",
+		put:     b.local.Put,
+		get:     b.local.Get,
+		entries: index(ents),
+	}}
+	for _, p := range b.peers {
+		if !p.healthy.Load() {
+			b.deadPeerSkips.Add(1)
+			continue
+		}
+		pents, perr := p.b.List()
+		if perr != nil {
+			b.sweepErrors.Add(1)
+			b.markDown(p, perr)
+			continue
+		}
+		views = append(views, &view{
+			name:    p.name,
+			put:     p.b.Put,
+			get:     p.b.Get,
+			entries: index(pents),
+			peer:    p,
+		})
+	}
+	if len(views) < 2 {
+		return 0, nil // nothing to reconcile against
+	}
+
+	// The desired corpus: for each id, the view holding the newest copy.
+	type want struct {
+		info store.EntryInfo
+		from *view
+	}
+	desired := make(map[string]want)
+	for _, v := range views {
+		for id, e := range v.entries {
+			if w, ok := desired[id]; !ok || e.ModTime.After(w.info.ModTime) {
+				desired[id] = want{info: e, from: v}
+			}
+		}
+	}
+
+	copies := 0
+	var firstErr error
+	for id, w := range desired {
+		var data []byte // fetched lazily, once, for all missers of this id
+		for _, v := range views {
+			if v.peer != nil && !v.peer.healthy.Load() {
+				continue // died mid-sweep
+			}
+			have, ok := v.entries[id]
+			// A view needs the record if it lacks the id, or holds a
+			// stale divergent copy: different size AND older timestamp.
+			// (Same-size copies are assumed identical — records are
+			// content-addressed; equal ids with equal sizes diverging
+			// in bytes would mean a hash collision.)
+			if ok && (have.Size == w.info.Size || !have.ModTime.Before(w.info.ModTime)) {
+				continue
+			}
+			if data == nil {
+				var gerr error
+				data, gerr = w.from.get(id)
+				if gerr != nil {
+					b.sweepErrors.Add(1)
+					if w.from.peer != nil {
+						b.markDown(w.from.peer, gerr)
+					}
+					if firstErr == nil {
+						firstErr = fmt.Errorf("replicate: sweep: fetch %s from %s: %w", short(id), w.from.name, gerr)
+					}
+					break // can't serve any misser of this id this pass
+				}
+			}
+			if perr := v.put(id, data); perr != nil {
+				// A peer rejecting the bytes as invalid is not a peer
+				// failure; anything else marks it down.
+				b.sweepErrors.Add(1)
+				if v.peer != nil && !errors.Is(perr, store.ErrInvalidRecord) {
+					b.markDown(v.peer, perr)
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("replicate: sweep: copy %s to %s: %w", short(id), v.name, perr)
+				}
+				continue
+			}
+			copies++
+			b.sweepDiffs.Add(1)
+		}
+	}
+	if copies > 0 {
+		b.logf("replicate: sweep reconciled %d record(s) across %d view(s)", copies, len(views))
+	}
+	return copies, firstErr
+}
+
+// sweepLoop runs Sweep on a timer and on recovery kicks from the probe
+// loop, so a rejoined peer converges immediately.
+func (b *Backend) sweepLoop(every time.Duration) {
+	defer b.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+		case <-b.kick:
+		}
+		if _, err := b.Sweep(); err != nil {
+			b.logf("%v", err)
+		}
+	}
+}
+
+// index maps a listing by record id.
+func index(ents []store.EntryInfo) map[string]store.EntryInfo {
+	m := make(map[string]store.EntryInfo, len(ents))
+	for _, e := range ents {
+		m[e.ID] = e
+	}
+	return m
+}

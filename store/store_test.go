@@ -210,8 +210,18 @@ func TestCorruptRecordsSkippedAtOpen(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, testKey(8).ID()+".json"), future, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// A leftover temp file from an interrupted write.
+	// A leftover temp file from an interrupted write, aged past the
+	// reap threshold — a fresh one could belong to a concurrent Put
+	// (a replication peer's sweep) and must be left alone.
 	if err := os.WriteFile(filepath.Join(dir, "zz-123.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(filepath.Join(dir, "zz-123.tmp"), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh temp file: a write in flight right now, not reapable.
+	if err := os.WriteFile(filepath.Join(dir, "zz-456.tmp"), []byte("half"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -236,7 +246,10 @@ func TestCorruptRecordsSkippedAtOpen(t *testing.T) {
 		t.Errorf("corrupt count = %d, want 3", st.Corrupt)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "zz-123.tmp")); !os.IsNotExist(err) {
-		t.Error("leftover temp file not cleaned up")
+		t.Error("stale leftover temp file not cleaned up")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "zz-456.tmp")); err != nil {
+		t.Error("fresh temp file reaped — a concurrent Put's rename would break")
 	}
 }
 
