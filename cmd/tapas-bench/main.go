@@ -67,6 +67,9 @@ type searchRecord struct {
 
 	MineMS       float64 `json:"mine_ms"`
 	SearchMS     float64 `json:"search_ms"`
+	EnumMS       float64 `json:"enum_ms"`
+	AssembleMS   float64 `json:"assemble_ms"`
+	MineLevels   int     `json:"mine_levels"`
 	Classes      int     `json:"classes"`
 	Examined     int     `json:"examined"`
 	CostSeconds  float64 `json:"cost_seconds"`
@@ -178,6 +181,9 @@ func benchSweep(ctx context.Context, record *benchRecord, models string, gpus, w
 			WarmCacheHit: warm.CacheHit,
 			MineMS:       float64(cold.MineTime.Microseconds()) / 1e3,
 			SearchMS:     float64(cold.SearchTime.Microseconds()) / 1e3,
+			EnumMS:       float64(cold.EnumTime.Microseconds()) / 1e3,
+			AssembleMS:   float64(cold.AssembleTime.Microseconds()) / 1e3,
+			MineLevels:   cold.MineLevels,
 			Classes:      cold.Classes,
 			Examined:     cold.Examined,
 			CostSeconds:  cold.Strategy.Cost.Total(),

@@ -62,6 +62,13 @@ type searchRecord struct {
 	WarmCacheHit bool    `json:"warm_cache_hit"`
 	CostSeconds  float64 `json:"cost_seconds"`
 	TFLOPsPerGPU float64 `json:"tflops_per_gpu"`
+	// Deterministic search-shape counters: identical plans must examine
+	// the same candidates, fold the same classes, and mine the same
+	// number of Apriori levels. Zero means the record predates the
+	// column and the check is skipped.
+	Examined   int `json:"examined"`
+	Classes    int `json:"classes"`
+	MineLevels int `json:"mine_levels"`
 }
 
 // gateResult is the verdict for one aligned (model, gpus) pair.
@@ -150,6 +157,24 @@ func gate(baseline, candidate benchRecord, tolerance, minDeltaMS float64, calibr
 			p.Failed = true
 			p.Reasons = append(p.Reasons, fmt.Sprintf(
 				"tflops_per_gpu drifted %.4g -> %.4g", b.TFLOPsPerGPU, s.TFLOPsPerGPU))
+		}
+		// The counters are exact: any difference is a search-shape change,
+		// not noise. Skipped when the baseline predates the column.
+		exact := []struct {
+			name       string
+			base, cand int
+		}{
+			{"examined", b.Examined, s.Examined},
+			{"classes", b.Classes, s.Classes},
+			{"mine_levels", b.MineLevels, s.MineLevels},
+		}
+		for _, e := range exact {
+			if e.base != 0 && e.base != e.cand {
+				p.Failed = true
+				p.Reasons = append(p.Reasons, fmt.Sprintf(
+					"%s changed %d -> %d (deterministic counter; the search explored a different space)",
+					e.name, e.base, e.cand))
+			}
 		}
 	}
 	return pairs, scale, nil

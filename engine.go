@@ -506,6 +506,12 @@ func (cfg engineConfig) resolve(gpus int) (cl *cluster.Cluster, model *cost.Mode
 	if cfg.mining != nil {
 		mopt = *cfg.mining
 	}
+	if mopt.Workers == 0 {
+		// Mining shares the search worker budget unless WithMining pinned
+		// its own. Worker counts never change results (the mining merge is
+		// order-stable), so this stays out of optionsSignature.
+		mopt.Workers = enum.Workers
+	}
 	return cl, model, enum, mopt
 }
 
@@ -619,6 +625,7 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 		mres := mining.Mine(ctx, gg, mopt)
 		classes := mining.Fold(gg, mres)
 		res.MineTime = time.Since(t1)
+		res.MineLevels = mres.Levels
 		res.UniqueGraphs = len(classes)
 		progress(PhaseExit, PhaseMine, 0, len(classes), 0)
 		if err := ctx.Err(); err != nil {
@@ -631,6 +638,8 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 		return nil, fmt.Errorf("tapas: strategy search failed: %w", err)
 	}
 	res.SearchTime = stats.EnumTime + stats.AssembleTime
+	res.EnumTime = stats.EnumTime
+	res.AssembleTime = stats.AssembleTime
 	res.Classes = stats.Classes
 	res.Examined = stats.Examined
 	res.Pruned = stats.Pruned

@@ -3,6 +3,7 @@ package ir
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -126,5 +127,99 @@ func TestPropertySignatureStableAcrossCalls(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+// renderPattern flattens every field of a Pattern into one comparable
+// string (In2 dereferenced so the render never depends on pointer
+// identity). Used to detect in-place mutation of memo-shared patterns.
+func renderPattern(p *Pattern) string {
+	in2 := "nil"
+	if p.In2 != nil {
+		in2 = fmt.Sprintf("%v", *p.In2)
+	}
+	return fmt.Sprintf("%s w=%d in=%v out=%v in2=%s ws=%v fwd=%v bwd=%v flops=%d wbytes=%d obytes=%d src=%q",
+		p.Name, p.W, p.In, p.Out, in2, p.WeightSpecs, p.FwdComm, p.BwdComm,
+		p.FLOPsPerDev, p.WeightBytesPerDev, p.OutBytesPerDev, p.SRC)
+}
+
+// TestPropertyPatternsForConcurrentImmutable guards the precomputed-menu
+// sharing in assembly: PatternsFor hands out *Pattern values shared via
+// the per-node memo cache, and strategy scoring workers read them from
+// many goroutines at once. The test snapshots every pattern's rendered
+// form, then hammers PatternsFor concurrently while using the menus the
+// way assembly does — name scans, cost-field reads — and additionally
+// reorders and clobbers the returned slices, which are documented as
+// the caller's private copies. Afterwards every shared pattern must
+// render exactly as before. Run under -race this also proves the memo
+// itself is data-race free.
+func TestPropertyPatternsForConcurrentImmutable(t *testing.T) {
+	src := randomStack(rand.New(rand.NewSource(7)))
+	g, err := Group(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := []int{1, 2, 8}
+	type menuKey struct {
+		gn *GraphNode
+		w  int
+	}
+	before := make(map[menuKey][]string)
+	for _, gn := range g.Nodes {
+		for _, w := range widths {
+			ps := PatternsFor(gn, w)
+			rs := make([]string, len(ps))
+			for i, p := range ps {
+				rs[i] = renderPattern(p)
+			}
+			before[menuKey{gn, w}] = rs
+		}
+	}
+
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for iter := 0; iter < 100; iter++ {
+				w := widths[(worker+iter)%len(widths)]
+				for _, gn := range g.Nodes {
+					ps := PatternsFor(gn, w)
+					// Assembly-style use: scan by name, read priced fields.
+					var total float64
+					for _, p := range ps {
+						if p.Name == "replicate" {
+							total += float64(4*p.WeightBytesPerDev + p.OutBytesPerDev)
+						}
+						total += float64(p.FLOPsPerDev + int64(len(p.FwdComm)+len(p.BwdComm)))
+					}
+					_ = total
+					// The slice is the caller's private copy: reversing and
+					// clobbering it must never leak into the shared memo.
+					for a, b := 0, len(ps)-1; a < b; a, b = a+1, b-1 {
+						ps[a], ps[b] = ps[b], ps[a]
+					}
+					if len(ps) > 0 {
+						ps[0] = nil
+					}
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+
+	for _, gn := range g.Nodes {
+		for _, w := range widths {
+			ps := PatternsFor(gn, w)
+			want := before[menuKey{gn, w}]
+			if len(ps) != len(want) {
+				t.Fatalf("node %d w=%d: menu length changed %d -> %d", gn.ID, w, len(want), len(ps))
+			}
+			for i, p := range ps {
+				if got := renderPattern(p); got != want[i] {
+					t.Errorf("node %d w=%d pattern %d mutated:\n got  %s\n want %s", gn.ID, w, i, got, want[i])
+				}
+			}
+		}
 	}
 }

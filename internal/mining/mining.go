@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tapas/internal/ir"
+	"tapas/internal/parallel"
 )
 
 // Options control the mining thresholds of Algorithm 1.
@@ -31,6 +32,13 @@ type Options struct {
 	// frontier so mining stays polynomial on adversarial graphs.
 	MaxInstancesPerPattern int
 	MaxPatternsPerLevel    int
+	// Workers bounds the goroutines used for level expansion (0 =
+	// GOMAXPROCS, 1 = serial). Results are identical at every worker
+	// count: groups are sharded by canonical hash and the per-worker
+	// outputs are merged back in ascending hash order, so dedup and the
+	// MaxInstancesPerPattern cap truncate the same instances regardless
+	// of scheduling.
+	Workers int
 }
 
 // DefaultOptions returns the thresholds used throughout the evaluation.
@@ -222,13 +230,23 @@ func Mine(ctx context.Context, g *ir.GNGraph, opt Options) *Result {
 	}
 	m := &miner{g: g, labels: internLabels(g), opt: opt}
 	res := &Result{MinSupportUsed: opt.MinSupport}
+	workers := parallel.Workers(opt.Workers)
 
 	// Level 1: every GraphNode is a candidate single-node subgraph
-	// (Algorithm 1 lines 2–6).
-	level := make(map[uint64][]Instance)
-	for _, gn := range g.Nodes {
-		in := Instance{gn}
-		level[m.canonicalHash(in)] = append(level[m.canonicalHash(in)], in)
+	// (Algorithm 1 lines 2–6). Hashing fans across the pool; the map is
+	// assembled serially in node order so bucket contents never depend
+	// on scheduling.
+	hashes, err := parallel.Map(ctx, workers, g.Nodes, func(_ context.Context, _ int, gn *ir.GraphNode) (uint64, error) {
+		return m.canonicalHash(Instance{gn}), nil
+	})
+	if err != nil {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	level := make(map[uint64][]Instance, len(g.Nodes))
+	for i, gn := range g.Nodes {
+		h := hashes[i]
+		level[h] = append(level[h], Instance{gn})
 	}
 	level = m.filterFrequent(level)
 	m.emit(res, level, 1)
@@ -241,53 +259,41 @@ func Mine(ctx context.Context, g *ir.GNGraph, opt Options) *Result {
 	// neighbor of member i corresponds across instances; instances where
 	// the replay diverges (block boundaries) simply drop out of the
 	// support count.
+	//
+	// Pattern groups expand independently, so each group runs as one
+	// work unit on the pool. Global dedup and the MaxInstancesPerPattern
+	// cap are order-sensitive, so they are NOT applied inside workers:
+	// each worker emits its group's candidate additions in deterministic
+	// local order, and the merge below replays them in ascending
+	// canonical-hash group order. Every worker count therefore produces
+	// the exact frontier of a serial sweep in sorted-group order.
 	for k := 2; k <= opt.MaxSize && len(level) > 0 && ctx.Err() == nil; k++ {
+		groups := make([]uint64, 0, len(level))
+		for h := range level {
+			groups = append(groups, h)
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+		lists, err := parallel.Map(ctx, workers, groups, func(_ context.Context, _ int, h uint64) ([]addition, error) {
+			return m.expandGroup(level[h]), nil
+		})
+		if err != nil {
+			break
+		}
 		next := make(map[uint64][]Instance)
 		nextSeen := make(map[uint64]map[uint64]bool) // pattern → instance keys
-		for _, instances := range level {
-			rep := instances[0]
-			for i, gn := range rep {
-				neighbors := func(x *ir.GraphNode) [][]*ir.GraphNode {
-					return [][]*ir.GraphNode{g.Succs(x), g.Preds(x)}
+		for _, adds := range lists {
+			for _, a := range adds {
+				seen := nextSeen[a.h]
+				if seen == nil {
+					seen = make(map[uint64]bool)
+					nextSeen[a.h] = seen
 				}
-				for dir, nbs := range neighbors(gn) {
-					for j, nb := range nbs {
-						if rep.contains(nb) {
-							continue
-						}
-						extRep := extend(rep, nb)
-						h := m.canonicalHash(extRep)
-						if nextSeen[h] == nil {
-							nextSeen[h] = make(map[uint64]bool)
-						}
-						seen := nextSeen[h]
-						add := func(in Instance) {
-							key := in.key()
-							if seen[key] || len(next[h]) >= opt.MaxInstancesPerPattern {
-								return
-							}
-							seen[key] = true
-							next[h] = append(next[h], in)
-						}
-						add(extRep)
-						// Replay the (i, dir, j) extension on the other
-						// instances.
-						for _, inst := range instances[1:] {
-							lists := neighbors(inst[i])
-							if j >= len(lists[dir]) {
-								continue
-							}
-							nb2 := lists[dir][j]
-							if inst.contains(nb2) {
-								continue
-							}
-							ext := extend(inst, nb2)
-							if m.canonicalHash(ext) == h {
-								add(ext)
-							}
-						}
-					}
+				key := a.in.key()
+				if seen[key] || len(next[a.h]) >= opt.MaxInstancesPerPattern {
+					continue
 				}
+				seen[key] = true
+				next[a.h] = append(next[a.h], a.in)
 			}
 		}
 		next = m.filterFrequent(next)
@@ -315,13 +321,88 @@ func Mine(ctx context.Context, g *ir.GNGraph, opt Options) *Result {
 	return res
 }
 
-// extend returns in ∪ {nb}, ID-sorted.
-func extend(in Instance, nb *ir.GraphNode) Instance {
-	ext := make(Instance, 0, len(in)+1)
-	ext = append(ext, in...)
-	ext = append(ext, nb)
-	sort.Slice(ext, func(a, b int) bool { return ext[a].ID < ext[b].ID })
-	return ext
+// addition is one candidate instance for the next Apriori level: the
+// canonical pattern hash plus the extended embedding. Workers emit
+// additions in deterministic per-group order; the level loop replays
+// them in sorted group order to apply global dedup and the instance cap.
+type addition struct {
+	h  uint64
+	in Instance
+}
+
+// expandGroup enumerates the one-node extensions of a single pattern
+// group: every (member, direction, neighbor-index) extension of the
+// representative, replayed positionally on the other instances. It is
+// pure with respect to shared state — dedup here is group-local only,
+// which is safe because an instance emitted twice by the same group
+// would always be skipped by the merge's global dedup too, no matter
+// what other groups contribute. A reusable scratch Instance backs the
+// rejected extensions (replays that diverge, local duplicates), so only
+// additions that actually escape allocate.
+func (m *miner) expandGroup(instances []Instance) []addition {
+	rep := instances[0]
+	neighbors := func(x *ir.GraphNode) [][]*ir.GraphNode {
+		return [][]*ir.GraphNode{m.g.Succs(x), m.g.Preds(x)}
+	}
+	var adds []addition
+	localSeen := make(map[uint64]map[uint64]bool) // pattern → instance keys
+	scratch := make(Instance, 0, len(rep)+1)
+	add := func(h uint64, in Instance) {
+		seen := localSeen[h]
+		if seen == nil {
+			seen = make(map[uint64]bool)
+			localSeen[h] = seen
+		}
+		key := in.key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		adds = append(adds, addition{h, append(Instance(nil), in...)})
+	}
+	for i, gn := range rep {
+		for dir, nbs := range neighbors(gn) {
+			for j, nb := range nbs {
+				if rep.contains(nb) {
+					continue
+				}
+				scratch = extendInto(scratch, rep, nb)
+				h := m.canonicalHash(scratch)
+				add(h, scratch)
+				// Replay the (i, dir, j) extension on the other
+				// instances.
+				for _, inst := range instances[1:] {
+					lists := neighbors(inst[i])
+					if j >= len(lists[dir]) {
+						continue
+					}
+					nb2 := lists[dir][j]
+					if inst.contains(nb2) {
+						continue
+					}
+					scratch = extendInto(scratch, inst, nb2)
+					if m.canonicalHash(scratch) == h {
+						add(h, scratch)
+					}
+				}
+			}
+		}
+	}
+	return adds
+}
+
+// extendInto writes in ∪ {nb} into dst (ID-sorted) and returns it,
+// reusing dst's backing array when it has capacity.
+func extendInto(dst, in Instance, nb *ir.GraphNode) Instance {
+	dst = append(dst[:0], in...)
+	dst = append(dst, nb)
+	p := len(dst) - 1
+	for p > 0 && dst[p-1].ID > nb.ID {
+		dst[p] = dst[p-1]
+		p--
+	}
+	dst[p] = nb
+	return dst
 }
 
 // filterFrequent reduces each pattern to a maximal set of pairwise
@@ -368,7 +449,9 @@ func (m *miner) filterFrequent(level map[uint64][]Instance) map[uint64][]Instanc
 // maximizes the disjoint support and keeps pipeline stages cuttable.
 func disjointInstances(ins []Instance) []Instance {
 	span := func(in Instance) int { return in[len(in)-1].ID - in[0].ID }
-	sort.Slice(ins, func(a, b int) bool {
+	// Stable: the incoming instance order is deterministic (merge order),
+	// so ties on (span, first ID) must not be reshuffled.
+	sort.SliceStable(ins, func(a, b int) bool {
 		sa, sb := span(ins[a]), span(ins[b])
 		if sa != sb {
 			return sa < sb
@@ -403,12 +486,21 @@ func disjointInstances(ins []Instance) []Instance {
 	return out
 }
 
-// emit records the frequent patterns of a level that meet MinSize.
+// emit records the frequent patterns of a level that meet MinSize, in
+// ascending canonical-hash order so res.Frequent is fully deterministic
+// even when the final sort's keys tie (readable signatures omit edges,
+// so two distinct patterns can share one).
 func (m *miner) emit(res *Result, level map[uint64][]Instance, size int) {
 	if size < m.opt.MinSize {
 		return
 	}
-	for _, ins := range level {
+	sigs := make([]uint64, 0, len(level))
+	for h := range level {
+		sigs = append(sigs, h)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	for _, h := range sigs {
+		ins := level[h]
 		res.Frequent = append(res.Frequent, &Subgraph{
 			Signature: m.readableSig(ins[0]),
 			Size:      size,

@@ -174,3 +174,57 @@ func TestMapAllCollectsErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestMapLeaksNoGoroutines proves the pool drains on every exit path —
+// clean completion, item error, and context cancellation. Mining level
+// expansion and assembly scoring call Map once per level/class, so even
+// a slow leak here would accumulate across one search.
+func TestMapLeaksNoGoroutines(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	boom := errors.New("boom")
+	runs := []struct {
+		name string
+		run  func()
+	}{
+		{"clean", func() {
+			Map(context.Background(), 8, items, func(context.Context, int, int) (int, error) { return 0, nil })
+		}},
+		{"error", func() {
+			Map(context.Background(), 8, items, func(_ context.Context, i, _ int) (int, error) {
+				if i == 7 {
+					return 0, boom
+				}
+				return 0, nil
+			})
+		}},
+		{"cancel", func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			Map(ctx, 8, items, func(_ context.Context, i, _ int) (int, error) {
+				if i == 3 {
+					cancel()
+				}
+				return 0, nil
+			})
+			cancel()
+		}},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			r.run() // warm lazy runtime state
+			base := runtime.NumGoroutine()
+			for i := 0; i < 5; i++ {
+				r.run()
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for runtime.NumGoroutine() > base {
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutines leaked: %d before, %d after", base, runtime.NumGoroutine())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}

@@ -140,86 +140,178 @@ func SearchFolded(ctx context.Context, g *ir.GNGraph, classes []*mining.Class, m
 	// topological order, apply each candidate to every instance, score
 	// internal cost × instance count plus boundary resharding against the
 	// already-assigned neighborhood, and respect the device memory budget
-	// when possible.
+	// when possible. Candidate scoring and the repair pass fan across the
+	// same pool as enumeration; both merge their results in serial order,
+	// so the plan stays bit-identical at every worker count.
 	t1 := time.Now()
-	assign := make(map[*ir.GraphNode]*ir.Pattern, len(g.Nodes))
+	asm := newAssembler(g, model, opt, workers)
+	assign, menus, chosen, err := asm.assemble(ctx, ordered, cands, memLimit)
+	if err != nil {
+		stats.AssembleTime = time.Since(t1)
+		stats.Canceled = true
+		return nil, stats, err
+	}
+	if memLimit > 0 {
+		if err := asm.repair(ctx, ordered, assign, menus, chosen, memLimit); err != nil {
+			stats.AssembleTime = time.Since(t1)
+			stats.Canceled = true
+			return nil, stats, err
+		}
+	}
+	stats.AssembleTime = time.Since(t1)
+
+	s, err := finishStrategy(g, assign, model, opt)
+	return s, stats, err
+}
+
+// scored is one feasible assembly choice for a class: a candidate, its
+// total cost (internal × instance count + boundary resharding), its
+// memory footprint, and the concrete per-node pattern assignment.
+type scored struct {
+	cand  *Candidate
+	total float64
+	mem   int64
+	patts map[*ir.GraphNode]*ir.Pattern
+}
+
+// assembler carries the shared read-only state of greedy assembly and
+// repair. Scoring workers only read g/model/opt/menuOf and the frozen
+// assignment snapshot they are handed; all mutation happens between
+// fan-outs on the caller's goroutine.
+type assembler struct {
+	g       *ir.GNGraph
+	model   *cost.Model
+	opt     EnumOptions
+	workers int
+	// menuOf is the per-node pattern menu, computed with one
+	// ir.PatternsFor call per node up front. Scoring probes menus for
+	// every candidate × instance member; taking the per-node memo mutex
+	// from every worker would serialize the fan-out right back. The
+	// slices and the *Pattern values they hold are shared read-only.
+	menuOf map[*ir.GraphNode][]*ir.Pattern
+	// pattsPool recycles the per-candidate assignment maps: on wide
+	// fan-outs the infeasible majority of candidates would otherwise
+	// allocate an (instances × size)-entry map just to discard it.
+	pattsPool sync.Pool
+}
+
+func newAssembler(g *ir.GNGraph, model *cost.Model, opt EnumOptions, workers int) *assembler {
+	menuOf := make(map[*ir.GraphNode][]*ir.Pattern, len(g.Nodes))
+	for _, gn := range g.Nodes {
+		menuOf[gn] = ir.PatternsFor(gn, opt.W)
+	}
+	a := &assembler{g: g, model: model, opt: opt, workers: workers, menuOf: menuOf}
+	a.pattsPool.New = func() any { return make(map[*ir.GraphNode]*ir.Pattern) }
+	return a
+}
+
+func (a *assembler) getPatts() map[*ir.GraphNode]*ir.Pattern {
+	return a.pattsPool.Get().(map[*ir.GraphNode]*ir.Pattern)
+}
+
+func (a *assembler) putPatts(patts map[*ir.GraphNode]*ir.Pattern) {
+	clear(patts)
+	a.pattsPool.Put(patts)
+}
+
+// scoreCandidate maps cand onto every instance of c and prices it against
+// the frozen assignment. It returns ok=false when the candidate's pattern
+// set does not exist on some instance or a boundary edge is incompatible;
+// the scratch map is recycled on rejection and escapes into the returned
+// scored (retained by the repair menu) on success.
+func (a *assembler) scoreCandidate(c *mining.Class, cand *Candidate, assign map[*ir.GraphNode]*ir.Pattern) (scored, bool) {
+	patts := a.getPatts()
+	if !applyCandidate(c, cand, a.menuOf, patts) {
+		a.putPatts(patts)
+		return scored{}, false
+	}
+	// Boundary check against already-fixed classes AND between
+	// instances of this class (consecutive repeats of a layer
+	// feed each other, so the candidate's entry layout must also
+	// accept its own exit layout).
+	boundary := 0.0
+	compatible := true
+	lookup := func(gn *ir.GraphNode) *ir.Pattern {
+		if p := assign[gn]; p != nil {
+			return p
+		}
+		return patts[gn]
+	}
+	for gn, p := range patts {
+		for _, pred := range a.g.Preds(gn) {
+			pf := lookup(pred)
+			if pf == nil {
+				continue
+			}
+			ev, okE := checkEdge(a.g, pred, gn, pf, p, a.opt.W, a.opt.AllowReshard)
+			if !okE {
+				compatible = false
+				break
+			}
+			boundary += a.model.EventsCost(ev).Total()
+		}
+		if !compatible {
+			break
+		}
+		for _, succ := range a.g.Succs(gn) {
+			pt := assign[succ]
+			if pt == nil {
+				continue // same-class successors already covered above
+			}
+			ev, okE := checkEdge(a.g, gn, succ, p, pt, a.opt.W, a.opt.AllowReshard)
+			if !okE {
+				compatible = false
+				break
+			}
+			boundary += a.model.EventsCost(ev).Total()
+		}
+		if !compatible {
+			break
+		}
+	}
+	if !compatible {
+		a.putPatts(patts)
+		return scored{}, false
+	}
+	return scored{
+		cand:  cand,
+		total: cand.Cost.Total()*float64(len(c.Instances)) + boundary,
+		mem:   cand.MemBytes * int64(len(c.Instances)),
+		patts: patts,
+	}, true
+}
+
+// assemble runs the greedy walk. Within each class every candidate
+// scores independently against the assignment frozen from the previous
+// classes, so they fan across the pool; results come back positionally
+// and feasible is filtered in candidate order, so sort.SliceStable sees
+// exactly the serial sequence.
+func (a *assembler) assemble(ctx context.Context, ordered []*mining.Class, cands [][]*Candidate, memLimit int64) (map[*ir.GraphNode]*ir.Pattern, [][]scored, []int, error) {
+	assign := make(map[*ir.GraphNode]*ir.Pattern, len(a.g.Nodes))
 	var memUsed int64
 
-	type scored struct {
-		cand  *Candidate
-		total float64
-		mem   int64
-		patts map[*ir.GraphNode]*ir.Pattern
-	}
 	// Remember the per-class menus and choices for the repair pass.
 	menus := make([][]scored, len(ordered))
 	chosen := make([]int, len(ordered))
 
+	type scoreResult struct {
+		s  scored
+		ok bool
+	}
 	for ci, c := range ordered {
-		if err := ctx.Err(); err != nil {
-			stats.AssembleTime = time.Since(t1)
-			return nil, stats, err
+		results, err := parallel.Map(ctx, a.workers, cands[ci],
+			func(_ context.Context, _ int, cand *Candidate) (scoreResult, error) {
+				s, ok := a.scoreCandidate(c, cand, assign)
+				return scoreResult{s, ok}, nil
+			})
+		if err != nil {
+			return nil, nil, nil, err
 		}
 		var feasible []scored
-		for _, cand := range cands[ci] {
-			patts, ok := applyCandidate(c, cand, opt.W)
-			if !ok {
-				continue
+		for _, r := range results {
+			if r.ok {
+				feasible = append(feasible, r.s)
 			}
-			// Boundary check against already-fixed classes AND between
-			// instances of this class (consecutive repeats of a layer
-			// feed each other, so the candidate's entry layout must also
-			// accept its own exit layout).
-			boundary := 0.0
-			compatible := true
-			lookup := func(gn *ir.GraphNode) *ir.Pattern {
-				if p := assign[gn]; p != nil {
-					return p
-				}
-				return patts[gn]
-			}
-			for gn, p := range patts {
-				for _, pred := range g.Preds(gn) {
-					pf := lookup(pred)
-					if pf == nil {
-						continue
-					}
-					ev, okE := checkEdge(g, pred, gn, pf, p, opt.W, opt.AllowReshard)
-					if !okE {
-						compatible = false
-						break
-					}
-					boundary += model.EventsCost(ev).Total()
-				}
-				if !compatible {
-					break
-				}
-				for _, succ := range g.Succs(gn) {
-					pt := assign[succ]
-					if pt == nil {
-						continue // same-class successors already covered above
-					}
-					ev, okE := checkEdge(g, gn, succ, p, pt, opt.W, opt.AllowReshard)
-					if !okE {
-						compatible = false
-						break
-					}
-					boundary += model.EventsCost(ev).Total()
-				}
-				if !compatible {
-					break
-				}
-			}
-			if !compatible {
-				continue
-			}
-			mem := cand.MemBytes * int64(len(c.Instances))
-			feasible = append(feasible, scored{
-				cand:  cand,
-				total: cand.Cost.Total()*float64(len(c.Instances)) + boundary,
-				mem:   mem,
-				patts: patts,
-			})
 		}
 		if len(feasible) == 0 {
 			// Last resort: replicate the whole class. A replicated node
@@ -229,7 +321,7 @@ func SearchFolded(ctx context.Context, g *ir.GNGraph, classes []*mining.Class, m
 			var mem int64
 			for _, inst := range c.Instances {
 				for _, gn := range inst {
-					p := ir.PatternsFor(gn, opt.W)[0] // replicate is first
+					p := a.menuOf[gn][0] // replicate is first
 					patts[gn] = p
 					mem += 4*p.WeightBytesPerDev + p.OutBytesPerDev
 				}
@@ -266,51 +358,66 @@ func SearchFolded(ctx context.Context, g *ir.GNGraph, classes []*mining.Class, m
 		menus[ci] = feasible
 		chosen[ci] = pickIdx
 	}
+	return assign, menus, chosen, nil
+}
 
-	// Repair pass: the greedy walk is first-fit, so the aggregate plan
-	// may still exceed device memory (the per-class estimates also
-	// over-count shared weights). While the true footprint exceeds the
-	// budget, swap the class offering the best memory saving per unit of
-	// cost increase to a lighter, boundary-compatible candidate.
-	if memLimit > 0 {
-		for iter := 0; iter < 4*len(ordered); iter++ {
-			if err := ctx.Err(); err != nil {
-				stats.AssembleTime = time.Since(t1)
-				return nil, stats, err
-			}
-			if MemoryPerDevice(assign) <= memLimit {
-				break
-			}
-			bestClass, bestAlt := -1, -1
-			bestSave := int64(0)
-			for ci := range ordered {
+// repair runs the memory-repair loop: the greedy walk is first-fit, so
+// the aggregate plan may still exceed device memory (the per-class
+// estimates also over-count shared weights). While the true footprint
+// exceeds the budget, swap the class offering the best memory saving to
+// a lighter, boundary-compatible candidate. Each iteration evaluates
+// every class's best alternative on the pool against the frozen
+// assignment, then reduces in ascending class order with a strictly-
+// greater comparison — the same (class, alternative) the serial scan
+// picks, at every worker count.
+func (a *assembler) repair(ctx context.Context, ordered []*mining.Class, assign map[*ir.GraphNode]*ir.Pattern, menus [][]scored, chosen []int, memLimit int64) error {
+	type altPick struct {
+		save int64
+		alt  int
+	}
+	for iter := 0; iter < 4*len(ordered); iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if MemoryPerDevice(assign) <= memLimit {
+			break
+		}
+		picks, err := parallel.Map(ctx, a.workers, ordered,
+			func(_ context.Context, ci int, _ *mining.Class) (altPick, error) {
+				best := altPick{save: 0, alt: -1}
 				cur := menus[ci][chosen[ci]]
 				for ai := range menus[ci] {
 					alt := menus[ci][ai]
 					if ai == chosen[ci] || alt.mem >= cur.mem {
 						continue
 					}
-					if !swapCompatible(g, assign, alt.patts, opt) {
-						continue
-					}
-					if save := cur.mem - alt.mem; save > bestSave {
-						bestSave, bestClass, bestAlt = save, ci, ai
+					// Cheap test first: a save that doesn't beat the class
+					// best can't win the reduce, so skip its boundary sweep.
+					if save := cur.mem - alt.mem; save > best.save && swapCompatible(a.g, assign, alt.patts, a.opt) {
+						best = altPick{save: save, alt: ai}
 					}
 				}
-			}
-			if bestClass < 0 {
-				break // no lighter compatible alternative anywhere
-			}
-			chosen[bestClass] = bestAlt
-			for gn, p := range menus[bestClass][bestAlt].patts {
-				assign[gn] = p
+				return best, nil
+			})
+		if err != nil {
+			return err
+		}
+		bestClass, bestAlt := -1, -1
+		bestSave := int64(0)
+		for ci, p := range picks {
+			if p.alt >= 0 && p.save > bestSave {
+				bestSave, bestClass, bestAlt = p.save, ci, p.alt
 			}
 		}
+		if bestClass < 0 {
+			break // no lighter compatible alternative anywhere
+		}
+		chosen[bestClass] = bestAlt
+		for gn, p := range menus[bestClass][bestAlt].patts {
+			assign[gn] = p
+		}
 	}
-	stats.AssembleTime = time.Since(t1)
-
-	s, err := finishStrategy(g, assign, model, opt)
-	return s, stats, err
+	return nil
 }
 
 // swapCompatible reports whether replacing the patterns in patts keeps
@@ -350,27 +457,29 @@ func swapCompatible(g *ir.GNGraph, assign map[*ir.GraphNode]*ir.Pattern, patts m
 
 // applyCandidate maps a representative-instance candidate onto every
 // instance of the class positionally: member i of each instance receives
-// the pattern with the same name from its own menu. Instances share a
-// canonical structural hash, so the menus are identical.
-func applyCandidate(c *mining.Class, cand *Candidate, w int) (map[*ir.GraphNode]*ir.Pattern, bool) {
-	out := make(map[*ir.GraphNode]*ir.Pattern, len(c.Instances)*c.Size())
+// the pattern with the same name from its own menu (looked up in the
+// precomputed menuOf, never through the ir.PatternsFor memo mutex).
+// Instances share a canonical structural hash, so the menus are
+// identical. Matched patterns are written into out; the caller owns the
+// map and out's prior contents must be empty.
+func applyCandidate(c *mining.Class, cand *Candidate, menuOf map[*ir.GraphNode][]*ir.Pattern, out map[*ir.GraphNode]*ir.Pattern) bool {
 	for _, inst := range c.Instances {
 		for i, gn := range inst {
 			want := cand.Patterns[i].Name
 			var found *ir.Pattern
-			for _, p := range ir.PatternsFor(gn, w) {
+			for _, p := range menuOf[gn] {
 				if p.Name == want {
 					found = p
 					break
 				}
 			}
 			if found == nil {
-				return nil, false
+				return false
 			}
 			out[gn] = found
 		}
 	}
-	return out, true
+	return true
 }
 
 // SearchExhaustive enumerates the unfolded graph as a single instance —

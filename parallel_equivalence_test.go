@@ -1,7 +1,9 @@
 package tapas_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -56,6 +58,63 @@ func TestSearchWorkerEquivalence(t *testing.T) {
 				}
 				if got, want := par.Strategy.MemPerDev, serial.Strategy.MemPerDev; got != want {
 					t.Errorf("workers=%d: mem %d != serial %d", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMiningAssemblyWorkerSweep is the determinism contract of the
+// parallel mining level expansion and parallel assembly scoring/repair:
+// for every registered model, Workers ∈ {1, 2, 8} must produce
+// byte-identical PlanJSON documents (the full per-node wire plan, not
+// just the summary) and identical search-shape counters — Examined
+// candidates and mining Levels. Worker counts only move wall-clock.
+// The CI race job runs this sweep under -race, so any unsynchronized
+// sharing between scoring or expansion workers fails loudly here.
+func TestMiningAssemblyWorkerSweep(t *testing.T) {
+	models := tapas.Models()
+	if testing.Short() {
+		models = []string{"t5-100M", "moe-380M", "resnet-26M"}
+	}
+	const gpus = 8
+	for _, model := range models {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			t.Parallel()
+			var wantPlan []byte
+			var want *tapas.Result
+			for _, workers := range []int{1, 2, 8} {
+				// A fresh cache-less engine per worker count: every search
+				// runs the cold mining + assembly pipeline.
+				eng := tapas.NewEngine(tapas.WithWorkers(workers), tapas.WithCache(0))
+				res, err := eng.Search(context.Background(), model, gpus)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				plan, err := service.NewPlan(res.Strategy)
+				if err != nil {
+					t.Fatalf("workers=%d: plan: %v", workers, err)
+				}
+				b, err := json.Marshal(plan)
+				if err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				if workers == 1 {
+					want, wantPlan = res, b
+					continue
+				}
+				if !bytes.Equal(b, wantPlan) {
+					t.Errorf("workers=%d: PlanJSON differs from serial (%d vs %d bytes)", workers, len(b), len(wantPlan))
+				}
+				if res.Examined != want.Examined {
+					t.Errorf("workers=%d: examined %d != serial %d", workers, res.Examined, want.Examined)
+				}
+				if res.MineLevels != want.MineLevels {
+					t.Errorf("workers=%d: mine levels %d != serial %d", workers, res.MineLevels, want.MineLevels)
+				}
+				if res.Classes != want.Classes {
+					t.Errorf("workers=%d: classes %d != serial %d", workers, res.Classes, want.Classes)
 				}
 			}
 		})

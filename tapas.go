@@ -144,15 +144,23 @@ type Result struct {
 	// flags — a store-restored Result re-served from the memory cache.
 	StoreHit bool
 
-	// Search-time breakdown (the paper's headline metric).
+	// Search-time breakdown (the paper's headline metric). EnumTime and
+	// AssembleTime split SearchTime into its two phases (enumeration
+	// fan-out vs greedy assembly + repair); MineLevels counts the Apriori
+	// growth iterations mining executed. All three are deterministic for
+	// a given (graph, options) pair — worker counts only move the
+	// durations, never Examined/Classes/MineLevels.
 	GroupTime    time.Duration
 	MineTime     time.Duration
 	SearchTime   time.Duration
+	EnumTime     time.Duration
+	AssembleTime time.Duration
 	TotalTime    time.Duration
 	Classes      int
 	Examined     int
 	Pruned       int
 	UniqueGraphs int
+	MineLevels   int
 }
 
 // ErrUnknownModel is returned (wrapped) by every entry point asked for
