@@ -62,6 +62,12 @@ type searchRecord struct {
 	WarmCacheHit bool    `json:"warm_cache_hit"`
 	CostSeconds  float64 `json:"cost_seconds"`
 	TFLOPsPerGPU float64 `json:"tflops_per_gpu"`
+	// Cold-search phase split, so a cold_ms regression names the guilty
+	// phase instead of just the total. Zero means the record predates
+	// the columns and the attribution is skipped.
+	MineMS     float64 `json:"mine_ms"`
+	EnumMS     float64 `json:"enum_ms"`
+	AssembleMS float64 `json:"assemble_ms"`
 	// Deterministic search-shape counters: identical plans must examine
 	// the same candidates, fold the same classes, and mine the same
 	// number of Apriori levels. Zero means the record predates the
@@ -76,6 +82,7 @@ type gateResult struct {
 	Model   string
 	GPUs    int
 	Ratio   float64 // candidate cold_ms / baseline cold_ms
+	Split   string  // candidate enum/assemble split, "" when absent
 	Failed  bool
 	Reasons []string
 }
@@ -112,7 +119,11 @@ func gate(baseline, candidate benchRecord, tolerance, minDeltaMS float64, calibr
 		if b.ColdMS <= 0 {
 			return nil, 0, fmt.Errorf("%s/%d: baseline cold_ms %.3f is not positive", s.Model, s.GPUs, b.ColdMS)
 		}
-		pairs = append(pairs, gateResult{Model: s.Model, GPUs: s.GPUs, Ratio: s.ColdMS / b.ColdMS})
+		split := ""
+		if s.MineMS+s.EnumMS+s.AssembleMS > 0 {
+			split = fmt.Sprintf(" (mine %.1f enum %.1f assemble %.1f ms)", s.MineMS, s.EnumMS, s.AssembleMS)
+		}
+		pairs = append(pairs, gateResult{Model: s.Model, GPUs: s.GPUs, Ratio: s.ColdMS / b.ColdMS, Split: split})
 		cands = append(cands, s)
 	}
 	if len(pairs) == 0 {
@@ -142,6 +153,9 @@ func gate(baseline, candidate benchRecord, tolerance, minDeltaMS float64, calibr
 			p.Reasons = append(p.Reasons, fmt.Sprintf(
 				"cold_ms %.3f vs baseline %.3f: ratio %.3f exceeds limit %.3f (scale %.3f, tolerance %.0f%%), +%.3fms over floor %.0fms",
 				s.ColdMS, b.ColdMS, p.Ratio, limit, scale, tolerance*100, delta, minDeltaMS))
+			if phase, ok := guiltyPhase(b, s, scale); ok {
+				p.Reasons = append(p.Reasons, phase)
+			}
 		}
 		if !s.WarmCacheHit {
 			p.Failed = true
@@ -178,6 +192,35 @@ func gate(baseline, candidate benchRecord, tolerance, minDeltaMS float64, calibr
 		}
 	}
 	return pairs, scale, nil
+}
+
+// guiltyPhase attributes a cold_ms regression to the pipeline phase
+// that grew the most beyond the calibrated expectation, so the report
+// names enum vs assemble (vs mine) instead of just the total. Returns
+// ok=false when either record predates the phase columns.
+func guiltyPhase(b, s searchRecord, scale float64) (string, bool) {
+	if b.MineMS+b.EnumMS+b.AssembleMS == 0 || s.MineMS+s.EnumMS+s.AssembleMS == 0 {
+		return "", false
+	}
+	phases := []struct {
+		name       string
+		base, cand float64
+	}{
+		{"mine", b.MineMS, s.MineMS},
+		{"enum", b.EnumMS, s.EnumMS},
+		{"assemble", b.AssembleMS, s.AssembleMS},
+	}
+	worst := phases[0]
+	worstDelta := worst.cand - scale*worst.base
+	for _, ph := range phases[1:] {
+		if d := ph.cand - scale*ph.base; d > worstDelta {
+			worst, worstDelta = ph, d
+		}
+	}
+	return fmt.Sprintf(
+		"slowdown concentrates in the %s phase: %s_ms %.3f -> %.3f (+%.3fms beyond scale; mine %.3f->%.3f enum %.3f->%.3f assemble %.3f->%.3f)",
+		worst.name, worst.name, worst.base, worst.cand, worstDelta,
+		b.MineMS, s.MineMS, b.EnumMS, s.EnumMS, b.AssembleMS, s.AssembleMS), true
 }
 
 // relDrift is |a-b| relative to the larger magnitude; 0 when both are 0.
@@ -247,7 +290,7 @@ func main() {
 			status = "FAIL"
 			failed++
 		}
-		log.Printf("%-4s %s/%dgpu ratio %.3f", status, r.Model, r.GPUs, r.Ratio)
+		log.Printf("%-4s %s/%dgpu ratio %.3f%s", status, r.Model, r.GPUs, r.Ratio, r.Split)
 		for _, reason := range r.Reasons {
 			log.Printf("     %s", reason)
 		}

@@ -20,6 +20,7 @@ import (
 	"tapas/internal/graphio"
 	"tapas/internal/models"
 	"tapas/internal/promtext"
+	"tapas/internal/trace"
 	"tapas/service"
 )
 
@@ -50,6 +51,15 @@ type gatewayConfig struct {
 	burst          int           // bucket depth (default max(1, 2*rate))
 	jobTableSize   int           // job-owner stickiness entries (default 4096)
 	logf           func(string, ...any)
+
+	// rec is the gateway's trace flight recorder; nil disables tracing
+	// (the /v1/traces endpoints then answer empty).
+	rec *trace.Recorder
+	// traceSlow logs a slow_request line for requests at least this
+	// long; 0 disables.
+	traceSlow time.Duration
+	// logRequests emits one key=value log line per proxied request.
+	logRequests bool
 }
 
 // replicaState is one backend daemon as the gateway sees it. States are
@@ -145,6 +155,8 @@ type gateway struct {
 	failovers    atomic.Uint64
 	sfJoined     atomic.Uint64
 	fleetUpdates atomic.Uint64
+
+	reqHist *promtext.Histogram // tapas_request_duration_seconds
 }
 
 func newGateway(cfg gatewayConfig) *gateway {
@@ -164,10 +176,11 @@ func newGateway(cfg gatewayConfig) *gateway {
 		cfg.logf = func(string, ...any) {}
 	}
 	gw := &gateway{
-		cfg:    cfg,
-		proxy:  &http.Client{},
-		health: &http.Client{Timeout: cfg.healthTimeout},
-		owners: newOwnerTable(cfg.jobTableSize),
+		cfg:     cfg,
+		proxy:   &http.Client{},
+		health:  &http.Client{Timeout: cfg.healthTimeout},
+		owners:  newOwnerTable(cfg.jobTableSize),
+		reqHist: promtext.NewHistogram(nil),
 	}
 	reps := make([]*replicaState, 0, len(cfg.replicas))
 	for _, u := range cfg.replicas {
@@ -204,7 +217,10 @@ func (gw *gateway) handler() http.Handler {
 	mux.HandleFunc("PUT /v1/fleet", gw.fleetPut)
 	mux.HandleFunc("GET /v1/healthz", gw.healthz)
 	mux.HandleFunc("GET /metrics", gw.metrics)
-	return mux
+	th := trace.Handler(gw.cfg.rec)
+	mux.Handle("GET /v1/traces", th)
+	mux.Handle("GET /v1/traces/", th)
+	return gw.withObs(mux)
 }
 
 // ---------------------------------------------------------------------------
@@ -601,6 +617,11 @@ func (gw *gateway) send(r *http.Request, rep *replicaState, body []byte) (*http.
 		}
 		out.Header[k] = vs
 	}
+	// When this request carries a gateway span, rewrite the propagation
+	// headers so the replica's root parents under the gateway hop (same
+	// trace ID; the gateway span as parent). An untraced request keeps
+	// whatever the client sent.
+	trace.Inject(r.Context(), out.Header)
 	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
 		prior := r.Header.Get("X-Forwarded-For")
 		if prior != "" {
@@ -967,6 +988,9 @@ func (gw *gateway) metrics(w http.ResponseWriter, r *http.Request) {
 	m.Counter("tapas_gateway_replication_fanout_writes_total", "Store fanout writes summed across the fleet's last health checks.", repFanout, nil)
 	m.Counter("tapas_gateway_replication_repair_hits_total", "Store read-repairs summed across the fleet's last health checks.", repRepairs, nil)
 	m.Counter("tapas_gateway_replication_sweep_diffs_total", "Anti-entropy record copies summed across the fleet's last health checks.", repSweepDiffs, nil)
+	m.Histogram("tapas_request_duration_seconds",
+		"Proxied request latency by wall clock, all routed endpoints.", gw.reqHist, nil)
+	promtext.AddRuntime(m)
 	w.Header().Set("Content-Type", promtext.ContentType)
 	_, _ = m.WriteTo(w)
 }

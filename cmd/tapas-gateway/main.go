@@ -31,7 +31,16 @@
 // Endpoints: the proxied v1 API (/v1/search, /v1/search:batch,
 // /v1/jobs...), GET /v1/jobs (merged fleet listing), GET/PUT /v1/fleet
 // (replica ring), GET /v1/healthz (fleet view; 503 when no replica is
-// healthy) and GET /metrics (Prometheus text).
+// healthy), GET /v1/traces[/{id}] (trace flight recorder) and
+// GET /metrics (Prometheus text).
+//
+// Every proxied request gets a gateway span: requests arriving with
+// X-Tapas-Trace are adopted into that trace, untraced requests are
+// sampled 1-in-N (-trace-sample), and the propagation headers are
+// rewritten on the way to the replica so its spans parent under the
+// gateway hop. The trace ID is echoed in the X-Tapas-Trace response
+// header; GET /v1/traces/{id} on each process returns its slice of
+// the tree.
 //
 // Usage:
 //
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"tapas/internal/cli"
+	"tapas/internal/trace"
 )
 
 func main() {
@@ -65,6 +75,9 @@ func main() {
 	jobTable := flag.Int("job-table", 4096, "job-to-replica stickiness entries retained")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
 	pprofAddr := flag.String("pprof-addr", "", "listen address of the pprof debug server (empty disables)")
+	traceSample := flag.Int("trace-sample", 0, "record 1 in N untraced requests in the flight recorder (0 disables sampling; requests arriving with X-Tapas-Trace are always recorded)")
+	traceSlow := flag.Duration("trace-slow", 0, "log a slow_request line for requests at least this long (0 disables)")
+	logRequests := flag.Bool("log-requests", false, "log one key=value line per proxied request")
 	flag.Parse()
 
 	log.SetPrefix("tapas-gateway: ")
@@ -90,6 +103,9 @@ func main() {
 		burst:          *burst,
 		jobTableSize:   *jobTable,
 		logf:           log.Printf,
+		rec:            trace.NewRecorder(trace.Config{Process: "tapas-gateway" + *addr, SampleEvery: *traceSample}),
+		traceSlow:      *traceSlow,
+		logRequests:    *logRequests,
 	})
 
 	cli.ServePprof(*pprofAddr, log.Printf)

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tapas"
+	"tapas/internal/trace"
+	"tapas/service"
+	"tapas/service/dispatch"
+)
+
+// tracedReplica stands up one in-process tapas-serve with a flight
+// recorder, returning the service, its server, and the recorder.
+func tracedReplica(t *testing.T, cfg service.Config) (*service.Service, *httptest.Server) {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, srv
+}
+
+// fetchTrace polls one process's /v1/traces/{id} until the trace holds
+// every wanted span name (spans are recorded at End, which can land a
+// beat after the response reaches the client) or the deadline passes.
+func fetchTrace(t *testing.T, base, id string, want []string) trace.TraceDoc {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var last trace.TraceDoc
+	for {
+		resp, err := http.Get(base + "/v1/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		names := make(map[string]bool, len(last.Spans))
+		for _, s := range last.Spans {
+			names[s.Name] = true
+		}
+		missing := ""
+		for _, w := range want {
+			if !names[w] {
+				missing = w
+				break
+			}
+		}
+		if missing == "" {
+			return last
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: trace %s never grew span %q (have %v)", base, id, missing, last.Spans)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTraceSpansFleet is the tentpole acceptance: one cold search
+// through the gateway yields ONE trace ID whose spans land on three
+// processes — the gateway's proxy root, the coordinating replica's
+// search pipeline (mine/enum/assemble/simulate children), and at least
+// one task executor's tasks.execute — each retrievable from that
+// process's own /v1/traces/{id}, with parent links stitching across
+// the process boundaries.
+func TestTraceSpansFleet(t *testing.T) {
+	// Executor: a plain replica that serves POST /v1/tasks.
+	recExec := trace.NewRecorder(trace.Config{Process: "executor"})
+	_, srvExec := tracedReplica(t, service.Config{Trace: recExec})
+
+	// Coordinator: scatters cold enumerations to the executor.
+	coord := dispatch.New(dispatch.Options{
+		Peers:         []string{srvExec.URL},
+		TaskTimeout:   time.Minute,
+		ProbeInterval: -1,
+		Logf:          t.Logf,
+	})
+	t.Cleanup(coord.Close)
+	recCoord := trace.NewRecorder(trace.Config{Process: "replica"})
+	_, srvCoord := tracedReplica(t, service.Config{
+		EngineOptions: []tapas.Option{tapas.WithTaskRunner(coord.Runner)},
+		Fleet:         coord,
+		Trace:         recCoord,
+	})
+
+	// Gateway: samples every untraced request, so the organic search
+	// below starts the trace at the outermost hop.
+	_, gwSrv := testGateway(t, gatewayConfig{
+		replicas: []string{srvCoord.URL},
+		rec:      trace.NewRecorder(trace.Config{Process: "gateway", SampleEvery: 1}),
+	})
+
+	resp, data := postJSON(t, gwSrv.URL+"/v1/search", `{"model":"t5-100M","gpus":8}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, data)
+	}
+	var res service.SearchResponse
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || res.StoreHit {
+		t.Fatalf("search must run cold: %+v", res.ResultSummary)
+	}
+	traceID := resp.Header.Get(trace.TraceHeader)
+	if traceID == "" {
+		t.Fatal("response carries no X-Tapas-Trace header")
+	}
+
+	// Each process serves its slice of the same trace.
+	gwDoc := fetchTrace(t, gwSrv.URL, traceID, []string{"POST /v1/search"})
+	coordDoc := fetchTrace(t, srvCoord.URL, traceID, []string{
+		"POST /v1/search", "service.search", "engine.search",
+		"mine", "enum", "assemble", "simulate", "dispatch.ship",
+	})
+	execDoc := fetchTrace(t, srvExec.URL, traceID, []string{
+		"POST /v1/tasks", "tasks.execute",
+	})
+
+	if gwDoc.Process != "gateway" || coordDoc.Process != "replica" || execDoc.Process != "executor" {
+		t.Fatalf("process names: gw=%q coord=%q exec=%q",
+			gwDoc.Process, coordDoc.Process, execDoc.Process)
+	}
+
+	// Parent links stitch the processes together: the replica's request
+	// root parents under the gateway span, the executor's under one of
+	// the replica's dispatch.ship spans.
+	spanByID := func(doc trace.TraceDoc) map[string]trace.SpanData {
+		m := make(map[string]trace.SpanData, len(doc.Spans))
+		for _, s := range doc.Spans {
+			m[s.SpanID] = s
+		}
+		return m
+	}
+	gwSpans, coordSpans := spanByID(gwDoc), spanByID(coordDoc)
+
+	var coordRoot trace.SpanData
+	for _, s := range coordDoc.Spans {
+		if s.Name == "POST /v1/search" {
+			coordRoot = s
+		}
+	}
+	if p, ok := gwSpans[coordRoot.ParentID]; !ok || p.Name != "POST /v1/search" {
+		t.Errorf("replica root's parent %q not the gateway's proxy span", coordRoot.ParentID)
+	}
+
+	var execRoot trace.SpanData
+	for _, s := range execDoc.Spans {
+		if s.Name == "POST /v1/tasks" {
+			execRoot = s
+		}
+	}
+	if p, ok := coordSpans[execRoot.ParentID]; !ok || p.Name != "dispatch.ship" {
+		t.Errorf("executor root's parent %q not a dispatch.ship span on the replica (got %q)",
+			execRoot.ParentID, p.Name)
+	}
+
+	// The listing summarizes the trace under its outermost local root.
+	var listing struct {
+		Traces []trace.TraceSummary `json:"traces"`
+	}
+	lresp, err := http.Get(gwSrv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	if err := json.NewDecoder(lresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range listing.Traces {
+		if s.TraceID == traceID {
+			found = true
+			if s.Root != "POST /v1/search" {
+				t.Errorf("gateway summary root = %q, want POST /v1/search", s.Root)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("trace %s missing from the gateway listing", traceID)
+	}
+}
+
+// TestGatewayTraceAdoption: a request arriving WITH trace headers is
+// always recorded (no sampling), keeps the caller's trace ID, and the
+// replica joins the same trace.
+func TestGatewayTraceAdoption(t *testing.T) {
+	recRep := trace.NewRecorder(trace.Config{Process: "replica"})
+	_, srvRep := tracedReplica(t, service.Config{Trace: recRep})
+	_, gwSrv := testGateway(t, gatewayConfig{
+		replicas: []string{srvRep.URL},
+		rec:      trace.NewRecorder(trace.Config{Process: "gateway"}), // sampling off
+	})
+
+	const callerTrace = "cafebabecafebabe"
+	resp, data := postJSON(t, gwSrv.URL+"/v1/search", `{"model":"t5-100M","gpus":4}`,
+		map[string]string{trace.TraceHeader: callerTrace, trace.ParentHeader: "0123456789abcdef"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(trace.TraceHeader); got != callerTrace {
+		t.Fatalf("echoed trace ID %q, want the caller's %q", got, callerTrace)
+	}
+	fetchTrace(t, gwSrv.URL, callerTrace, []string{"POST /v1/search"})
+	fetchTrace(t, srvRep.URL, callerTrace, []string{"POST /v1/search", "service.search"})
+
+	// And without headers, sampling off records nothing.
+	resp2, _ := postJSON(t, gwSrv.URL+"/v1/search", `{"model":"t5-100M","gpus":4}`, nil)
+	if got := resp2.Header.Get(trace.TraceHeader); got != "" {
+		t.Fatalf("unsampled request got trace ID %q", got)
+	}
+	tresp, err := http.Get(gwSrv.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var listing struct {
+		Traces []trace.TraceSummary `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range listing.Traces {
+		if s.TraceID != callerTrace {
+			t.Errorf("unexpected trace %q recorded with sampling off", s.TraceID)
+		}
+	}
+}
+
+// TestGatewayMetricsHistograms: the gateway /metrics carries the
+// request-latency histogram and the runtime gauges.
+func TestGatewayMetricsHistograms(t *testing.T) {
+	f := newFakeReplica(t, "a")
+	_, srv := testGateway(t, gatewayConfig{replicas: []string{f.srv.URL}})
+	postJSON(t, srv.URL+"/v1/search", `{"model":"t5-100M","gpus":8}`, nil)
+
+	resp, body := getURL(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE tapas_request_duration_seconds histogram",
+		`tapas_request_duration_seconds_bucket{le="+Inf"} 1`,
+		"tapas_request_duration_seconds_count 1",
+		"# TYPE tapas_goroutines gauge",
+		"tapas_heap_alloc_bytes",
+		"tapas_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //	GET    /v1/models           registered model names
 //	GET    /v1/healthz          queue, worker, cache and store statistics
 //	GET    /v1/store[/{id}]     store peer protocol (replicas sharing the corpus)
+//	GET    /v1/traces[/{id}]    trace flight recorder (see -trace-sample)
 //	GET    /metrics             Prometheus text metrics
 //
 // With -store-dir the daemon persists every searched plan to a
@@ -82,6 +83,8 @@ import (
 
 	"tapas"
 	"tapas/internal/cli"
+	"tapas/internal/logkv"
+	"tapas/internal/trace"
 	"tapas/service"
 	"tapas/service/dispatch"
 	"tapas/store"
@@ -110,11 +113,15 @@ func main() {
 	fleet := flag.String("fleet", "", "comma-separated peer daemon URLs to scatter cold searches across (e.g. http://replica-b:8080,http://replica-c:8080)")
 	taskTimeout := flag.Duration("task-timeout", 2*time.Minute, "per-peer deadline of one scattered task batch (with -fleet)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address of the pprof debug server (empty disables)")
+	traceSample := flag.Int("trace-sample", 0, "record 1 in N untraced requests in the flight recorder (0 disables sampling; requests arriving with X-Tapas-Trace are always recorded)")
+	traceSlow := flag.Duration("trace-slow", 0, "log a slow_request line for searches at least this long (0 disables)")
+	logRequests := flag.Bool("log-requests", false, "log one key=value line per request")
 	flag.Parse()
 
 	log.SetPrefix("tapas-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
+	rec := trace.NewRecorder(trace.Config{Process: "tapas-serve" + *addr, SampleEvery: *traceSample})
 	cfg := service.Config{
 		EngineOptions: []tapas.Option{
 			tapas.WithWorkers(*workers),
@@ -123,6 +130,10 @@ func main() {
 		QueueSize:   *queue,
 		JobWorkers:  *jobWorkers,
 		MaxFinished: *maxFinished,
+		Trace:       rec,
+		TraceSlow:   *traceSlow,
+		Logf:        log.Printf,
+		LogRequests: *logRequests,
 	}
 	if len(storePeers) > 0 && *storeGCAge > 0 {
 		log.Printf("-store-gc-age cannot run against a shared or replicated corpus; GC only an exclusively-owned -store-dir")
@@ -165,6 +176,7 @@ func main() {
 				SweepInterval: *storeSweep,
 				ProbeInterval: *storeProbe,
 				Logf:          log.Printf,
+				Trace:         rec,
 			}
 			for _, u := range storePeers {
 				ropts.Peers = append(ropts.Peers, replicate.Peer{Name: u, Backend: remotebackend.New(u)})
@@ -194,8 +206,14 @@ func main() {
 	}
 	if *progress {
 		cfg.OnProgress = func(ev tapas.ProgressEvent) {
-			log.Printf("progress %s/%d: %s %s %d/%d examined=%d",
-				ev.Model, ev.GPUs, ev.Phase, ev.Kind, ev.ClassesDone, ev.ClassesTotal, ev.Examined)
+			log.Printf("%s", logkv.Line("progress",
+				"model", ev.Model,
+				"gpus", ev.GPUs,
+				"phase", ev.Phase,
+				"kind", ev.Kind,
+				"classes", fmt.Sprintf("%d/%d", ev.ClassesDone, ev.ClassesTotal),
+				"examined", ev.Examined,
+			))
 		}
 	}
 	jdir := *jobsDir

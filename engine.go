@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"tapas/internal/reconstruct"
 	"tapas/internal/sim"
 	"tapas/internal/strategy"
+	"tapas/internal/trace"
 	"tapas/store"
 )
 
@@ -600,13 +602,25 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 		}
 	}
 
+	// Span per phase, mirroring the progress stream. Spans are nil (and
+	// every call a no-op) unless the caller's context carries a sampled
+	// trace; they never feed back into the search, so traced and
+	// untraced runs are bit-identical.
+	ctx, searchSpan := trace.StartSpan(ctx, "engine.search")
+	searchSpan.SetAttr("model", name)
+	searchSpan.SetAttr("gpus", strconv.Itoa(gpus))
+	defer searchSpan.End()
+
 	progress(PhaseEnter, PhaseGroup, 0, 0, 0)
 	t0 := time.Now()
 	gg, err := ir.Group(g)
 	if err != nil {
-		return nil, fmt.Errorf("tapas: grouping failed: %w", err)
+		err = fmt.Errorf("tapas: grouping failed: %w", err)
+		searchSpan.SetError(err)
+		return nil, err
 	}
 	res.GroupTime = time.Since(t0)
+	trace.Record(ctx, "group", t0, res.GroupTime)
 	progress(PhaseExit, PhaseGroup, 0, 0, 0)
 
 	var s *strategy.Strategy
@@ -614,9 +628,11 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 	enum.Progress = func(done, total, examined int) {
 		progress(PhaseProgress, PhaseSearch, done, total, examined)
 	}
+	searchPhase := time.Now()
 	if cfg.exhaustive {
 		enum.MaxCandidates = max(enum.MaxCandidates, 1<<15)
 		progress(PhaseEnter, PhaseSearch, 0, 0, 0)
+		searchPhase = time.Now()
 		s, stats, err = strategy.SearchExhaustive(ctx, gg, model, enum, cl.MemoryPerGP)
 		res.UniqueGraphs = len(gg.Nodes)
 	} else {
@@ -627,15 +643,22 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 		res.MineTime = time.Since(t1)
 		res.MineLevels = mres.Levels
 		res.UniqueGraphs = len(classes)
+		trace.Record(ctx, "mine", t1, res.MineTime,
+			"levels", strconv.Itoa(mres.Levels), "classes", strconv.Itoa(len(classes)))
 		progress(PhaseExit, PhaseMine, 0, len(classes), 0)
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("tapas: search canceled during mining: %w", err)
+			err = fmt.Errorf("tapas: search canceled during mining: %w", err)
+			searchSpan.SetError(err)
+			return nil, err
 		}
 		progress(PhaseEnter, PhaseSearch, 0, len(classes), 0)
+		searchPhase = time.Now()
 		s, stats, err = strategy.SearchFolded(ctx, gg, classes, model, enum, cl.MemoryPerGP)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("tapas: strategy search failed: %w", err)
+		err = fmt.Errorf("tapas: strategy search failed: %w", err)
+		searchSpan.SetError(err)
+		return nil, err
 	}
 	res.SearchTime = stats.EnumTime + stats.AssembleTime
 	res.EnumTime = stats.EnumTime
@@ -643,19 +666,32 @@ func (e *Engine) runSearch(ctx context.Context, name string, g *graph.Graph, gpu
 	res.Classes = stats.Classes
 	res.Examined = stats.Examined
 	res.Pruned = stats.Pruned
+	// The enum/assemble split is measured inside the strategy layer;
+	// report it as two back-to-back children of the search phase.
+	trace.Record(ctx, "enum", searchPhase, stats.EnumTime,
+		"classes", strconv.Itoa(stats.Classes),
+		"examined", strconv.Itoa(stats.Examined),
+		"pruned", strconv.Itoa(stats.Pruned))
+	trace.Record(ctx, "assemble", searchPhase.Add(stats.EnumTime), stats.AssembleTime)
 	progress(PhaseExit, PhaseSearch, stats.Classes, stats.Classes, stats.Examined)
 
 	progress(PhaseEnter, PhaseReconstruct, 0, 0, 0)
+	t2 := time.Now()
 	pg, err := reconstruct.Reconstruct(s)
 	if err != nil {
-		return nil, fmt.Errorf("tapas: reconstruction failed: %w", err)
+		err = fmt.Errorf("tapas: reconstruction failed: %w", err)
+		searchSpan.SetError(err)
+		return nil, err
 	}
+	trace.Record(ctx, "reconstruct", t2, time.Since(t2))
 	progress(PhaseExit, PhaseReconstruct, 0, 0, 0)
 
 	res.Strategy = s
 	res.Parallel = pg
 	progress(PhaseEnter, PhaseSimulate, 0, 0, 0)
+	t3 := time.Now()
 	res.Report = sim.Run(s, sim.DefaultConfig(cl))
+	trace.Record(ctx, "simulate", t3, time.Since(t3))
 	progress(PhaseExit, PhaseSimulate, 0, 0, 0)
 	res.TotalTime = time.Since(start)
 	return res, nil
@@ -857,6 +893,7 @@ func (e *Engine) doCached(ctx context.Context, key cacheKey, compute func() (*Re
 		if cached, ok := e.cache.get(key); ok {
 			e.stats.Hits++
 			e.mu.Unlock()
+			trace.Record(ctx, "cache", time.Now(), 0, "outcome", "hit")
 			res := *cached
 			res.CacheHit = true
 			return &res, nil
@@ -914,6 +951,7 @@ func (e *Engine) doCached(ctx context.Context, key cacheKey, compute func() (*Re
 			e.mu.Lock()
 			e.stats.Joined++
 			e.mu.Unlock()
+			trace.Record(ctx, "cache", time.Now(), 0, "outcome", "joined")
 			res := *f.res
 			res.CacheHit = true
 			return &res, nil

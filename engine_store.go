@@ -9,6 +9,7 @@ import (
 	"tapas/internal/ir"
 	"tapas/internal/reconstruct"
 	"tapas/internal/sim"
+	"tapas/internal/trace"
 	"tapas/store"
 )
 
@@ -55,8 +56,17 @@ func storeKey(key cacheKey) store.Key {
 // the persistent store when one is attached: store lookup before
 // searching, write-behind persist after a successful cold search.
 func (e *Engine) computeSearch(ctx context.Context, key cacheKey, name string, g *graph.Graph, gpus int, cfg engineConfig) (*Result, error) {
-	if res, ok := e.storeLookup(key, name, g, gpus, cfg); ok {
-		return res, nil
+	if e.store != nil && key.kind == "search" {
+		t0 := time.Now()
+		res, ok := e.storeLookup(key, name, g, gpus, cfg)
+		outcome := "miss"
+		if ok {
+			outcome = "hit"
+		}
+		trace.Record(ctx, "store.lookup", t0, time.Since(t0), "outcome", outcome)
+		if ok {
+			return res, nil
+		}
 	}
 	res, err := e.runSearch(ctx, name, g, gpus, cfg)
 	if err == nil {

@@ -1,0 +1,54 @@
+// Package logkv formats structured key=value log lines for the tapas
+// daemons, so request logs from tapas-serve and tapas-gateway share one
+// grep-able shape instead of ad-hoc Printf formats.
+package logkv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Line renders "event k=v k2=v2 ...". pairs alternate key, value; a
+// trailing odd key is rendered as key=!MISSING. Values containing
+// whitespace, quotes, or '=' are quoted; empty values render as "".
+// Durations are rendered in milliseconds with 3 decimals (dur=12.345ms)
+// so lines sort and grep uniformly.
+func Line(event string, pairs ...any) string {
+	var b strings.Builder
+	b.WriteString(event)
+	for i := 0; i < len(pairs); i += 2 {
+		key := fmt.Sprint(pairs[i])
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		if i+1 >= len(pairs) {
+			b.WriteString("!MISSING")
+			break
+		}
+		b.WriteString(formatValue(pairs[i+1]))
+	}
+	return b.String()
+}
+
+func formatValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case time.Duration:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(time.Millisecond))
+	case float64:
+		s = strconv.FormatFloat(t, 'g', -1, 64)
+	case string:
+		s = t
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package logkv
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLine(t *testing.T) {
+	cases := []struct {
+		name  string
+		event string
+		pairs []any
+		want  string
+	}{
+		{"empty", "request", nil, "request"},
+		{"basic", "request", []any{"status", 200, "client", "10.0.0.1"},
+			"request status=200 client=10.0.0.1"},
+		{"duration", "request", []any{"dur", 12345 * time.Microsecond},
+			"request dur=12.345ms"},
+		{"quoting", "request", []any{"err", "connection refused", "q", `a"b`, "eq", "k=v"},
+			`request err="connection refused" q="a\"b" eq="k=v"`},
+		{"empty-value", "request", []any{"trace", ""},
+			`request trace=""`},
+		{"odd-pair", "request", []any{"status", 200, "dangling"},
+			"request status=200 dangling=!MISSING"},
+		{"float", "request", []any{"ratio", 0.5},
+			"request ratio=0.5"},
+	}
+	for _, c := range cases {
+		if got := Line(c.event, c.pairs...); got != c.want {
+			t.Errorf("%s: Line() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndRender(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1})
+	for _, v := range []float64{0.05, 0.05, 0.3, 0.9, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+
+	m := New()
+	m.Histogram("tapas_request_duration_seconds", "Request latency.", h,
+		Labels{"handler": "search"})
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP tapas_request_duration_seconds Request latency.
+# TYPE tapas_request_duration_seconds histogram
+tapas_request_duration_seconds_bucket{handler="search",le="0.1"} 2
+tapas_request_duration_seconds_bucket{handler="search",le="0.5"} 3
+tapas_request_duration_seconds_bucket{handler="search",le="1"} 4
+tapas_request_duration_seconds_bucket{handler="search",le="+Inf"} 5
+tapas_request_duration_seconds_sum{handler="search"} 8.3
+tapas_request_duration_seconds_count{handler="search"} 5
+`
+	if got != want {
+		t.Errorf("histogram exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound lands in that bucket (le is inclusive)
+	h.Observe(2)
+	counts, sum, count := h.snapshot()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if sum != 3 || count != 2 {
+		t.Fatalf("sum=%v count=%v", sum, count)
+	}
+}
+
+func TestHistogramDefaultsAndSanitizedBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("nil bounds gave %d buckets, want %d", len(h.bounds), len(DefBuckets))
+	}
+	// Unsorted, duplicated, +Inf-bearing bounds are sanitized.
+	h2 := NewHistogram([]float64{5, 1, 5, math.Inf(1), 2})
+	want := []float64{1, 2, 5}
+	if len(h2.bounds) != len(want) {
+		t.Fatalf("bounds = %v, want %v", h2.bounds, want)
+	}
+	for i, b := range want {
+		if h2.bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", h2.bounds, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	counts, sum, count := h.snapshot()
+	if count != 8000 || counts[0] != 8000 {
+		t.Fatalf("count=%d bucket=%d, want 8000", count, counts[0])
+	}
+	if math.Abs(sum-2000) > 1e-9 {
+		t.Fatalf("sum = %v, want 2000", sum)
+	}
+}
+
+func TestAddRuntime(t *testing.T) {
+	m := New()
+	AddRuntime(m)
+	var b strings.Builder
+	m.WriteTo(&b)
+	got := b.String()
+	for _, name := range []string{
+		"tapas_goroutines",
+		"tapas_heap_alloc_bytes",
+		"tapas_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(got, "# TYPE "+name+" ") {
+			t.Errorf("missing family %s in:\n%s", name, got)
+		}
+	}
+}

@@ -20,10 +20,13 @@ const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 // Labels name one sample's label set.
 type Labels map[string]string
 
-// sample is one measured value within a family.
+// sample is one measured value within a family. suffix, when set,
+// extends the family name for this sample only — histograms use it for
+// their _bucket/_sum/_count series, which share one TYPE header.
 type sample struct {
 	labels Labels
 	value  float64
+	suffix string
 }
 
 // family is one named metric with its type, help text and samples.
@@ -58,14 +61,54 @@ func (m *Metrics) Gauge(name, help string, value float64, labels Labels) {
 	m.add(name, "gauge", help, value, labels)
 }
 
+// Histogram renders one snapshot of h as a histogram family: the
+// cumulative _bucket series (including the +Inf bucket), _sum and
+// _count. labels apply to every series of this sample (the le label is
+// added on top for buckets).
+func (m *Metrics) Histogram(name, help string, h *Histogram, labels Labels) {
+	if h == nil {
+		return
+	}
+	f := m.familyFor(name, "histogram", help)
+	counts, sum, count := h.snapshot()
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		f.samples = append(f.samples, sample{
+			suffix: "_bucket",
+			labels: withLE(labels, strconv.FormatFloat(b, 'g', -1, 64)),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		sample{suffix: "_bucket", labels: withLE(labels, "+Inf"), value: float64(count)},
+		sample{suffix: "_sum", labels: labels, value: sum},
+		sample{suffix: "_count", labels: labels, value: float64(count)},
+	)
+}
+
+func withLE(l Labels, le string) Labels {
+	out := make(Labels, len(l)+1)
+	for k, v := range l {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
 func (m *Metrics) add(name, typ, help string, value float64, labels Labels) {
+	f := m.familyFor(name, typ, help)
+	f.samples = append(f.samples, sample{labels: labels, value: value})
+}
+
+func (m *Metrics) familyFor(name, typ, help string) *family {
 	f, ok := m.byName[name]
 	if !ok {
 		f = &family{name: name, typ: typ, help: help}
 		m.byName[name] = f
 		m.families = append(m.families, f)
 	}
-	f.samples = append(f.samples, sample{labels: labels, value: value})
+	return f
 }
 
 // WriteTo renders the exposition text: families in insertion order,
@@ -79,6 +122,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, s := range f.samples {
 			b.WriteString(f.name)
+			b.WriteString(s.suffix)
 			b.WriteString(renderLabels(s.labels))
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatFloat(s.value, 'g', -1, 64))

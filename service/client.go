@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tapas/internal/trace"
 )
 
 // Client speaks the v1 HTTP API of a tapas-serve daemon (or a
@@ -117,6 +119,7 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, buf []byte,
 	if buf != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	trace.Inject(ctx, req.Header)
 	hc := c.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
@@ -324,6 +327,7 @@ func (c *Client) StreamEvents(ctx context.Context, id string, fn func(JobEvent) 
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	trace.Inject(ctx, req.Header)
 	resp, err := c.streamClient().Do(req)
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"tapas/internal/cluster"
 	"tapas/internal/parallel"
 	"tapas/internal/strategy"
+	"tapas/internal/trace"
 	"tapas/service"
 )
 
@@ -245,6 +247,9 @@ func (r *fleetRunner) RunTasks(ctx context.Context, batch strategy.TaskBatch) ([
 // positional with specs; the strategy layer recomputes anything a
 // misbehaving peer left missing.
 func (c *Coordinator) runChunk(ctx context.Context, ref tapas.TaskRef, batch strategy.TaskBatch, specs []strategy.TaskSpec, home int) []strategy.TaskResult {
+	ctx, chunkSpan := trace.StartSpan(ctx, "dispatch.chunk")
+	chunkSpan.SetAttr("tasks", strconv.Itoa(len(specs)))
+	defer chunkSpan.End()
 	npeers := len(c.peers)
 	attempted := false
 	for off := 0; off < npeers; off++ {
@@ -258,11 +263,13 @@ func (c *Coordinator) runChunk(ctx context.Context, ref tapas.TaskRef, batch str
 		}
 		if attempted {
 			c.failedOver.Add(1)
+			chunkSpan.SetAttr("failed_over", "true")
 		}
 		attempted = true
 		res, err := c.ship(ctx, p, ref, batch, specs)
 		if err == nil {
 			c.scattered.Add(uint64(len(specs)))
+			chunkSpan.SetAttr("executor", p.url)
 			return res
 		}
 		if ctx.Err() != nil {
@@ -282,15 +289,26 @@ func (c *Coordinator) runChunk(ctx context.Context, ref tapas.TaskRef, batch str
 	}
 	if attempted {
 		c.failedOver.Add(1) // the local pool is the final failover target
+		chunkSpan.SetAttr("failed_over", "true")
 	}
 	c.local.Add(uint64(len(specs)))
-	return batch.Local(ctx, specs)
+	chunkSpan.SetAttr("executor", "local")
+	lctx, localSpan := trace.StartSpan(ctx, "dispatch.local")
+	res := batch.Local(lctx, specs)
+	localSpan.End()
+	return res
 }
 
 // ship executes one chunk on one peer. Any response that is not a
 // complete, uncancelled answer to every spec is an error — partial
 // results are never merged.
-func (c *Coordinator) ship(ctx context.Context, p *peer, ref tapas.TaskRef, batch strategy.TaskBatch, specs []strategy.TaskSpec) ([]strategy.TaskResult, error) {
+func (c *Coordinator) ship(ctx context.Context, p *peer, ref tapas.TaskRef, batch strategy.TaskBatch, specs []strategy.TaskSpec) (_ []strategy.TaskResult, err error) {
+	ctx, span := trace.StartSpan(ctx, "dispatch.ship")
+	span.SetAttr("peer", p.url)
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	actx, cancel := context.WithTimeout(ctx, c.taskTimeout)
 	defer cancel()
 	req := service.TaskRequest{

@@ -144,7 +144,7 @@ func TestAdoptOrphanedJobs(t *testing.T) {
 	}
 
 	// IDs minted after a restart never collide with adopted ones.
-	st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "twotower-small", GPUs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestSubmitPersistsAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "twotower-small", GPUs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,15 +228,15 @@ func TestDrainKeepsOrphansAdoptable(t *testing.T) {
 	}
 
 	// One worker: the first job runs, the rest stay queued.
-	running, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+	running, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-770M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
+	queued, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cancelled, err := svc.Submit(SearchRequest{Model: "t5-200M", GPUs: 8})
+	cancelled, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-200M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestEvictOnCompletion(t *testing.T) {
 
 	var ids []string
 	for i := 0; i < 3; i++ {
-		st, err := svc.Submit(SearchRequest{Model: "twotower-small", GPUs: 4})
+		st, err := svc.Submit(context.Background(), SearchRequest{Model: "twotower-small", GPUs: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -420,11 +420,11 @@ func TestJobProgressIsolation(t *testing.T) {
 	svc := mustNew(t, Config{JobWorkers: 2})
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
-	folded, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+	folded, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-770M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exhaustive, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8, Exhaustive: true, TimeBudgetMS: 3000})
+	exhaustive, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-770M", GPUs: 8, Exhaustive: true, TimeBudgetMS: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}

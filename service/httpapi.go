@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"tapas/internal/promtext"
+	"tapas/internal/trace"
 	"tapas/store"
 )
 
@@ -28,7 +29,15 @@ const maxRequestBytes = 8 << 20
 //	GET    /v1/models           registered model names
 //	GET    /v1/healthz          queue, worker, cache and store statistics
 //	GET    /v1/store[/{id}]     store peer protocol (see store.Handler)
+//	GET    /v1/traces[/{id}]    flight recorder (recent traces / one span tree)
 //	GET    /metrics             Prometheus text exposition
+//
+// Every request (except /metrics and the flight recorder itself) runs
+// under the observability middleware: spans adopted from the
+// X-Tapas-Trace/X-Tapas-Parent headers or sampled fresh, the trace ID
+// echoed back as X-Tapas-Trace, latency recorded in
+// tapas_request_duration_seconds, and an optional key=value request
+// log line.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
@@ -72,7 +81,7 @@ func NewHandler(svc *Service) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		st, err := svc.Submit(req)
+		st, err := svc.Submit(r.Context(), req)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -127,11 +136,17 @@ func NewHandler(svc *Service) http.Handler {
 		mux.HandleFunc("/v1/store", noStore)
 		mux.HandleFunc("/v1/store/", noStore)
 	}
+	th := trace.Handler(svc.obs.rec)
+	mux.Handle("GET /v1/traces", th)
+	mux.Handle("GET /v1/traces/", th)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", promtext.ContentType)
-		_, _ = metricsFor(svc.Stats()).WriteTo(w)
+		m := metricsFor(svc.Stats())
+		svc.obs.addMetrics(m)
+		promtext.AddRuntime(m)
+		_, _ = m.WriteTo(w)
 	})
-	return mux
+	return withObs(svc.obs, mux)
 }
 
 // metricsFor renders a health snapshot as Prometheus families — the

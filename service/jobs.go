@@ -13,6 +13,7 @@ import (
 
 	"tapas"
 	"tapas/internal/graph"
+	"tapas/internal/trace"
 )
 
 // job is one queued search and its fan-out state.
@@ -35,6 +36,12 @@ type job struct {
 	attempts  int  // times a worker started this job (across processes)
 	adopted   bool // re-enqueued from a previous process's record
 	cancelled bool // explicit client Cancel (vs a shutdown drain)
+	// traceID/parentID carry the submitter's trace onto the worker that
+	// eventually runs the job, so an async search's spans land in the
+	// same trace as its POST /v1/jobs. In-memory only: an adopted job's
+	// submitter is long gone.
+	traceID  string
+	parentID string
 	subs      map[int]chan JobEvent
 	nextSub   int
 }
@@ -316,13 +323,15 @@ func (t *jobTable) closeIntake(onQueued func(*job)) {
 // Service methods
 
 // Submit validates and enqueues an async search, returning its queued
-// status. Fails fast with a BadRequestError for malformed requests,
+// status. ctx is the submitter's request context — consulted only for
+// its trace identity (the job itself runs under the service's root
+// context). Fails fast with a BadRequestError for malformed requests,
 // ErrQueueFull when the bounded queue is at capacity, and
 // ErrShuttingDown once Shutdown has begun. With a durable job store
 // configured, the job's record is queued for persistence before the
 // job becomes runnable, so the write-behind FIFO can never apply a later
 // transition before the submission record.
-func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
+func (s *Service) Submit(ctx context.Context, req SearchRequest) (*JobStatus, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -337,15 +346,18 @@ func (s *Service) Submit(req SearchRequest) (*JobStatus, error) {
 		model = g.Name
 	}
 	jctx, jcancel := context.WithCancel(s.rootCtx)
+	span := trace.FromContext(ctx)
 	j := &job{
-		req:     req,
-		model:   model,
-		graph:   g,
-		ctx:     jctx,
-		cancel:  jcancel,
-		state:   JobQueued,
-		created: time.Now(),
-		subs:    make(map[int]chan JobEvent),
+		req:      req,
+		model:    model,
+		graph:    g,
+		ctx:      jctx,
+		cancel:   jcancel,
+		state:    JobQueued,
+		created:  time.Now(),
+		subs:     make(map[int]chan JobEvent),
+		traceID:  span.TraceID(),
+		parentID: span.ID(),
 	}
 	s.jobs.mu.Lock()
 	j.id = s.jobs.newID()
@@ -552,8 +564,24 @@ func (s *Service) runJob(j *job) {
 	j.mu.Unlock()
 	s.persistJob(j)
 
-	resp, err := s.search(j.ctx, j.req, j.graph, j.noteProgress)
+	// The job's lifecycle span continues the submitter's trace (when the
+	// submission was traced): the root of everything this worker does.
+	ctx := j.ctx
+	var span *trace.Span
+	if j.traceID != "" {
+		ctx, span = s.obs.rec.StartRequest(j.ctx, "job.run", j.traceID, j.parentID)
+		span.SetAttr("job", j.id)
+		span.SetAttr("model", j.model)
+	}
+	resp, err := s.search(ctx, j.req, j.graph, j.noteProgress)
 	s.finishJob(j, resp, err)
+	if span != nil {
+		span.SetError(err)
+		j.mu.Lock()
+		span.SetAttr("state", string(j.state))
+		j.mu.Unlock()
+		span.End()
+	}
 }
 
 // finishJob moves a job to its terminal state and retires its

@@ -39,7 +39,7 @@ func drainEvents(t *testing.T, ch <-chan JobEvent, timeout time.Duration) []JobE
 
 func TestJobLifecycle(t *testing.T) {
 	svc := newTestService(t)
-	st, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +119,11 @@ func TestCancelQueuedJob(t *testing.T) {
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
 	// One worker: the blocker occupies it, the target stays queued.
-	blocker, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+	blocker, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-770M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	target, err := svc.Submit(SearchRequest{Model: "bert-large", GPUs: 8})
+	target, err := svc.Submit(context.Background(), SearchRequest{Model: "bert-large", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCancelRunningJob(t *testing.T) {
 	svc := mustNew(t, Config{JobWorkers: 1})
 	t.Cleanup(func() { _ = svc.Shutdown(context.Background()) })
 
-	st, err := svc.Submit(SearchRequest{Model: "t5-1.4B", GPUs: 16})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-1.4B", GPUs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestQueueFull(t *testing.T) {
 	// burst must eventually bounce with ErrQueueFull.
 	var sawFull bool
 	for i := 0; i < 20 && !sawFull; i++ {
-		_, err := svc.Submit(SearchRequest{Model: "t5-770M", GPUs: 8})
+		_, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-770M", GPUs: 8})
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrQueueFull):
@@ -215,11 +215,11 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 	svc := mustNew(t, Config{JobWorkers: 1})
 	before := runtime.NumGoroutine()
 
-	running, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
+	running, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := svc.Submit(SearchRequest{Model: "bert-large", GPUs: 8})
+	queued, err := svc.Submit(context.Background(), SearchRequest{Model: "bert-large", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 	if err := svc.Shutdown(context.Background()); err != nil {
 		t.Errorf("repeated shutdown: %v", err)
 	}
-	if _, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8}); !errors.Is(err, ErrShuttingDown) {
+	if _, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8}); !errors.Is(err, ErrShuttingDown) {
 		t.Errorf("post-shutdown submit: want ErrShuttingDown, got %v", err)
 	}
 	if _, err := svc.Search(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8}); err != nil {
@@ -269,7 +269,7 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 
 func TestShutdownDeadlineCancelsRunning(t *testing.T) {
 	svc := mustNew(t, Config{JobWorkers: 1})
-	st, err := svc.Submit(SearchRequest{Model: "t5-1.4B", GPUs: 16})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-1.4B", GPUs: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestStatsCounts(t *testing.T) {
 	if _, err := svc.Search(context.Background(), SearchRequest{Model: "twotower-small", GPUs: 4}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := svc.Submit(SearchRequest{Model: "t5-100M", GPUs: 8})
+	st, err := svc.Submit(context.Background(), SearchRequest{Model: "t5-100M", GPUs: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tapas"
+	"tapas/internal/logkv"
+	"tapas/internal/promtext"
+	"tapas/internal/trace"
+)
+
+// phaseLabels are the per-phase latency series exported as
+// tapas_phase_duration_seconds{phase=...}: the five pipeline phases the
+// progress stream reports, with the search phase additionally split
+// into its enum/assemble halves from the engine's own stopwatches.
+var phaseLabels = []string{"group", "mine", "search", "enum", "assemble", "reconstruct", "simulate"}
+
+// observability is the service's tracing and latency-metrics state, one
+// per Service. The zero value disables everything (nil recorder, nil
+// histograms are never reached because newObservability always builds
+// the histograms).
+type observability struct {
+	rec         *trace.Recorder
+	reqHist     *promtext.Histogram            // tapas_request_duration_seconds
+	phaseHist   map[string]*promtext.Histogram // tapas_phase_duration_seconds{phase=...}
+	taskHist    *promtext.Histogram            // tapas_task_duration_seconds
+	slowThresh  time.Duration                  // 0 disables the slow-request log
+	logf        func(string, ...any)
+	logRequests bool
+}
+
+func newObservability(cfg Config) *observability {
+	o := &observability{
+		rec:         cfg.Trace,
+		reqHist:     promtext.NewHistogram(nil),
+		phaseHist:   make(map[string]*promtext.Histogram, len(phaseLabels)),
+		taskHist:    promtext.NewHistogram(nil),
+		slowThresh:  cfg.TraceSlow,
+		logf:        cfg.Logf,
+		logRequests: cfg.LogRequests,
+	}
+	for _, p := range phaseLabels {
+		o.phaseHist[p] = promtext.NewHistogram(nil)
+	}
+	if o.logf == nil {
+		o.logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// observePhase records one phase duration in its histogram.
+func (o *observability) observePhase(phase string, d time.Duration) {
+	if h := o.phaseHist[phase]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// addMetrics renders the request/phase/task histograms into m.
+func (o *observability) addMetrics(m *promtext.Metrics) {
+	m.Histogram("tapas_request_duration_seconds",
+		"HTTP request latency by wall clock, all v1 endpoints.", o.reqHist, nil)
+	for _, p := range phaseLabels {
+		m.Histogram("tapas_phase_duration_seconds",
+			"Cold-search pipeline phase latency.", o.phaseHist[p], promtext.Labels{"phase": p})
+	}
+	m.Histogram("tapas_task_duration_seconds",
+		"Shipped prefix-task batch execution latency (/v1/tasks).", o.taskHist, nil)
+}
+
+// clientKey carries the caller identity (X-Tapas-Client header or
+// remote IP) from the HTTP middleware to the slow-request log.
+type clientKey struct{}
+
+// clientOf names the request's caller the way the gateway's rate
+// limiter does: the X-Tapas-Client header when present, else the
+// client IP.
+func clientOf(r *http.Request) string {
+	if c := r.Header.Get("X-Tapas-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// statusWriter captures the response status for logging and span
+// attrs. It forwards Flush (SSE streams) and unwraps for
+// http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withObs wraps a daemon mux with the observability middleware: start
+// (or adopt, via the X-Tapas-Trace/X-Tapas-Parent headers) the
+// process-local root span, echo the trace ID to the client, time the
+// request into the latency histogram, and emit one key=value request
+// log line. The flight recorder's own endpoints and /metrics are
+// exempt — scraping must not fill the ring buffer it reads.
+func withObs(o *observability, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if path == "/metrics" || path == "/v1/traces" ||
+			(len(path) > len("/v1/traces/") && path[:len("/v1/traces/")] == "/v1/traces/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		client := clientOf(r)
+		traceID, parentID := trace.Extract(r.Header)
+		ctx, span := o.rec.StartRequest(r.Context(), r.Method+" "+path, traceID, parentID)
+		if span != nil {
+			span.SetAttr("client", client)
+			w.Header().Set(trace.TraceHeader, span.TraceID())
+		}
+		ctx = context.WithValue(ctx, clientKey{}, client)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		o.reqHist.Observe(dur.Seconds())
+		span.SetAttr("status", strconv.Itoa(status))
+		span.End()
+		if o.logRequests {
+			o.logf("%s", logkv.Line("request",
+				"method", r.Method,
+				"path", path,
+				"status", status,
+				"dur", dur,
+				"client", client,
+				"trace", span.TraceID(),
+			))
+		}
+	})
+}
+
+// searchObserver wraps one search call: a span under the request's
+// trace, per-phase histogram observations derived from the progress
+// stream (which only fires on genuine cold runs, so cache hits never
+// skew the phase series), and the slow-request log line.
+func (s *Service) observeSearch(ctx context.Context, req SearchRequest, progress func(tapas.ProgressEvent)) (context.Context, func(tapas.ProgressEvent), func(*tapas.Result, error)) {
+	o := s.obs
+	start := time.Now()
+	ctx, span := trace.StartSpan(ctx, "service.search")
+	span.SetAttr("model", req.Model)
+	span.SetAttr("gpus", strconv.Itoa(req.GPUs))
+
+	// Phase durations: Elapsed is cumulative within one search, so a
+	// phase's cost is exit.Elapsed − enter.Elapsed. One search's events
+	// are serialized, so the map needs no lock.
+	enters := make(map[tapas.Phase]time.Duration, 8)
+	wrapped := func(ev tapas.ProgressEvent) {
+		switch ev.Kind {
+		case tapas.PhaseEnter:
+			enters[ev.Phase] = ev.Elapsed
+		case tapas.PhaseExit:
+			if at, ok := enters[ev.Phase]; ok {
+				o.observePhase(string(ev.Phase), ev.Elapsed-at)
+			}
+		}
+		if progress != nil {
+			progress(ev)
+		}
+	}
+
+	finish := func(res *tapas.Result, err error) {
+		dur := time.Since(start)
+		span.SetError(err)
+		if res != nil {
+			span.SetAttr("cache_hit", strconv.FormatBool(res.CacheHit))
+			span.SetAttr("store_hit", strconv.FormatBool(res.StoreHit))
+			if !res.CacheHit && !res.StoreHit {
+				// The enum/assemble split is measured inside the strategy
+				// layer; genuine cold runs only, mirroring the phase events.
+				o.observePhase("enum", res.EnumTime)
+				o.observePhase("assemble", res.AssembleTime)
+			}
+		}
+		span.End()
+		if o.slowThresh > 0 && dur >= o.slowThresh {
+			client, _ := ctx.Value(clientKey{}).(string)
+			pairs := []any{
+				"trace", trace.FromContext(ctx).TraceID(),
+				"client", client,
+				"model", req.Model,
+				"gpus", req.GPUs,
+				"dur", dur,
+			}
+			if res != nil {
+				pairs = append(pairs,
+					"cache_hit", res.CacheHit,
+					"store_hit", res.StoreHit,
+					"group", res.GroupTime,
+					"mine", res.MineTime,
+					"enum", res.EnumTime,
+					"assemble", res.AssembleTime,
+				)
+			}
+			if err != nil {
+				pairs = append(pairs, "err", err.Error())
+			}
+			o.logf("%s", logkv.Line("slow_request", pairs...))
+		}
+	}
+	return ctx, wrapped, finish
+}

@@ -11,6 +11,7 @@ import (
 	"tapas"
 	"tapas/internal/graph"
 	"tapas/internal/graphio"
+	"tapas/internal/trace"
 	"tapas/store"
 	"tapas/store/replicate"
 )
@@ -50,6 +51,22 @@ type Config struct {
 	// running with a replicated corpus (-store-dir plus -store-peer
 	// flags) wires its replicate.Backend here.
 	Replication ReplicationStatser
+	// Trace, when set, is the process's flight recorder: requests are
+	// traced through it (propagated traces always, organic traffic per
+	// its sampling), and NewHandler serves its ring buffer as
+	// GET /v1/traces. Nil disables tracing — spans become no-ops and
+	// /v1/traces answers empty.
+	Trace *trace.Recorder
+	// TraceSlow, when positive, emits a structured slow-request log
+	// line (trace ID, client, model, per-phase breakdown) for every
+	// search slower than this threshold.
+	TraceSlow time.Duration
+	// Logf receives the service's structured log lines (request and
+	// slow-request); nil is silent.
+	Logf func(format string, args ...any)
+	// LogRequests emits one key=value line per HTTP request through
+	// Logf.
+	LogRequests bool
 }
 
 // ReplicationStatser is the slice of store/replicate.Backend the service
@@ -86,6 +103,8 @@ type Service struct {
 	tasksExecuted atomic.Uint64
 	tasksFailed   atomic.Uint64
 
+	obs *observability // tracing + latency histograms (always non-nil)
+
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 }
@@ -115,6 +134,7 @@ func New(cfg Config) (*Service, error) {
 		onProgress:  cfg.OnProgress,
 		fleet:       cfg.Fleet,
 		replication: cfg.Replication,
+		obs:         newObservability(cfg),
 	}
 	s.rootCtx, s.rootCancel = context.WithCancel(context.Background())
 
@@ -326,9 +346,11 @@ func (s *Service) resolveGraph(req SearchRequest) (*graph.Graph, error) {
 // progress, when set, observes exactly this search's events (the job
 // path passes its job's callback; the sync path passes nil).
 func (s *Service) search(ctx context.Context, req SearchRequest, g *graph.Graph, progress func(tapas.ProgressEvent)) (*SearchResponse, error) {
+	ctx, wrapped, finish := s.observeSearch(ctx, req, progress)
 	spec := specForRequest(req, g)
-	spec.Progress = progress
+	spec.Progress = wrapped
 	res, err := s.eng.SearchSpec(ctx, spec)
+	finish(res, err)
 	if err != nil {
 		return nil, err
 	}

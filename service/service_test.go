@@ -180,7 +180,7 @@ func TestSearchUnknownModelIsNotFound(t *testing.T) {
 		t.Errorf("ErrorStatus = %d, want 404", got)
 	}
 	// The async path agrees.
-	if _, err := svc.Submit(SearchRequest{Model: "nope-13B", GPUs: 8}); !errors.Is(err, tapas.ErrUnknownModel) {
+	if _, err := svc.Submit(context.Background(), SearchRequest{Model: "nope-13B", GPUs: 8}); !errors.Is(err, tapas.ErrUnknownModel) {
 		t.Errorf("Submit: want ErrUnknownModel, got %v", err)
 	}
 }
@@ -278,7 +278,7 @@ func TestSearchBatchEnvelopeValidation(t *testing.T) {
 // registry name.
 func TestJobModelIdentity(t *testing.T) {
 	svc := newTestService(t)
-	st, err := svc.Submit(SearchRequest{Spec: tinySpec, GPUs: 4})
+	st, err := svc.Submit(context.Background(), SearchRequest{Spec: tinySpec, GPUs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

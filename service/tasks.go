@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"tapas/internal/graphio"
 	"tapas/internal/ir"
 	"tapas/internal/strategy"
+	"tapas/internal/trace"
 )
 
 // This file is the wire side of distributed cold search: the v1 DTOs of
@@ -179,7 +181,15 @@ type FleetStatser interface {
 // the local pool, and account the outcome in the task counters
 // (tasks_executed / tasks_failed on healthz).
 func (s *Service) ExecuteTasks(ctx context.Context, req TaskRequest) (*TaskResponse, error) {
+	start := time.Now()
+	ctx, span := trace.StartSpan(ctx, "tasks.execute")
+	span.SetAttr("model", req.Model)
+	span.SetAttr("gpus", strconv.Itoa(req.GPUs))
+	span.SetAttr("tasks", strconv.Itoa(len(req.Tasks)))
 	resp, err := s.executeTasks(ctx, req)
+	span.SetError(err)
+	span.End()
+	s.obs.taskHist.Observe(time.Since(start).Seconds())
 	if err != nil {
 		s.tasksFailed.Add(1)
 		return nil, err

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tapas/internal/trace"
 	"tapas/store"
 )
 
@@ -94,6 +95,10 @@ type Options struct {
 	// Logf observes peer-health transitions and repair activity
 	// (nil: silent).
 	Logf func(format string, args ...any)
+	// Trace, when set, records replication background work (write
+	// fanout, read-repair, anti-entropy sweeps) as standalone spans in
+	// the daemon's flight recorder, subject to the recorder's sampling.
+	Trace *trace.Recorder
 }
 
 // Stats is a point-in-time snapshot of replication traffic, served by
@@ -155,6 +160,7 @@ type Backend struct {
 	local store.Backend
 	peers []*peerState
 	logf  func(string, ...any)
+	rec   *trace.Recorder // nil disables replication spans
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals pending == 0, for Flush
@@ -197,6 +203,7 @@ func New(opts Options) (*Backend, error) {
 	b := &Backend{
 		local: opts.Local,
 		logf:  logf,
+		rec:   opts.Trace,
 		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
 	}
@@ -241,6 +248,7 @@ func (b *Backend) Get(id string) ([]byte, error) {
 	if err == nil {
 		return data, nil
 	}
+	t0 := time.Now()
 	for _, p := range b.peers {
 		if !p.healthy.Load() {
 			b.deadPeerSkips.Add(1)
@@ -254,6 +262,8 @@ func (b *Backend) Get(id string) ([]byte, error) {
 			} else {
 				b.logf("replicate: read-repaired %s from %s", short(id), p.name)
 			}
+			b.rec.RecordSpan("replicate.read_repair", t0, time.Since(t0), "",
+				"id", short(id), "peer", p.name)
 			return data, nil
 		}
 		if errors.Is(perr, store.ErrNotFound) {
@@ -452,12 +462,21 @@ func (b *Backend) apply(p *peerState, op repOp) {
 		b.deadPeerSkips.Add(1)
 		return
 	}
+	t0 := time.Now()
+	kind := "put"
 	var err error
 	if op.del {
+		kind = "delete"
 		err = p.b.Delete(op.id)
 	} else {
 		err = p.b.Put(op.id, op.data)
 	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	b.rec.RecordSpan("replicate.fanout", t0, time.Since(t0), errMsg,
+		"op", kind, "id", short(op.id), "peer", p.name)
 	if err != nil {
 		b.fanoutErrors.Add(1)
 		b.markDown(p, err)

@@ -3,6 +3,7 @@ package replicate
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"tapas/store"
@@ -27,10 +28,20 @@ type view struct {
 //
 // Concurrent calls serialize; the periodic loop and the
 // recovery-triggered kick both land here.
-func (b *Backend) Sweep() (int, error) {
+func (b *Backend) Sweep() (copies int, err error) {
 	b.sweepMu.Lock()
 	defer b.sweepMu.Unlock()
 	b.sweepRuns.Add(1)
+	t0 := time.Now()
+	nviews := 0
+	defer func() {
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		b.rec.RecordSpan("replicate.sweep", t0, time.Since(t0), errMsg,
+			"copies", strconv.Itoa(copies), "views", strconv.Itoa(nviews))
+	}()
 
 	ents, err := b.local.List()
 	if err != nil {
@@ -62,6 +73,7 @@ func (b *Backend) Sweep() (int, error) {
 			peer:    p,
 		})
 	}
+	nviews = len(views)
 	if len(views) < 2 {
 		return 0, nil // nothing to reconcile against
 	}
@@ -80,7 +92,6 @@ func (b *Backend) Sweep() (int, error) {
 		}
 	}
 
-	copies := 0
 	var firstErr error
 	for id, w := range desired {
 		var data []byte // fetched lazily, once, for all missers of this id
